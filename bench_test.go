@@ -1,0 +1,77 @@
+// Benchmarks: one testing.B benchmark per paper table/figure, each
+// running the corresponding experiment from internal/exp in quick mode.
+// `go test -bench=. -benchmem` therefore regenerates (reduced-scale
+// versions of) every artifact in the paper's evaluation; cmd/libra-bench
+// runs the full-scale versions.
+package libra
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"libra/internal/exp"
+	"libra/internal/rlcc"
+)
+
+// benchAgents is trained once and shared by every benchmark so that the
+// per-benchmark cost reflects the experiment, not agent training.
+var (
+	benchAgentsOnce sync.Once
+	benchAgents     *exp.AgentSet
+)
+
+func runExp(b *testing.B, id string) {
+	b.Helper()
+	benchAgentsOnce.Do(func() {
+		benchAgents = exp.TrainAgentSet(exp.TrainSpec{
+			Seed: 1, Episodes: 30, EpisodeLen: 6 * time.Second,
+			Env: rlcc.LaptopEnvRange(),
+		})
+	})
+	e, ok := exp.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := e.Run(exp.RunConfig{Quick: true, Seed: int64(i + 1), Agents: benchAgents})
+		if len(rep.Tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+func BenchmarkFig1Adaptability(b *testing.B)       { runExp(b, "fig1") }
+func BenchmarkFig2aStepScenario(b *testing.B)      { runExp(b, "fig2a") }
+func BenchmarkFig2bUtilizationCDF(b *testing.B)    { runExp(b, "fig2b") }
+func BenchmarkFig2cOverhead(b *testing.B)          { runExp(b, "fig2c") }
+func BenchmarkFig5StateSpaces(b *testing.B)        { runExp(b, "fig5") }
+func BenchmarkTab2StateAblation(b *testing.B)      { runExp(b, "tab2") }
+func BenchmarkFig6ActionSpaces(b *testing.B)       { runExp(b, "fig6") }
+func BenchmarkTab3LossTerm(b *testing.B)           { runExp(b, "tab3") }
+func BenchmarkTab4DeltaReward(b *testing.B)        { runExp(b, "tab4") }
+func BenchmarkFig7TraceSweep(b *testing.B)         { runExp(b, "fig7") }
+func BenchmarkFig8CapacityTracking(b *testing.B)   { runExp(b, "fig8") }
+func BenchmarkFig9BufferSweep(b *testing.B)        { runExp(b, "fig9") }
+func BenchmarkFig10LossSweep(b *testing.B)         { runExp(b, "fig10") }
+func BenchmarkFig11Flexibility(b *testing.B)       { runExp(b, "fig11") }
+func BenchmarkFig12OverheadSweep(b *testing.B)     { runExp(b, "fig12") }
+func BenchmarkFig13InterFairness(b *testing.B)     { runExp(b, "fig13") }
+func BenchmarkFig14IntraFairness(b *testing.B)     { runExp(b, "fig14") }
+func BenchmarkFig15Convergence(b *testing.B)       { runExp(b, "fig15") }
+func BenchmarkTab6Safety(b *testing.B)             { runExp(b, "tab6") }
+func BenchmarkFig16WAN(b *testing.B)               { runExp(b, "fig16") }
+func BenchmarkFig17DecisionFractions(b *testing.B) { runExp(b, "fig17") }
+func BenchmarkFig18IdealComparison(b *testing.B)   { runExp(b, "fig18") }
+func BenchmarkFig19Sensitivity(b *testing.B)       { runExp(b, "fig19") }
+func BenchmarkTab7Threshold(b *testing.B)          { runExp(b, "tab7") }
+
+// Extension experiments (design-choice ablations and the Sec. 7
+// discussion scenarios).
+func BenchmarkAblOrder(b *testing.B)       { runExp(b, "abl-order") }
+func BenchmarkAblClassics(b *testing.B)    { runExp(b, "abl-classics") }
+func BenchmarkSec7Networks(b *testing.B)   { runExp(b, "sec7-networks") }
+func BenchmarkSec7Datacenter(b *testing.B) { runExp(b, "sec7-datacenter") }
+func BenchmarkAppMix(b *testing.B)         { runExp(b, "app-mix") }
+func BenchmarkAQM(b *testing.B)            { runExp(b, "aqm") }

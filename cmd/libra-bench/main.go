@@ -1,0 +1,76 @@
+// Command libra-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	libra-bench -list
+//	libra-bench -run fig1,fig7 [-quick] [-seed 1] [-models dir]
+//	libra-bench -all -quick
+//
+// Each experiment prints the rows/series the corresponding paper
+// artifact plots; EXPERIMENTS.md records the paper-vs-measured
+// comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"libra/internal/exp"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiments and exit")
+		run    = flag.String("run", "", "comma-separated experiment IDs")
+		all    = flag.Bool("all", false, "run every experiment")
+		quick  = flag.Bool("quick", false, "reduced durations/repeats")
+		seed   = flag.Int64("seed", 1, "random seed")
+		models = flag.String("models", "", "directory of trained models (from libra-train)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %s\n         paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		for _, e := range exp.All() {
+			ids = append(ids, e.ID)
+		}
+	case *run != "":
+		ids = strings.Split(*run, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -list, -all, or -run ids")
+		os.Exit(2)
+	}
+
+	cfg := exp.RunConfig{Quick: *quick, Seed: *seed}
+	if *models != "" {
+		set, err := exp.LoadAgentSet(*models, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load models: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Agents = set
+	}
+
+	for _, id := range ids {
+		e, ok := exp.Get(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		rep := e.Run(cfg)
+		fmt.Print(rep.String())
+		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,125 @@
+// Command libra-sim runs one or more congestion controllers over a
+// configurable emulated path and prints per-second throughput/delay.
+//
+// Usage:
+//
+//	libra-sim -cca c-libra,cubic -capacity 48 -rtt 40ms -dur 30s
+//	libra-sim -cca b-libra -trace lte:driving -loss 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"libra/internal/exp"
+	"libra/internal/netem"
+	"libra/internal/trace"
+)
+
+func main() {
+	var (
+		ccas      = flag.String("cca", "c-libra", "comma-separated controllers sharing the bottleneck")
+		capMbps   = flag.Float64("capacity", 48, "link capacity in Mbps (ignored with -trace)")
+		traceSpec = flag.String("trace", "", "capacity trace: lte:stationary|walking|driving|tour, or step:P,L1,L2,...")
+		rtt       = flag.Duration("rtt", 40*time.Millisecond, "minimum RTT")
+		buffer    = flag.Int("buffer", 150000, "droptail buffer in bytes")
+		loss      = flag.Float64("loss", 0, "iid stochastic loss probability")
+		dur       = flag.Duration("dur", 30*time.Second, "simulated duration")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	capacity, err := buildTrace(*traceSpec, *capMbps, *dur, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	n := netem.New(netem.Config{
+		Capacity:     capacity,
+		MinRTT:       *rtt,
+		BufferBytes:  *buffer,
+		LossRate:     *loss,
+		Seed:         *seed,
+		RecordSeries: true,
+		SeriesBucket: time.Second,
+	})
+	names := strings.Split(*ccas, ",")
+	flows := make([]*netem.Flow, len(names))
+	for i, name := range names {
+		mk := exp.MakerFor(strings.TrimSpace(name), nil, nil)
+		flows[i] = n.AddFlow(mk(*seed+int64(i)*31), 0, 0)
+	}
+	n.Run(*dur)
+
+	fmt.Printf("%-6s %-9s", "t(s)", "cap(Mbps)")
+	for _, name := range names {
+		fmt.Printf("  %-18s", name+" thr/delay")
+	}
+	fmt.Println()
+	for t := 0; t < int(*dur/time.Second); t++ {
+		at := time.Duration(t) * time.Second
+		fmt.Printf("%-6d %-9.1f", t, trace.ToMbps(capacity.RateAt(at)))
+		for _, f := range flows {
+			fmt.Printf("  %6.2f / %-6.0fms ", trace.ToMbps(f.Stats.Throughput.Rate(t)), f.Stats.Delay.Mean(t))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	for i, f := range flows {
+		fmt.Printf("%-10s avg %.2f Mbps, avg RTT %v, loss %.3f%%\n",
+			names[i], trace.ToMbps(f.Stats.AvgThroughput()), f.Stats.AvgRTT().Round(time.Millisecond),
+			f.Stats.LossRate()*100)
+	}
+	fmt.Printf("link utilisation: %.3f\n", n.Utilization(*dur))
+}
+
+func buildTrace(spec string, capMbps float64, d time.Duration, seed int64) (trace.Trace, error) {
+	if spec == "" {
+		return trace.Constant(trace.Mbps(capMbps)), nil
+	}
+	parts := strings.SplitN(spec, ":", 2)
+	switch parts[0] {
+	case "lte":
+		kind := "stationary"
+		if len(parts) > 1 {
+			kind = parts[1]
+		}
+		switch kind {
+		case "stationary":
+			return trace.NewLTE(trace.LTEStationary, d, seed), nil
+		case "walking":
+			return trace.NewLTE(trace.LTEWalking, d, seed), nil
+		case "driving":
+			return trace.NewLTE(trace.LTEDriving, d, seed), nil
+		case "tour":
+			return trace.NewDrivingTour(d, seed), nil
+		}
+		return nil, fmt.Errorf("unknown lte scenario %q", kind)
+	case "step":
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("step trace needs step:periodSec,L1,L2,...")
+		}
+		fields := strings.Split(parts[1], ",")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("step trace needs a period and at least one level")
+		}
+		var period float64
+		if _, err := fmt.Sscanf(fields[0], "%g", &period); err != nil {
+			return nil, fmt.Errorf("bad step period %q", fields[0])
+		}
+		levels := make([]float64, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			var m float64
+			if _, err := fmt.Sscanf(f, "%g", &m); err != nil {
+				return nil, fmt.Errorf("bad step level %q", f)
+			}
+			levels = append(levels, trace.Mbps(m))
+		}
+		return &trace.Step{Period: time.Duration(period * float64(time.Second)), Levels: levels}, nil
+	}
+	return nil, fmt.Errorf("unknown trace spec %q", spec)
+}

@@ -1,0 +1,98 @@
+// Command libra-trace generates and inspects capacity traces,
+// including Mahimahi-format import/export so workloads can be exchanged
+// with the emulator the paper used.
+//
+// Usage:
+//
+//	libra-trace -gen lte:driving -dur 60s -o driving.mahi
+//	libra-trace -inspect driving.mahi
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"libra/internal/trace"
+)
+
+func main() {
+	var (
+		gen     = flag.String("gen", "", "generate: lte:stationary|walking|driving|tour, const:<Mbps>, step:<P,L1,L2,..>")
+		dur     = flag.Duration("dur", 60*time.Second, "trace duration")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("o", "", "output file (Mahimahi format; default stdout)")
+		inspect = flag.String("inspect", "", "parse a Mahimahi trace and print statistics")
+	)
+	flag.Parse()
+
+	switch {
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.ParseMahimahi(f)
+		if err != nil {
+			fatal(err)
+		}
+		var lo, hi float64
+		lo = tr.Rates[0]
+		for _, r := range tr.Rates {
+			if r < lo {
+				lo = r
+			}
+			if r > hi {
+				hi = r
+			}
+		}
+		fmt.Printf("duration: %s\nsamples:  %d @ %s\nmean:     %.2f Mbps\nmin/max:  %.2f / %.2f Mbps\n",
+			tr.Duration(), len(tr.Rates), tr.Interval,
+			trace.ToMbps(tr.Mean()), trace.ToMbps(lo), trace.ToMbps(hi))
+	case *gen != "":
+		var tr trace.Trace
+		switch *gen {
+		case "lte:stationary":
+			tr = trace.NewLTE(trace.LTEStationary, *dur, *seed)
+		case "lte:walking":
+			tr = trace.NewLTE(trace.LTEWalking, *dur, *seed)
+		case "lte:driving":
+			tr = trace.NewLTE(trace.LTEDriving, *dur, *seed)
+		case "lte:tour":
+			tr = trace.NewDrivingTour(*dur, *seed)
+		default:
+			var mbps float64
+			if n, _ := fmt.Sscanf(*gen, "const:%g", &mbps); n == 1 {
+				tr = trace.Constant(trace.Mbps(mbps))
+				break
+			}
+			fatal(fmt.Errorf("unknown generator %q", *gen))
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := trace.WriteMahimahi(w, tr, *dur); err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			fmt.Printf("wrote %s (%s, mean %.2f Mbps)\n", *out, *dur,
+				trace.ToMbps(trace.MeanRate(tr, *dur, 100*time.Millisecond)))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command libra-train trains the PPO policies used by the
+// learning-based CCAs (Libra's RL component, Orca, Aurora, Mod-RL) on
+// randomized emulated networks, reporting the learning curves and
+// saving the actor networks for libra-bench -models.
+//
+// Usage:
+//
+//	libra-train -out models/ [-episodes 600] [-eplen 20s] [-paper] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"libra/internal/cc"
+	"libra/internal/exp"
+	"libra/internal/rlcc"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "models", "output directory for trained models")
+		episodes = flag.Int("episodes", 0, "training episodes per agent (0 = spec default)")
+		epLen    = flag.Duration("eplen", 0, "simulated seconds per episode (0 = spec default)")
+		paper    = flag.Bool("paper", false, "use the paper's full training ranges (slower)")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	spec := exp.QuickTrainSpec(*seed)
+	if *paper {
+		spec = exp.FullTrainSpec(*seed)
+	}
+	if *episodes > 0 {
+		spec.Episodes = *episodes
+	}
+	if *epLen > 0 {
+		spec.EpisodeLen = *epLen
+	}
+
+	fmt.Printf("training 4 agents: %d episodes x %s each (env: %.0f-%.0f Mbps, %s-%s RTT, loss up to %.0f%%)\n",
+		spec.Episodes, spec.EpisodeLen,
+		spec.Env.CapacityMbps[0], spec.Env.CapacityMbps[1],
+		spec.Env.RTT[0], spec.Env.RTT[1], spec.Env.LossRate[1]*100)
+
+	// One demonstration learning curve (Libra's RL component), then the
+	// full agent set for persistence.
+	fmt.Println("-- libra-rl learning curve --")
+	start := time.Now()
+	rlcc.Train(rlcc.TrainConfig{
+		Episodes:   spec.Episodes / 4,
+		EpisodeLen: spec.EpisodeLen,
+		Env:        &spec.Env,
+		Ctrl:       rlcc.LibraRLConfig(baseCfg(*seed)),
+		Seed:       spec.Seed,
+		OnEpisode: func(i int, reward float64) {
+			if (i+1)%10 == 0 || i == 0 {
+				fmt.Printf("  episode %4d  reward %8.2f\n", i+1, reward)
+			}
+		},
+	})
+	fmt.Printf("  done in %.1fs\n", time.Since(start).Seconds())
+
+	fmt.Println("training the 4-agent set for persistence...")
+	set := exp.TrainAgentSet(spec)
+	if err := set.Save(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "save: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("saved models to %s (use: libra-bench -models %s)\n", *out, *out)
+}
+
+func baseCfg(seed int64) cc.Config { return cc.Config{Seed: seed} }

@@ -1,0 +1,56 @@
+package libra_test
+
+import (
+	"fmt"
+	"time"
+
+	"libra"
+)
+
+// The canonical use: one C-Libra flow over an emulated 24 Mbps path.
+func ExampleNew() {
+	net := libra.NewNetwork(libra.NetworkConfig{
+		Capacity:    libra.ConstantMbps(24),
+		MinRTT:      40 * time.Millisecond,
+		BufferBytes: 150_000,
+		Seed:        1,
+	})
+	flow := net.AddFlow(libra.New(libra.WithCubic(), libra.WithSeed(2)), 0, 0)
+	net.Run(20 * time.Second)
+	fmt.Printf("utilised more than 80%%: %v\n", net.Utilization(20*time.Second) > 0.8)
+	fmt.Printf("flow stayed loss-bounded: %v\n", flow.Stats.LossRate() < 0.2)
+	// Output:
+	// utilised more than 80%: true
+	// flow stayed loss-bounded: true
+}
+
+// Application preferences are utility options (Sec. 5.2 of the paper).
+func ExampleWithUtility() {
+	d := libra.DefaultUtility()
+	th := libra.ThroughputOriented(2) // Th-2
+	la := libra.LatencyOriented(2)    // La-2
+	// Same observation (50 Mbps, slight delay growth, no loss):
+	fmt.Printf("Th-2 ranks it higher than default:  %v\n", th.Value(50, 0.01, 0) > d.Value(50, 0.01, 0))
+	fmt.Printf("La-2 ranks it lower than default:   %v\n", la.Value(50, 0.01, 0) < d.Value(50, 0.01, 0))
+	// Output:
+	// Th-2 ranks it higher than default:  true
+	// La-2 ranks it lower than default:   true
+}
+
+// Every baseline the paper compares against is constructible by name.
+func ExampleBaseline() {
+	cubic := libra.Baseline("cubic", 1)
+	orca := libra.Baseline("orca", 1)
+	fmt.Println(cubic.Name(), orca.Name())
+	// Output: cubic orca
+}
+
+// The experiment registry regenerates the paper's tables and figures.
+func ExampleExperiments() {
+	ids := map[string]bool{}
+	for _, e := range libra.Experiments() {
+		ids[e.ID] = true
+	}
+	fmt.Println(ids["fig1"], ids["tab6"], ids["fig18"])
+	// Output: true true true
+}

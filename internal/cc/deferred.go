@@ -1,0 +1,92 @@
+package cc
+
+import "time"
+
+// DeferredMonitor tracks monitor intervals with send-time attribution:
+// an ACK or loss is credited to the interval during which the packet was
+// *sent*, not the interval in which the feedback arrived. An interval
+// only becomes available once enough time has passed for all of its
+// packets' fates to be known (roughly one RTT after it closed).
+//
+// This is how PCC monitors its rate experiments, and it is exactly the
+// bookkeeping behind Libra's exploitation stage, which "waits for the
+// feedback information coming from the candidate rates in the
+// evaluation stage" before computing utilities.
+type DeferredMonitor struct {
+	open []deferredIV
+	// Tag carries caller context (e.g. which candidate rate an interval
+	// measured); it is copied into the popped interval.
+}
+
+type deferredIV struct {
+	stats IntervalStats
+	tag   int
+}
+
+// TaggedInterval is a finalized interval plus the caller's tag.
+type TaggedInterval struct {
+	Stats IntervalStats
+	Tag   int
+}
+
+// Boundary closes the currently-open interval (if any) at now and opens
+// a new one tagged tag with the given applied rate.
+func (m *DeferredMonitor) Boundary(now time.Duration, appliedRate float64, tag int) {
+	if n := len(m.open); n > 0 && m.open[n-1].stats.End == 0 {
+		m.open[n-1].stats.Close(now)
+	}
+	iv := deferredIV{tag: tag}
+	iv.stats.Reset(now)
+	iv.stats.AppliedRate = appliedRate
+	m.open = append(m.open, iv)
+}
+
+// find locates the interval covering sendAt. Returns nil when sendAt
+// precedes all tracked intervals (stale feedback).
+func (m *DeferredMonitor) find(sendAt time.Duration) *IntervalStats {
+	for i := len(m.open) - 1; i >= 0; i-- {
+		iv := &m.open[i]
+		if sendAt >= iv.stats.Start && (iv.stats.End == 0 || sendAt < iv.stats.End) {
+			return &iv.stats
+		}
+	}
+	return nil
+}
+
+// OnAck attributes the ACK to the interval in which its packet was sent
+// (send time = Now - RTT).
+func (m *DeferredMonitor) OnAck(a *Ack) {
+	if iv := m.find(a.Now - a.RTT); iv != nil {
+		iv.AddAck(a)
+	}
+}
+
+// OnLoss attributes the loss via its SentAt timestamp.
+func (m *DeferredMonitor) OnLoss(l *Loss) {
+	if iv := m.find(l.SentAt); iv != nil {
+		iv.AddLoss(l)
+	}
+}
+
+// PopFinalized removes and returns, in order, every closed interval
+// whose end is at least grace in the past — i.e. whose packets' fates
+// are known. dst is reused to avoid allocation.
+func (m *DeferredMonitor) PopFinalized(now, grace time.Duration, dst []TaggedInterval) []TaggedInterval {
+	n := 0
+	for n < len(m.open) {
+		end := m.open[n].stats.End
+		if end == 0 || now < end+grace {
+			break
+		}
+		dst = append(dst, TaggedInterval{Stats: m.open[n].stats, Tag: m.open[n].tag})
+		n++
+	}
+	if n > 0 {
+		rest := copy(m.open, m.open[n:])
+		m.open = m.open[:rest]
+	}
+	return dst
+}
+
+// OpenCount returns the number of intervals still tracked (for tests).
+func (m *DeferredMonitor) OpenCount() int { return len(m.open) }

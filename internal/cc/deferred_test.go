@@ -1,0 +1,148 @@
+package cc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+
+func TestDeferredAttributionBySendTime(t *testing.T) {
+	var m DeferredMonitor
+	m.Boundary(0, 100, 1)
+	m.Boundary(ms(100), 200, 2)
+
+	// ACK arrives during interval 2, but its packet was sent at 50ms —
+	// inside interval 1.
+	m.OnAck(&Ack{Now: ms(130), RTT: ms(80), Acked: 1500})
+	// ACK for a packet sent at 110ms — interval 2.
+	m.OnAck(&Ack{Now: ms(150), RTT: ms(40), Acked: 3000})
+	// Loss whose packet was sent in interval 1.
+	m.OnLoss(&Loss{Now: ms(160), SentAt: ms(90), Lost: 1500})
+
+	m.Boundary(ms(200), 300, 3)
+	out := m.PopFinalized(ms(400), ms(50), nil)
+	if len(out) != 2 {
+		t.Fatalf("finalized %d intervals, want 2", len(out))
+	}
+	if out[0].Tag != 1 || out[0].Stats.Acked != 1500 || out[0].Stats.Lost != 1500 {
+		t.Fatalf("interval 1 stats %+v", out[0].Stats)
+	}
+	if out[1].Tag != 2 || out[1].Stats.Acked != 3000 || out[1].Stats.Lost != 0 {
+		t.Fatalf("interval 2 stats %+v", out[1].Stats)
+	}
+}
+
+func TestDeferredGraceWithholdsYoungIntervals(t *testing.T) {
+	var m DeferredMonitor
+	m.Boundary(0, 100, 1)
+	m.Boundary(ms(100), 100, 2)
+	// Interval 1 closed at 100ms; with 80ms grace it finalizes at 180ms.
+	if out := m.PopFinalized(ms(150), ms(80), nil); len(out) != 0 {
+		t.Fatalf("interval finalized too early: %d", len(out))
+	}
+	if out := m.PopFinalized(ms(180), ms(80), nil); len(out) != 1 {
+		t.Fatal("interval should finalize at end+grace")
+	}
+	if m.OpenCount() != 1 {
+		t.Fatalf("open count %d, want 1 (the still-open interval)", m.OpenCount())
+	}
+}
+
+func TestDeferredStaleFeedbackIgnored(t *testing.T) {
+	var m DeferredMonitor
+	m.Boundary(ms(100), 100, 1)
+	// Packet sent before any tracked interval.
+	m.OnAck(&Ack{Now: ms(150), RTT: ms(100), Acked: 999})
+	m.Boundary(ms(200), 100, 2)
+	out := m.PopFinalized(ms(500), ms(10), nil)
+	if out[0].Stats.Acked != 0 {
+		t.Fatal("stale ACK should not be attributed")
+	}
+}
+
+func TestDeferredOpenIntervalReceivesCurrentSends(t *testing.T) {
+	var m DeferredMonitor
+	m.Boundary(0, 100, 7)
+	m.OnAck(&Ack{Now: ms(60), RTT: ms(40), Acked: 1500}) // sent at 20ms
+	m.Boundary(ms(100), 100, 8)
+	out := m.PopFinalized(ms(300), ms(40), nil)
+	if len(out) != 1 || out[0].Tag != 7 || out[0].Stats.Acked != 1500 {
+		t.Fatalf("open-interval attribution failed: %+v", out)
+	}
+}
+
+func TestDeferredAppliedRateRecorded(t *testing.T) {
+	var m DeferredMonitor
+	m.Boundary(0, 123.5, 1)
+	m.Boundary(ms(50), 456, 2)
+	out := m.PopFinalized(ms(200), ms(10), nil)
+	if out[0].Stats.AppliedRate != 123.5 {
+		t.Fatalf("applied rate %v", out[0].Stats.AppliedRate)
+	}
+}
+
+func TestDeferredDstReuse(t *testing.T) {
+	var m DeferredMonitor
+	m.Boundary(0, 1, 1)
+	m.Boundary(ms(10), 1, 2)
+	buf := make([]TaggedInterval, 0, 4)
+	buf = m.PopFinalized(ms(100), ms(1), buf)
+	if len(buf) != 1 {
+		t.Fatalf("len %d", len(buf))
+	}
+	m.Boundary(ms(110), 1, 3)
+	buf2 := m.PopFinalized(ms(300), ms(1), buf[:0])
+	if len(buf2) != 1 || buf2[0].Tag != 2 {
+		t.Fatalf("reuse pop got %+v", buf2)
+	}
+}
+
+// Property: every byte acked or lost with a send time inside a tracked
+// interval is attributed exactly once, whatever the interleaving.
+func TestQuickDeferredConservation(t *testing.T) {
+	f := func(events []uint8) bool {
+		var m DeferredMonitor
+		now := time.Duration(0)
+		m.Boundary(now, 1, 0)
+		boundaries := 1
+		var fed, collected int
+		for _, e := range events {
+			now += ms(int(e%7) + 1)
+			switch e % 3 {
+			case 0:
+				if boundaries < 30 {
+					m.Boundary(now, 1, boundaries)
+					boundaries++
+				}
+			case 1:
+				// ACK with a send time in the recent past.
+				rtt := ms(int(e%5) + 1)
+				if now-rtt >= 0 {
+					m.OnAck(&Ack{Now: now, RTT: rtt, Acked: 100})
+					fed += 100
+				}
+			case 2:
+				sent := now - ms(int(e%4))
+				if sent >= 0 {
+					m.OnLoss(&Loss{Now: now, SentAt: sent, Lost: 50})
+					fed += 50
+				}
+			}
+		}
+		m.Boundary(now+ms(1), 1, 99)
+		out := m.PopFinalized(now+time.Hour, 0, nil)
+		for _, iv := range out {
+			collected += iv.Stats.Acked + iv.Stats.Lost
+		}
+		// One interval stays open; nothing is fed to it after the final
+		// boundary, so everything fed must be collected.
+		return fed == collected
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+package cc
+
+// FixedRate is an unresponsive constant-bit-rate controller. It models
+// cross traffic and serves as a trivially predictable controller in
+// tests.
+type FixedRate struct {
+	// R is the pacing rate in bytes/sec.
+	R float64
+}
+
+// Name implements Controller.
+func (FixedRate) Name() string { return "cbr" }
+
+// OnAck implements Controller (no-op: the rate never adapts).
+func (FixedRate) OnAck(*Ack) {}
+
+// OnLoss implements Controller (no-op).
+func (FixedRate) OnLoss(*Loss) {}
+
+// Rate implements Controller.
+func (f FixedRate) Rate() float64 { return f.R }
+
+// Window implements Controller. CBR traffic is purely paced, so the
+// window is effectively unbounded: two seconds' worth of data.
+func (f FixedRate) Window() float64 { return 2 * f.R }

@@ -1,0 +1,149 @@
+package cc
+
+import (
+	"math"
+	"time"
+)
+
+// IntervalStats aggregates feedback over one monitor interval (MI). It is
+// the measurement unit of every utility-based and RL-based algorithm in
+// this repository, and of Libra's evaluation stage.
+type IntervalStats struct {
+	// Start and End bound the interval in virtual time.
+	Start, End time.Duration
+	// Acked and Lost count bytes acknowledged and declared lost during
+	// the interval.
+	Acked, Lost int
+	// RTTCount is the number of RTT samples observed.
+	RTTCount int
+	// RTTSum accumulates samples for the average.
+	RTTSum time.Duration
+	// FirstRTT/FirstAt and LastRTT/LastAt bound the interval's samples.
+	FirstRTT, LastRTT time.Duration
+	FirstAt, LastAt   time.Duration
+	MinRTTSample      time.Duration
+	AppliedRate       float64 // pacing rate in force during the interval, bytes/sec
+	// Least-squares accumulators for the d(RTT)/dt estimate, with time
+	// measured from FirstAt in seconds.
+	sumT, sumT2, sumR, sumTR float64
+}
+
+// Reset clears the stats for reuse, setting the new interval start.
+func (s *IntervalStats) Reset(start time.Duration) {
+	*s = IntervalStats{Start: start}
+}
+
+// AddAck folds one ACK into the interval.
+func (s *IntervalStats) AddAck(a *Ack) {
+	s.Acked += a.Acked
+	s.RTTCount++
+	s.RTTSum += a.RTT
+	if s.RTTCount == 1 {
+		s.FirstRTT, s.FirstAt = a.RTT, a.Now
+		s.MinRTTSample = a.RTT
+	}
+	s.LastRTT, s.LastAt = a.RTT, a.Now
+	if a.RTT < s.MinRTTSample {
+		s.MinRTTSample = a.RTT
+	}
+	t := (a.Now - s.FirstAt).Seconds()
+	r := a.RTT.Seconds()
+	s.sumT += t
+	s.sumT2 += t * t
+	s.sumR += r
+	s.sumTR += t * r
+}
+
+// AddLoss folds one loss event into the interval.
+func (s *IntervalStats) AddLoss(l *Loss) { s.Lost += l.Lost }
+
+// Close marks the interval finished at end.
+func (s *IntervalStats) Close(end time.Duration) { s.End = end }
+
+// Elapsed returns the interval length.
+func (s *IntervalStats) Elapsed() time.Duration { return s.End - s.Start }
+
+// Throughput returns the acknowledged-byte rate over the interval in
+// bytes/sec, or zero for an empty or zero-length interval.
+func (s *IntervalStats) Throughput() float64 {
+	el := s.Elapsed().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(s.Acked) / el
+}
+
+// LossRate returns lost/(lost+acked), or zero when nothing was sent.
+func (s *IntervalStats) LossRate() float64 {
+	tot := s.Acked + s.Lost
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.Lost) / float64(tot)
+}
+
+// AvgRTT returns the mean RTT sample of the interval, or zero when no
+// samples arrived.
+func (s *IntervalStats) AvgRTT() time.Duration {
+	if s.RTTCount == 0 {
+		return 0
+	}
+	return s.RTTSum / time.Duration(s.RTTCount)
+}
+
+// RTTGradient estimates d(RTT)/dt over the interval in seconds of RTT per
+// second of wall time (dimensionless), using a least-squares fit over
+// all RTT samples. A two-endpoint estimate would be dominated by
+// per-sample noise, which Eq. 1's max(0, .) rectification then turns
+// into a systematic penalty against higher-rate candidates; the
+// regression keeps the estimate centred on the true queue trend. With
+// fewer than two samples it returns zero.
+func (s *IntervalStats) RTTGradient() float64 {
+	if s.RTTCount < 2 || s.LastAt == s.FirstAt {
+		return 0
+	}
+	n := float64(s.RTTCount)
+	varT := s.sumT2 - s.sumT*s.sumT/n
+	if varT <= 0 {
+		return 0
+	}
+	cov := s.sumTR - s.sumT*s.sumR/n
+	g := cov / varT
+	if math.IsNaN(g) || math.IsInf(g, 0) {
+		return 0
+	}
+	return g
+}
+
+// HasFeedback reports whether any ACK arrived during the interval. Libra's
+// no-ACK special cases key off this.
+func (s *IntervalStats) HasFeedback() bool { return s.RTTCount > 0 }
+
+// Monitor tracks a rolling sequence of monitor intervals. The zero value
+// is ready to use; call Roll at each interval boundary.
+type Monitor struct {
+	cur  IntervalStats
+	prev IntervalStats
+}
+
+// Current returns the interval currently accumulating.
+func (m *Monitor) Current() *IntervalStats { return &m.cur }
+
+// Previous returns the most recently closed interval.
+func (m *Monitor) Previous() *IntervalStats { return &m.prev }
+
+// OnAck folds an ACK into the current interval.
+func (m *Monitor) OnAck(a *Ack) { m.cur.AddAck(a) }
+
+// OnLoss folds a loss into the current interval.
+func (m *Monitor) OnLoss(l *Loss) { m.cur.AddLoss(l) }
+
+// Roll closes the current interval at now and starts a fresh one,
+// returning the closed interval. The returned pointer is valid until the
+// next Roll.
+func (m *Monitor) Roll(now time.Duration) *IntervalStats {
+	m.cur.Close(now)
+	m.prev = m.cur
+	m.cur.Reset(now)
+	return &m.prev
+}

@@ -1,0 +1,49 @@
+package cc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory constructs a controller from a configuration.
+type Factory func(cfg Config) Controller
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register records a controller factory under name. It panics on
+// duplicate registration, which indicates a programming error.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("cc: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// New constructs the named controller.
+func New(name string, cfg Config) (Controller, error) {
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("cc: unknown controller %q (known: %v)", name, Names())
+	}
+	return f(cfg), nil
+}
+
+// Names returns the registered controller names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

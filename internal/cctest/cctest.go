@@ -1,0 +1,101 @@
+// Package cctest provides shared harness helpers for exercising
+// congestion controllers against the netem emulator in unit tests.
+package cctest
+
+import (
+	"time"
+
+	"libra/internal/cc"
+	"libra/internal/netem"
+	"libra/internal/trace"
+)
+
+// Scenario describes a single-bottleneck test run.
+type Scenario struct {
+	Capacity trace.Trace
+	MinRTT   time.Duration
+	Buffer   int
+	Loss     float64
+	Duration time.Duration
+	Seed     int64
+}
+
+// Defaults fills zero fields with a standard 48 Mbps / 40 ms / 1 BDP /
+// 30 s configuration.
+func (s Scenario) Defaults() Scenario {
+	if s.Capacity == nil {
+		s.Capacity = trace.Constant(trace.Mbps(48))
+	}
+	if s.MinRTT == 0 {
+		s.MinRTT = 40 * time.Millisecond
+	}
+	if s.Buffer == 0 {
+		s.Buffer = int(trace.MeanRate(s.Capacity, time.Second, 10*time.Millisecond) * s.MinRTT.Seconds())
+		if s.Buffer < 30000 {
+			s.Buffer = 30000
+		}
+	}
+	if s.Duration == 0 {
+		s.Duration = 30 * time.Second
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Result summarises one flow's run.
+type Result struct {
+	Utilization float64
+	Throughput  float64 // bytes/sec
+	AvgRTT      time.Duration
+	MinRTT      time.Duration
+	LossRate    float64
+	Flow        *netem.Flow
+	Net         *netem.Network
+}
+
+// RunSingle drives one controller over the scenario and returns its
+// aggregate result.
+func RunSingle(s Scenario, ctrl cc.Controller) Result {
+	s = s.Defaults()
+	n := netem.New(netem.Config{
+		Capacity:    s.Capacity,
+		MinRTT:      s.MinRTT,
+		BufferBytes: s.Buffer,
+		LossRate:    s.Loss,
+		Seed:        s.Seed,
+	})
+	f := n.AddFlow(ctrl, 0, 0)
+	n.Run(s.Duration)
+	return Result{
+		Utilization: n.Utilization(s.Duration),
+		Throughput:  f.Stats.AvgThroughput(),
+		AvgRTT:      f.Stats.AvgRTT(),
+		MinRTT:      f.Stats.MinRTT,
+		LossRate:    f.Stats.LossRate(),
+		Flow:        f,
+		Net:         n,
+	}
+}
+
+// RunPair drives two controllers sharing the bottleneck, the second
+// starting at stagger, and returns both results.
+func RunPair(s Scenario, a, b cc.Controller, stagger time.Duration) (Result, Result) {
+	s = s.Defaults()
+	n := netem.New(netem.Config{
+		Capacity:    s.Capacity,
+		MinRTT:      s.MinRTT,
+		BufferBytes: s.Buffer,
+		LossRate:    s.Loss,
+		Seed:        s.Seed,
+	})
+	fa := n.AddFlow(a, 0, 0)
+	fb := n.AddFlow(b, stagger, 0)
+	n.Run(s.Duration)
+	ra := Result{Throughput: fa.Stats.AvgThroughput(), AvgRTT: fa.Stats.AvgRTT(), LossRate: fa.Stats.LossRate(), Flow: fa, Net: n}
+	rb := Result{Throughput: fb.Stats.AvgThroughput(), AvgRTT: fb.Stats.AvgRTT(), LossRate: fb.Stats.LossRate(), Flow: fb, Net: n}
+	ra.Utilization = n.Utilization(s.Duration)
+	rb.Utilization = ra.Utilization
+	return ra, rb
+}

@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"libra/internal/cc"
+	"libra/internal/nn"
+	"libra/internal/rl"
+	"libra/internal/rlcc"
+)
+
+// AgentSet bundles the trained PPO policies the learning-based CCAs
+// share across an experiment run.
+type AgentSet struct {
+	// LibraRL drives C-Libra / B-Libra / CL-Libra's learning component.
+	LibraRL *rl.PPO
+	// Orca drives the Orca baseline's cwnd-rescaling agent.
+	Orca *rl.PPO
+	// Aurora drives the pure-RL Aurora baseline.
+	Aurora *rl.PPO
+	// ModRL drives the Modified-RL baseline (Eq. 1 as reward).
+	ModRL *rl.PPO
+
+	// The observation normalisers each policy was trained with; a
+	// policy deployed without its normaliser sees garbage inputs.
+	LibraNorm, OrcaNorm, AuroraNorm, ModRLNorm *rl.RunningNorm
+}
+
+// TrainSpec parameterises TrainAgentSet.
+type TrainSpec struct {
+	Seed       int64
+	Episodes   int
+	EpisodeLen time.Duration
+	Env        rlcc.EnvRange
+}
+
+// QuickTrainSpec is the laptop-scale spec used when experiments train
+// lazily: enough episodes for coarse competence, small enough for CI.
+func QuickTrainSpec(seed int64) TrainSpec {
+	return TrainSpec{Seed: seed, Episodes: 60, EpisodeLen: 8 * time.Second, Env: rlcc.LaptopEnvRange()}
+}
+
+// FullTrainSpec mirrors the paper's training scale more closely.
+func FullTrainSpec(seed int64) TrainSpec {
+	return TrainSpec{Seed: seed, Episodes: 400, EpisodeLen: 15 * time.Second, Env: rlcc.PaperEnvRange()}
+}
+
+// TrainAgentSet trains all four policies with the given spec.
+func TrainAgentSet(spec TrainSpec) *AgentSet {
+	train := func(ctrl rlcc.Config, seedOff int64) (*rl.PPO, *rl.RunningNorm) {
+		res := rlcc.Train(rlcc.TrainConfig{
+			Episodes:   spec.Episodes,
+			EpisodeLen: spec.EpisodeLen,
+			Env:        &spec.Env,
+			Ctrl:       ctrl,
+			Seed:       spec.Seed + seedOff,
+		})
+		return res.Agent, res.Norm
+	}
+	base := cc.Config{Seed: spec.Seed}
+	set := &AgentSet{}
+	set.LibraRL, set.LibraNorm = train(rlcc.LibraRLConfig(base), 1)
+	set.Orca, set.OrcaNorm = train(rlcc.OrcaRLConfig(base), 2)
+	set.Aurora, set.AuroraNorm = train(rlcc.AuroraConfig(base), 3)
+	set.ModRL, set.ModRLNorm = train(rlcc.LibraRLConfig(base), 4)
+	return set
+}
+
+// agentFiles maps file stems to the agent and normaliser slots they
+// persist.
+type agentSlot struct {
+	agent func(*AgentSet) **rl.PPO
+	norm  func(*AgentSet) **rl.RunningNorm
+}
+
+var agentFiles = map[string]agentSlot{
+	"libra-rl": {func(a *AgentSet) **rl.PPO { return &a.LibraRL }, func(a *AgentSet) **rl.RunningNorm { return &a.LibraNorm }},
+	"orca":     {func(a *AgentSet) **rl.PPO { return &a.Orca }, func(a *AgentSet) **rl.RunningNorm { return &a.OrcaNorm }},
+	"aurora":   {func(a *AgentSet) **rl.PPO { return &a.Aurora }, func(a *AgentSet) **rl.RunningNorm { return &a.AuroraNorm }},
+	"mod-rl":   {func(a *AgentSet) **rl.PPO { return &a.ModRL }, func(a *AgentSet) **rl.RunningNorm { return &a.ModRLNorm }},
+}
+
+// Save writes the actor networks to dir (one file per agent). Critic
+// weights are not persisted: saved agents are for inference.
+func (a *AgentSet) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, save func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		err = save(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("save %s: %w", name, err)
+		}
+		return nil
+	}
+	for stem, slot := range agentFiles {
+		agent := *slot.agent(a)
+		if agent == nil {
+			continue
+		}
+		if err := write(stem+".model", agent.Policy.Actor.Save); err != nil {
+			return err
+		}
+		if norm := *slot.norm(a); norm != nil {
+			if err := write(stem+".norm", norm.Save); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LoadAgentSet reads actor networks saved by Save, constructing
+// inference-ready agents with the matching preset configurations.
+// Missing files leave the corresponding agent untrained-fresh.
+func LoadAgentSet(dir string, seed int64) (*AgentSet, error) {
+	base := cc.Config{Seed: seed}
+	mk := func(cfg rlcc.Config) *rl.PPO {
+		c := cfg.WithDefaults()
+		return rl.NewPPO(seed, c.ObsDim(), 1, c.PPO)
+	}
+	set := &AgentSet{
+		LibraRL: mk(rlcc.LibraRLConfig(base)),
+		Orca:    mk(rlcc.OrcaRLConfig(base)),
+		Aurora:  mk(rlcc.AuroraConfig(base)),
+		ModRL:   mk(rlcc.LibraRLConfig(base)),
+	}
+	for stem, slot := range agentFiles {
+		f, err := os.Open(filepath.Join(dir, stem+".model"))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		m, err := nn.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", stem, err)
+		}
+		(*slot.agent(set)).Policy.Actor = m
+		nf, err := os.Open(filepath.Join(dir, stem+".norm"))
+		if err == nil {
+			norm, nerr := rl.LoadNorm(nf)
+			nf.Close()
+			if nerr != nil {
+				return nil, fmt.Errorf("load %s norm: %w", stem, nerr)
+			}
+			*slot.norm(set) = norm
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
+	}
+	return set, nil
+}

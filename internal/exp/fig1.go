@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"time"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "fig1",
+		Title: "Adaptability: link utilisation and average delay over wired/LTE traces",
+		Paper: "CUBIC/BBR bufferbloat on LTE (delay up to ~220ms); Orca/Proteus cut delay ~60% vs CUBIC at 8.4-13.5% lower utilisation; Libra keeps high utilisation at low delay",
+		Run:   runFig1,
+	})
+}
+
+func runFig1(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	dur := 60 * time.Second
+	reps := 3
+	if cfg.Quick {
+		dur = 15 * time.Second
+		reps = 1
+	}
+	scenarios := append(WiredScenarios(dur, 24, 48, 96), LTEScenarios(dur, cfg.Seed)[:3]...)
+	ccas := []string{"cubic", "bbr", "orca", "proteus", "c-libra"}
+
+	tbl := Table{
+		Name: "link utilisation / avg delay (ms) per scenario",
+		Cols: append([]string{"cca"}, scenarioNames(scenarios)...),
+	}
+	ag := cfg.agents()
+	for _, name := range ccas {
+		mk := MakerFor(name, ag, nil)
+		row := []string{name}
+		for si, s := range scenarios {
+			ms := Repeat(s, mk, reps, cfg.Seed+int64(si)*7919)
+			var u, d float64
+			for _, m := range ms {
+				u += m.Util
+				d += m.DelayMs
+			}
+			u /= float64(len(ms))
+			d /= float64(len(ms))
+			row = append(row, fmtF(u, 2)+" / "+fmtF(d, 0))
+		}
+		tbl.AddRow(row...)
+	}
+	return &Report{ID: "fig1", Title: "Adaptability under wired / cellular networks", Tables: []Table{tbl}}
+}
+
+func scenarioNames(ss []Scenario) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name
+	}
+	return out
+}

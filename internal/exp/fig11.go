@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"time"
+
+	"libra/internal/trace"
+	"libra/internal/utility"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "fig11",
+		Title: "Flexibility: utility-weight variants tune the throughput/latency trade-off",
+		Paper: "Th/La variants move Libra along the frontier; vs one CUBIC flow, C-Libra takes 48.4-74.1% and B-Libra 35.5-49.6% of bandwidth depending on weights",
+		Run:   runFig11,
+	})
+}
+
+// utilityVariants returns the Sec. 5.2 preference set.
+func utilityVariants() []struct {
+	Name string
+	U    utility.Func
+} {
+	return []struct {
+		Name string
+		U    utility.Func
+	}{
+		{"Th-2", utility.Throughput2()},
+		{"Th-1", utility.Throughput1()},
+		{"Default", utility.Default()},
+		{"La-1", utility.Latency1()},
+		{"La-2", utility.Latency2()},
+	}
+}
+
+func runFig11(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	dur := 40 * time.Second
+	if cfg.Quick {
+		dur = 12 * time.Second
+	}
+	ag := cfg.agents()
+	variants := utilityVariants()
+
+	single := func(name string, libras []string, ss []Scenario) Table {
+		tbl := Table{Name: name, Cols: []string{"variant", "util", "avg delay(ms)"}}
+		for _, lname := range libras {
+			for _, v := range variants {
+				mk := MakerFor(lname, ag, v.U)
+				var u, d float64
+				for si, s := range ss {
+					m := RunFlow(s, mk, cfg.Seed+int64(si)*41, 0)
+					u += m.Util
+					d += m.DelayMs
+				}
+				n := float64(len(ss))
+				tbl.AddRow(lname+"-"+v.Name, fmtF(u/n, 3), fmtF(d/n, 0))
+			}
+		}
+		return tbl
+	}
+
+	wired := WiredScenarios(dur, 24, 48)
+	cell := LTEScenarios(dur, cfg.Seed)[:2]
+	t1 := single("(a) single flow, wired", []string{"c-libra", "b-libra"}, wired)
+	t2 := single("(b) single flow, cellular", []string{"c-libra", "b-libra"}, cell)
+
+	// (c)/(d): one Libra flow vs one CUBIC flow — throughput share.
+	compete := func(name string, s Scenario) Table {
+		tbl := Table{Name: name, Cols: []string{"variant", "libra share", "avg delay(ms)"}}
+		for _, lname := range []string{"c-libra", "b-libra"} {
+			for _, v := range variants {
+				ms := RunFlows(s, []Maker{MakerFor(lname, ag, v.U), MakerFor("cubic", ag, nil)},
+					[]time.Duration{0, 0}, cfg.Seed, 0)
+				share := ms[0].ThrMbps / (ms[0].ThrMbps + ms[1].ThrMbps)
+				tbl.AddRow(lname+"-"+v.Name, fmtF(share, 3), fmtF(ms[0].DelayMs, 0))
+			}
+		}
+		return tbl
+	}
+	t3 := compete("(c) vs CUBIC, wired 48Mbps", Scenario{
+		Capacity: trace.Constant(trace.Mbps(48)), MinRTT: 40 * time.Millisecond,
+		Buffer: 240_000, Duration: dur,
+	})
+	t4 := compete("(d) vs CUBIC, cellular", Scenario{
+		Capacity: trace.NewLTE(trace.LTEStationary, dur, cfg.Seed+5),
+		MinRTT:   30 * time.Millisecond, Buffer: 150_000, Duration: dur,
+	})
+
+	return &Report{ID: "fig11", Title: "Flexibility via utility weights",
+		Tables: []Table{t1, t2, t3, t4},
+		Notes:  []string{"0.5 share = fair split vs CUBIC; Th variants should sit above La variants"}}
+}

@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"time"
+
+	"libra/internal/stats"
+	"libra/internal/trace"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "fig12",
+		Title: "CPU overhead across sending rates (10-200 Mbps)",
+		Paper: "Libra's overhead tracks its kernel classics; avg reductions of 47%/54%/59%/79%/84%/92% vs Orca/CL-Libra/Mod-RL/Indigo/Copa/Proteus",
+		Run:   runFig12,
+	})
+	Register(Experiment{
+		ID:    "fig13",
+		Title: "Inter-protocol fairness: CCA under test vs one CUBIC flow",
+		Paper: "C/B-Libra reach >98% Jain index vs CUBIC; Aurora/Proteus/Mod-RL starve or are starved",
+		Run:   runFig13,
+	})
+	Register(Experiment{
+		ID:    "fig14",
+		Title: "Intra-protocol fairness: two same-CCA flows",
+		Paper: "Libra ~99% Jain index; pure learning-based CCAs split unevenly",
+		Run:   runFig14,
+	})
+}
+
+func runFig12(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	dur := 30 * time.Second
+	if cfg.Quick {
+		dur = 8 * time.Second
+	}
+	rates := []float64{10, 20, 30, 50, 100, 200}
+	ccas := []string{"cubic", "bbr", "c-libra", "b-libra", "orca", "indigo", "copa", "proteus", "cl-libra", "mod-rl"}
+	ag := cfg.agents()
+
+	tbl := Table{Name: "controller compute fraction (x1e-6 of sim time)",
+		Cols: append([]string{"cca"}, rateNames(rates)...)}
+	avg := Table{Name: "average compute fraction and reduction vs worst",
+		Cols: []string{"cca", "avg(x1e-6)", "vs max"}}
+	sums := map[string]float64{}
+	var worst float64
+	rows := map[string][]string{}
+	for _, name := range ccas {
+		mk := MakerFor(name, ag, nil)
+		row := []string{name}
+		for ri, r := range rates {
+			s := Scenario{
+				Capacity: trace.Constant(trace.Mbps(r)),
+				MinRTT:   40 * time.Millisecond,
+				Buffer:   int(trace.Mbps(r) * 0.04),
+				Duration: dur,
+			}
+			m := RunFlow(s, mk, cfg.Seed+int64(ri)*3, 0)
+			row = append(row, fmtF(m.CPUFrac*1e6, 1))
+			sums[name] += m.CPUFrac
+		}
+		rows[name] = row
+		if sums[name] > worst {
+			worst = sums[name]
+		}
+	}
+	for _, name := range ccas {
+		tbl.Rows = append(tbl.Rows, rows[name])
+		mean := sums[name] / float64(len(rates))
+		avg.AddRow(name, fmtF(mean*1e6, 1), fmtF(1-sums[name]/worst, 2))
+	}
+	return &Report{ID: "fig12", Title: "Overhead vs sending rate", Tables: []Table{tbl, avg}}
+}
+
+func rateNames(rs []float64) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = fmtF(r, 0) + "Mbps"
+	}
+	return out
+}
+
+// fairnessScenario is the Sec. 5.3 setup: 48 Mbps, 100 ms RTT, 1 BDP.
+func fairnessScenario(d time.Duration) Scenario {
+	capacity := trace.Mbps(48)
+	return Scenario{
+		Capacity: trace.Constant(capacity),
+		MinRTT:   100 * time.Millisecond,
+		Buffer:   int(capacity * 0.1),
+		Duration: d,
+	}
+}
+
+func runFig13(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	dur := 60 * time.Second
+	if cfg.Quick {
+		dur = 20 * time.Second
+	}
+	ccas := []string{"cubic", "bbr", "copa", "aurora", "proteus", "orca", "mod-rl", "c-libra", "b-libra"}
+	ag := cfg.agents()
+	s := fairnessScenario(dur)
+
+	tbl := Table{Name: "CCA-under-test vs CUBIC", Cols: []string{"cca", "test share", "cubic share", "jain"}}
+	for _, name := range ccas {
+		ms := RunFlows(s, []Maker{MakerFor(name, ag, nil), MakerFor("cubic", ag, nil)},
+			[]time.Duration{0, 0}, cfg.Seed, 0)
+		tot := ms[0].ThrMbps + ms[1].ThrMbps
+		j := stats.JainIndex([]float64{ms[0].ThrMbps, ms[1].ThrMbps})
+		tbl.AddRow(name, fmtF(ms[0].ThrMbps/tot, 3), fmtF(ms[1].ThrMbps/tot, 3), fmtF(j, 3))
+	}
+	return &Report{ID: "fig13", Title: "Inter-protocol fairness", Tables: []Table{tbl}}
+}
+
+func runFig14(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	dur := 60 * time.Second
+	if cfg.Quick {
+		dur = 20 * time.Second
+	}
+	ccas := []string{"cubic", "bbr", "copa", "aurora", "proteus", "orca", "mod-rl", "c-libra", "b-libra"}
+	ag := cfg.agents()
+	s := fairnessScenario(dur)
+
+	tbl := Table{Name: "two same-CCA flows", Cols: []string{"cca", "flow1 share", "flow2 share", "jain"}}
+	for _, name := range ccas {
+		ms := RunFlows(s, []Maker{MakerFor(name, ag, nil), MakerFor(name, ag, nil)},
+			[]time.Duration{0, 0}, cfg.Seed, 0)
+		tot := ms[0].ThrMbps + ms[1].ThrMbps
+		j := stats.JainIndex([]float64{ms[0].ThrMbps, ms[1].ThrMbps})
+		tbl.AddRow(name, fmtF(ms[0].ThrMbps/tot, 3), fmtF(ms[1].ThrMbps/tot, 3), fmtF(j, 3))
+	}
+	return &Report{ID: "fig14", Title: "Intra-protocol fairness", Tables: []Table{tbl}}
+}

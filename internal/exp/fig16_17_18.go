@@ -1,0 +1,199 @@
+package exp
+
+import (
+	"math"
+	"time"
+
+	"libra/internal/cc"
+	"libra/internal/core"
+	"libra/internal/trace"
+	"libra/internal/utility"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "fig16",
+		Title: "Live-Internet-like WAN scenarios (inter/intra-continental)",
+		Paper: "Inter-continental: Orca and CUBIC drop throughput sharply (stochastic loss, unknown shaping); C-Libra +6% thr (Th) or -14.4% delay (La) vs BBR; intra-continental all closer",
+		Run:   runFig16,
+	})
+	Register(Experiment{
+		ID:    "fig17",
+		Title: "Fraction of control cycles won by x_prev / x_rl / x_cl",
+		Paper: "C-Libra averages 32%/26%/42% (prev/rl/cl); B-Libra 23%/27%/50%; x_cl wins least on wired for CUBIC",
+		Run:   runFig17,
+	})
+	Register(Experiment{
+		ID:    "fig18",
+		Title: "Libra vs offline ideal combination (normalised utility over time)",
+		Paper: "C/B-Libra approach and sometimes surpass the per-interval max of their components run alone",
+		Run:   runFig18,
+	})
+}
+
+// wanScenario models the EC2 paths: long RTT, background stochastic
+// loss, and unresponsive cross traffic (the shaping/competition the
+// endpoints cannot see).
+func wanScenario(kind string, d time.Duration, seed int64) (Scenario, float64) {
+	switch kind {
+	case "inter":
+		return Scenario{
+			Name:     "inter-continental",
+			Capacity: trace.Constant(trace.Mbps(50)),
+			MinRTT:   180 * time.Millisecond,
+			Buffer:   600_000,
+			Loss:     0.01,
+			Duration: d,
+		}, trace.Mbps(10) // cross traffic
+	default:
+		return Scenario{
+			Name:     "intra-continental",
+			Capacity: trace.Constant(trace.Mbps(50)),
+			MinRTT:   40 * time.Millisecond,
+			Buffer:   300_000,
+			Loss:     0.001,
+			Duration: d,
+		}, trace.Mbps(5)
+	}
+}
+
+func runFig16(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	dur := 40 * time.Second
+	if cfg.Quick {
+		dur = 12 * time.Second
+	}
+	ag := cfg.agents()
+	ccas := []string{"c-libra", "b-libra", "proteus", "bbr", "cubic", "orca"}
+
+	run := func(kind string) Table {
+		s, cross := wanScenario(kind, dur, cfg.Seed)
+		tbl := Table{Name: kind + "-continental", Cols: []string{"cca", "norm.thr", "norm.delay", "loss"}}
+		type r struct{ thr, delay, loss float64 }
+		res := map[string]r{}
+		var bestThr, minDelay float64
+		minDelay = math.Inf(1)
+		for _, name := range ccas {
+			ms := RunFlows(s, []Maker{MakerFor(name, ag, nil), func(seed int64) cc.Controller {
+				return cc.FixedRate{R: cross}
+			}}, []time.Duration{0, 0}, cfg.Seed, 0)
+			res[name] = r{ms[0].ThrMbps, ms[0].DelayMs, ms[0].LossRate}
+			if ms[0].ThrMbps > bestThr {
+				bestThr = ms[0].ThrMbps
+			}
+			if ms[0].DelayMs < minDelay {
+				minDelay = ms[0].DelayMs
+			}
+		}
+		for _, name := range ccas {
+			v := res[name]
+			tbl.AddRow(name, fmtF(v.thr/bestThr, 3), fmtF(v.delay/minDelay, 3), fmtF(v.loss, 4))
+		}
+		return tbl
+	}
+	return &Report{ID: "fig16", Title: "WAN performance",
+		Tables: []Table{run("inter"), run("intra")},
+		Notes:  []string{"cross traffic: unresponsive CBR flow sharing the bottleneck (substitute for unknown WAN competition)"}}
+}
+
+func runFig17(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	dur := 40 * time.Second
+	reps := 10
+	if cfg.Quick {
+		dur = 15 * time.Second
+		reps = 3
+	}
+	ag := cfg.agents()
+
+	scens := map[string]func(seed int64) Scenario{
+		"step": func(seed int64) Scenario { return stepScenario(dur) },
+		"cellular": func(seed int64) Scenario {
+			return Scenario{Capacity: trace.NewLTE(trace.LTEWalking, dur, seed),
+				MinRTT: 30 * time.Millisecond, Buffer: 150_000, Duration: dur}
+		},
+		"wired": func(seed int64) Scenario {
+			return Scenario{Capacity: trace.Constant(trace.Mbps(48)),
+				MinRTT: 30 * time.Millisecond, Buffer: 150_000, Duration: dur}
+		},
+	}
+	order := []string{"step", "cellular", "wired"}
+
+	tbl := Table{Name: "fraction of applied decisions",
+		Cols: []string{"libra", "scenario", "x_prev", "x_rl", "x_cl"}}
+	for _, lname := range []string{"c-libra", "b-libra"} {
+		for _, sn := range order {
+			var frac [3]float64
+			for rp := 0; rp < reps; rp++ {
+				seed := cfg.Seed + int64(rp)*67
+				m := RunFlow(scens[sn](seed), MakerFor(lname, ag, nil), seed, 0)
+				lb := m.Ctrl.(*core.Libra)
+				tel := lb.Telemetry()
+				for c := core.CandPrev; c <= core.CandRL; c++ {
+					frac[c] += tel.Fraction(c)
+				}
+			}
+			tbl.AddRow(lname, sn,
+				fmtF(frac[core.CandPrev]/float64(reps), 2),
+				fmtF(frac[core.CandRL]/float64(reps), 2),
+				fmtF(frac[core.CandClassic]/float64(reps), 2))
+		}
+	}
+	return &Report{ID: "fig17", Title: "Decision-source fractions", Tables: []Table{tbl}}
+}
+
+func runFig18(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	dur := 50 * time.Second
+	if cfg.Quick {
+		dur = 20 * time.Second
+	}
+	ag := cfg.agents()
+	u := utility.Default()
+
+	// Per-second utility of a standalone run.
+	utilSeries := func(name string) []float64 {
+		s := Scenario{Capacity: trace.NewLTE(trace.LTEWalking, dur, cfg.Seed+7),
+			MinRTT: 30 * time.Millisecond, Buffer: 150_000, Duration: dur}
+		m := RunFlow(s, MakerFor(name, ag, nil), cfg.Seed, time.Second)
+		n := int(dur / time.Second)
+		out := make([]float64, n)
+		for t := 0; t < n; t++ {
+			thr := trace.ToMbps(m.Flow.Stats.Throughput.Rate(t))
+			// Per-second latency gradient from the delay series.
+			grad := 0.0
+			if t > 0 {
+				grad = (m.Flow.Stats.Delay.Mean(t) - m.Flow.Stats.Delay.Mean(t-1)) / 1000
+			}
+			out[t] = u.Value(thr, grad, 0)
+		}
+		return out
+	}
+
+	mkTable := func(tag, libraName, classicName string) Table {
+		libra := utilSeries(libraName)
+		classic := utilSeries(classicName)
+		clean := utilSeries("cl-libra")
+		// Normalise all three jointly.
+		var norm utility.Normalizer
+		for _, s := range [][]float64{libra, classic, clean} {
+			for _, v := range s {
+				norm.Observe(v)
+			}
+		}
+		tbl := Table{Name: tag, Cols: []string{"t(s)", libraName, tag + "-ideal(max of components)"}}
+		var libraWins int
+		for t := range libra {
+			ideal := math.Max(classic[t], clean[t])
+			if libra[t] >= ideal {
+				libraWins++
+			}
+			tbl.AddRow(fmtF(float64(t), 0), fmtF(norm.Norm(libra[t]), 2), fmtF(norm.Norm(ideal), 2))
+		}
+		return tbl
+	}
+
+	return &Report{ID: "fig18", Title: "Libra vs offline ideal combination",
+		Tables: []Table{mkTable("C", "c-libra", "cubic"), mkTable("B", "b-libra", "bbr")},
+		Notes:  []string{"ideal = per-second max utility of the classic CCA and Clean-Slate Libra run individually (offline combination, no interaction)"}}
+}

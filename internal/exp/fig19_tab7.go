@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"time"
+
+	"libra/internal/cc"
+	"libra/internal/core"
+	"libra/internal/rlcc"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "fig19",
+		Title: "Sensitivity to stage durations [explore, EI, exploit] (Appendix B)",
+		Paper: "Longer stages cost ~4.4% utilisation on cellular; EI of 1 RTT (vs 0.5) hurts utilisation; wired tolerates longer stages",
+		Run:   runFig19,
+	})
+	Register(Experiment{
+		ID:    "tab7",
+		Title: "Sensitivity to the switching threshold th1 (Appendix B)",
+		Paper: "0.1-0.4x base rate all within ~1.3pp utilisation; default 0.3 a good middle",
+		Run:   runTab7,
+	})
+}
+
+// libraWithParams builds a C-Libra maker with explicit stage parameters.
+func libraWithParams(ag *AgentSet, exploreRTTs, exploitRTTs int, eiRTTs, th float64) Maker {
+	return func(seed int64) cc.Controller {
+		base := cc.Config{Seed: seed}.WithDefaults()
+		rlCfg := rlcc.LibraRLConfig(base)
+		if ag != nil {
+			rlCfg.Agent = ag.LibraRL
+			rlCfg.Norm = ag.LibraNorm
+		}
+		return core.New(core.Config{
+			CC:            base,
+			Classic:       core.NewCubicAdapter(base),
+			RL:            rlcc.New("libra-rl", rlCfg),
+			ExploreRTTs:   exploreRTTs,
+			ExploitRTTs:   exploitRTTs,
+			EIRTTs:        eiRTTs,
+			ThresholdFrac: th,
+			Name:          "c-libra",
+		})
+	}
+}
+
+func runFig19(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	dur := 40 * time.Second
+	if cfg.Quick {
+		dur = 12 * time.Second
+	}
+	ag := cfg.agents()
+	durations := []struct {
+		name             string
+		explore, exploit int
+		ei               float64
+	}{
+		{"[1,0.5,1]", 1, 1, 0.5},
+		{"[1,1,1]", 1, 1, 1},
+		{"[2,0.5,2]", 2, 2, 0.5},
+		{"[2,1,2]", 2, 2, 1},
+		{"[3,0.5,3]", 3, 3, 0.5},
+		{"[3,1,3]", 3, 3, 1},
+	}
+	wired := WiredScenarios(dur, 24, 48)
+	cell := LTEScenarios(dur, cfg.Seed)[:2]
+
+	tbl := Table{Name: "C-Libra under different stage durations",
+		Cols: []string{"[explore,EI,exploit]", "wired util", "wired delay(ms)", "cell util", "cell delay(ms)"}}
+	for _, d := range durations {
+		mk := libraWithParams(ag, d.explore, d.exploit, d.ei, 0.3)
+		avg := func(ss []Scenario) (float64, float64) {
+			var u, dl float64
+			for si, s := range ss {
+				m := RunFlow(s, mk, cfg.Seed+int64(si)*19, 0)
+				u += m.Util
+				dl += m.DelayMs
+			}
+			return u / float64(len(ss)), dl / float64(len(ss))
+		}
+		wu, wd := avg(wired)
+		cu, cd := avg(cell)
+		tbl.AddRow(d.name, fmtF(wu, 3), fmtF(wd, 0), fmtF(cu, 3), fmtF(cd, 0))
+	}
+	return &Report{ID: "fig19", Title: "Stage-duration sensitivity", Tables: []Table{tbl}}
+}
+
+func runTab7(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	dur := 40 * time.Second
+	if cfg.Quick {
+		dur = 12 * time.Second
+	}
+	ag := cfg.agents()
+	ths := []float64{0.1, 0.2, 0.3, 0.4}
+	wired := WiredScenarios(dur, 24, 48)
+	cell := LTEScenarios(dur, cfg.Seed)[:2]
+
+	tbl := Table{Name: "C-Libra under different switching thresholds",
+		Cols: []string{"config", "util", "avg delay(ms)"}}
+	for _, fam := range []struct {
+		name string
+		ss   []Scenario
+	}{{"Wired", wired}, {"Cellular", cell}} {
+		for _, th := range ths {
+			mk := libraWithParams(ag, 1, 1, 0.5, th)
+			var u, d float64
+			for si, s := range fam.ss {
+				m := RunFlow(s, mk, cfg.Seed+int64(si)*29, 0)
+				u += m.Util
+				d += m.DelayMs
+			}
+			n := float64(len(fam.ss))
+			tbl.AddRow(fam.name+"-"+fmtF(th, 1)+"x", fmtF(u/n, 3), fmtF(d/n, 0))
+		}
+	}
+	return &Report{ID: "tab7", Title: "Threshold sensitivity", Tables: []Table{tbl}}
+}

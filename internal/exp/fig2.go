@@ -1,0 +1,160 @@
+package exp
+
+import (
+	"time"
+
+	"libra/internal/stats"
+	"libra/internal/trace"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "fig2a",
+		Title: "Step-scenario convergence: throughput vs time",
+		Paper: "Proteus and Orca fail to converge to capacity in the 30-50s window; Libra tracks every step",
+		Run:   runFig2a,
+	})
+	Register(Experiment{
+		ID:    "fig2b",
+		Title: "CDF of link utilisation over repeated cellular runs (safety)",
+		Paper: "Orca/Proteus highly variable across 100 runs; Libra's CDF is tight near full utilisation",
+		Run:   runFig2b,
+	})
+	Register(Experiment{
+		ID:    "fig2c",
+		Title: "Normalized CPU and memory overhead per CCA",
+		Paper: "Pure learning-based CCAs dominate: Proteus 88.7% CPU / 10.1% mem, Indigo 18.3% / 7.2%; kernel CCAs and Libra negligible",
+		Run:   runFig2c,
+	})
+}
+
+// stepScenario is the Fig. 2(a) workload: capacity changing every 10 s,
+// 80 ms RTT, 1 BDP buffer.
+func stepScenario(d time.Duration) Scenario {
+	levels := []float64{trace.Mbps(20), trace.Mbps(5), trace.Mbps(15), trace.Mbps(10), trace.Mbps(25)}
+	return Scenario{
+		Name:     "step",
+		Capacity: &trace.Step{Period: 10 * time.Second, Levels: levels},
+		MinRTT:   80 * time.Millisecond,
+		Buffer:   int(trace.Mbps(15) * 0.08), // ~1 BDP at the mean level
+		Duration: d,
+	}
+}
+
+func runFig2a(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	dur := 50 * time.Second
+	if cfg.Quick {
+		dur = 20 * time.Second
+	}
+	s := stepScenario(dur)
+	ccas := []string{"proteus", "cl-libra", "c-libra", "orca"}
+	ag := cfg.agents()
+
+	tbl := Table{Name: "throughput (Mbps) per second", Cols: append([]string{"t(s)", "capacity"}, ccas...)}
+	series := make([][]float64, len(ccas))
+	for i, name := range ccas {
+		m := RunFlow(s, MakerFor(name, ag, nil), cfg.Seed, time.Second)
+		series[i] = m.Flow.Stats.Throughput.Rates(int(dur / time.Second))
+	}
+	for t := 0; t < int(dur/time.Second); t++ {
+		row := []string{fmtF(float64(t), 0), fmtF(trace.ToMbps(s.Capacity.RateAt(time.Duration(t)*time.Second)), 1)}
+		for i := range ccas {
+			row = append(row, fmtF(trace.ToMbps(series[i][t]), 1))
+		}
+		tbl.AddRow(row...)
+	}
+	return &Report{ID: "fig2a", Title: "Throughput over the step scenario", Tables: []Table{tbl}}
+}
+
+func runFig2b(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	dur := 30 * time.Second
+	reps := 30
+	if cfg.Quick {
+		dur = 10 * time.Second
+		reps = 8
+	}
+	ccas := []string{"proteus", "cubic", "bbr", "c-libra", "orca"}
+	ag := cfg.agents()
+
+	points := []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0}
+	tbl := Table{Name: "CDF of link utilisation (TMobile-like LTE, repeated runs)",
+		Cols: append([]string{"cca"}, fmtPoints(points)...)}
+	summary := Table{Name: "utilisation summary", Cols: []string{"cca", "mean", "range", "stddev"}}
+	for _, name := range ccas {
+		mk := MakerFor(name, ag, nil)
+		utils := make([]float64, 0, reps)
+		for r := 0; r < reps; r++ {
+			seed := cfg.Seed + int64(r)*37
+			s := Scenario{
+				Name:     "lte",
+				Capacity: trace.NewLTE(trace.LTEWalking, dur, seed),
+				MinRTT:   30 * time.Millisecond,
+				Buffer:   150_000,
+				Duration: dur,
+			}
+			utils = append(utils, RunFlow(s, mk, seed, 0).Util)
+		}
+		cdf := stats.CDF(utils, points)
+		row := []string{name}
+		for _, v := range cdf {
+			row = append(row, fmtF(v, 2))
+		}
+		tbl.AddRow(row...)
+		summary.AddRow(name, fmtF(stats.Mean(utils), 3), fmtF(stats.Range(utils), 3), fmtF(stats.StdDev(utils), 3))
+	}
+	return &Report{ID: "fig2b", Title: "Utilisation CDF over repeated cellular runs", Tables: []Table{tbl, summary}}
+}
+
+func fmtPoints(ps []float64) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = "<=" + fmtF(p, 2)
+	}
+	return out
+}
+
+func runFig2c(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	dur := 60 * time.Second
+	if cfg.Quick {
+		dur = 10 * time.Second
+	}
+	ccas := []string{"cubic", "bbr", "c-libra", "orca", "indigo", "copa", "proteus"}
+	ag := cfg.agents()
+	s := Scenario{
+		Name:     "lte",
+		Capacity: trace.NewLTE(trace.LTEWalking, dur, cfg.Seed),
+		MinRTT:   30 * time.Millisecond,
+		Buffer:   150_000,
+		Duration: dur,
+	}
+
+	type res struct {
+		cpu float64
+		mem float64
+	}
+	rs := make([]res, len(ccas))
+	var maxCPU, maxMem float64
+	for i, name := range ccas {
+		m := RunFlow(s, MakerFor(name, ag, nil), cfg.Seed, 0)
+		rs[i].cpu = m.CPUFrac
+		rs[i].mem = float64(controllerMemBytes(m.Ctrl))
+		if rs[i].cpu > maxCPU {
+			maxCPU = rs[i].cpu
+		}
+		if rs[i].mem > maxMem {
+			maxMem = rs[i].mem
+		}
+	}
+	tbl := Table{Name: "normalized overhead (max = 1.0)",
+		Cols: []string{"cca", "cpu(norm)", "mem(norm)", "cpu(frac of sim time)"}}
+	for i, name := range ccas {
+		tbl.AddRow(name, fmtF(rs[i].cpu/maxCPU, 3), fmtF(rs[i].mem/maxMem, 3), fmtF(rs[i].cpu, 6))
+	}
+	return &Report{
+		ID: "fig2c", Title: "Overhead comparison", Tables: []Table{tbl},
+		Notes: []string{"cpu = controller compute time / simulated time; mem = controller-resident model+buffer bytes (substitution for process-level CPU/RSS, see DESIGN.md)"},
+	}
+}

@@ -1,0 +1,283 @@
+package exp
+
+import (
+	"sort"
+	"time"
+
+	"libra/internal/cc"
+	"libra/internal/rlcc"
+	"libra/internal/stats"
+	"libra/internal/trace"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "fig5",
+		Title: "Reward curves of different CCAs' state-space combinations",
+		Paper: "Libra's state set (iv,vii,viii,ix) trains to the highest reward; DRL-CC and PCC next; Remy/RL-TCP lowest",
+		Run:   runFig5,
+	})
+	Register(Experiment{
+		ID:    "tab2",
+		Title: "State ablation around the baseline {iv,vi,vii,viii,ix}",
+		Paper: "-(vi): +5.1% reward (best); +(i)(ii): +3.7%; adding (i)/(ii)/(iii) alone hurts (-9.5..-12.4%); -(ix): -14.4%",
+		Run:   runTab2,
+	})
+	Register(Experiment{
+		ID:    "fig6",
+		Title: "Reward curves of AIAD vs MIMD action spaces at scales 1/5/10",
+		Paper: "MIMD learns faster and converges; AIAD needs more episodes, scale=1 slowest; all plateau near the same reward",
+		Run:   runFig6,
+	})
+	Register(Experiment{
+		ID:    "tab3",
+		Title: "Reward with vs without the loss-rate term",
+		Paper: "with loss: 97.2Mbps/115ms/0.72% loss; without: 98.9Mbps/197ms/37.5% loss",
+		Run:   runTab3,
+	})
+	Register(Experiment{
+		ID:    "tab4",
+		Title: "Absolute reward r vs delta-r",
+		Paper: "r: 99.4Mbps/173ms/14.7%/0.741 fairness; delta-r: 98.1Mbps/121ms/0.91%/0.780",
+		Run:   runTab4,
+	})
+}
+
+// trainCurve trains a formulation and returns bucketed episode rewards.
+func trainCurve(ctrl rlcc.Config, episodes int, epLen time.Duration, seed int64) []float64 {
+	env := rlcc.LaptopEnvRange()
+	env.CapacityMbps = [2]float64{60, 140} // around the Sec. 4.2 default of 100 Mbps
+	env.RTT = [2]time.Duration{80 * time.Millisecond, 120 * time.Millisecond}
+	env.CellularFraction = 0
+	res := rlcc.Train(rlcc.TrainConfig{
+		Episodes:   episodes,
+		EpisodeLen: epLen,
+		Env:        &env,
+		Ctrl:       ctrl,
+		Seed:       seed,
+	})
+	return res.Rewards
+}
+
+// bucketMeans reduces a reward series to nBuckets means.
+func bucketMeans(rs []float64, nBuckets int) []float64 {
+	if nBuckets <= 0 || len(rs) == 0 {
+		return nil
+	}
+	out := make([]float64, nBuckets)
+	per := (len(rs) + nBuckets - 1) / nBuckets
+	for b := 0; b < nBuckets; b++ {
+		lo := b * per
+		hi := lo + per
+		if hi > len(rs) {
+			hi = len(rs)
+		}
+		if lo >= hi {
+			out[b] = out[b-1]
+			continue
+		}
+		out[b] = stats.Mean(rs[lo:hi])
+	}
+	return out
+}
+
+func trainingScale(quick bool) (episodes int, epLen time.Duration) {
+	if quick {
+		return 30, 5 * time.Second
+	}
+	// ~200+ episodes with randomised starting rates is where the PPO
+	// policies become competent at laptop scale (see EXPERIMENTS.md).
+	return 150, 10 * time.Second
+}
+
+func runFig5(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	episodes, epLen := trainingScale(cfg.Quick)
+	spaces := rlcc.NamedStateSpaces()
+	names := make([]string, 0, len(spaces))
+	for n := range spaces {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	const nBuckets = 10
+	tbl := Table{Name: "mean episode reward per training decile",
+		Cols: append([]string{"state space"}, deciles(nBuckets)...)}
+	for _, n := range names {
+		ctrl := rlcc.Config{CC: cc.Config{}, Features: spaces[n], Action: rlcc.MIMDAurora, UseDelta: true}
+		curve := bucketMeans(trainCurve(ctrl, episodes, epLen, cfg.Seed+int64(len(n))), nBuckets)
+		row := []string{n}
+		for _, v := range curve {
+			row = append(row, fmtF(v, 1))
+		}
+		tbl.AddRow(row...)
+	}
+	return &Report{ID: "fig5", Title: "State-space reward comparison", Tables: []Table{tbl}}
+}
+
+func deciles(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmtF(float64(i+1)*100/float64(n), 0) + "%"
+	}
+	return out
+}
+
+// evalFormulation trains a formulation briefly and then measures it on
+// the Sec. 4.2 default network (100 Mbps, 100 ms RTT, 1 BDP).
+func evalFormulation(ctrl rlcc.Config, cfg RunConfig, seedOff int64) (reward, thrMbps, delayMs, loss float64) {
+	episodes, epLen := trainingScale(cfg.Quick)
+	env := rlcc.LaptopEnvRange()
+	env.CapacityMbps = [2]float64{60, 140}
+	env.RTT = [2]time.Duration{80 * time.Millisecond, 120 * time.Millisecond}
+	env.CellularFraction = 0
+	res := rlcc.Train(rlcc.TrainConfig{
+		Episodes: episodes, EpisodeLen: epLen, Env: &env, Ctrl: ctrl, Seed: cfg.Seed + seedOff,
+	})
+	evalCfg := ctrl.WithDefaults()
+	evalCfg.Agent = res.Agent
+	evalCfg.Norm = res.Norm
+	evalCfg.Train = false
+	dur := 30 * time.Second
+	if cfg.Quick {
+		dur = 10 * time.Second
+	}
+	s := Scenario{
+		Capacity: trace.Constant(trace.Mbps(100)),
+		MinRTT:   100 * time.Millisecond,
+		Buffer:   int(trace.Mbps(100) * 0.1),
+		Duration: dur,
+	}
+	m := RunFlow(s, func(seed int64) cc.Controller {
+		c := evalCfg
+		c.CC.Seed = seed
+		return rlcc.New("eval", c)
+	}, cfg.Seed+seedOff, 0)
+	rew := m.Ctrl.(*rlcc.Controller).EpisodeReward() / float64(max1(m.Ctrl.(*rlcc.Controller).Decisions()))
+	return rew, m.ThrMbps, m.DelayMs, m.LossRate * 100
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+func runTab2(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	F := struct{ i, ii, iii, iv, v, vi, vii, viii, ix rlcc.Feature }{
+		rlcc.FeatAckGapEWMA, rlcc.FeatSendGapEWMA, rlcc.FeatRTTRatio, rlcc.FeatSendRate,
+		rlcc.FeatSentAckedRatio, rlcc.FeatRTTAndMin, rlcc.FeatLossRate, rlcc.FeatRTTGradient,
+		rlcc.FeatDeliveryRate,
+	}
+	variants := []struct {
+		name string
+		fs   []rlcc.Feature
+	}{
+		{"baseline {iv,vi,vii,viii,ix}", rlcc.BaselineStateSpace()},
+		{"-(vi)", rlcc.LibraStateSpace()},
+		{"+(i)(ii)", []rlcc.Feature{F.i, F.ii, F.iv, F.vi, F.vii, F.viii, F.ix}},
+		{"+(i)(ii)(iii)", []rlcc.Feature{F.i, F.ii, F.iii, F.iv, F.vi, F.vii, F.viii, F.ix}},
+		{"+(ii)(iii)(v)-(iv)", []rlcc.Feature{F.ii, F.iii, F.v, F.vi, F.vii, F.viii, F.ix}},
+		{"+(iii)", []rlcc.Feature{F.iii, F.iv, F.vi, F.vii, F.viii, F.ix}},
+		{"-(ix)", []rlcc.Feature{F.iv, F.vi, F.vii, F.viii}},
+	}
+	tbl := Table{Name: "vs baseline (positive reward delta = better)",
+		Cols: []string{"state set", "d-reward", "d-thr(Mbps)", "d-latency(ms)", "d-loss(pp)"}}
+	var base [4]float64
+	for i, v := range variants {
+		ctrl := rlcc.Config{Features: v.fs, Action: rlcc.MIMDAurora, UseDelta: true}
+		rew, thr, del, loss := evalFormulation(ctrl, cfg, int64(i+1)*211)
+		if i == 0 {
+			base = [4]float64{rew, thr, del, loss}
+			tbl.AddRow(v.name, "0 (ref)", "0 (ref)", "0 (ref)", "0 (ref)")
+			continue
+		}
+		tbl.AddRow(v.name, fmtF(rew-base[0], 3), fmtF(thr-base[1], 1),
+			fmtF(del-base[2], 0), fmtF(loss-base[3], 2))
+	}
+	return &Report{ID: "tab2", Title: "State-space ablation", Tables: []Table{tbl}}
+}
+
+func runFig6(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	episodes, epLen := trainingScale(cfg.Quick)
+	const nBuckets = 10
+	tbl := Table{Name: "mean episode reward per training decile",
+		Cols: append([]string{"action space"}, deciles(nBuckets)...)}
+	cases := []struct {
+		name  string
+		mode  rlcc.ActionMode
+		scale float64
+	}{
+		{"AIAD scale=1", rlcc.AIAD, 1},
+		{"AIAD scale=5", rlcc.AIAD, 5},
+		{"AIAD scale=10", rlcc.AIAD, 10},
+		{"MIMD scale=1", rlcc.MIMDAurora, 1},
+		{"MIMD scale=5", rlcc.MIMDAurora, 5},
+		{"MIMD scale=10", rlcc.MIMDAurora, 10},
+	}
+	for i, cse := range cases {
+		ctrl := rlcc.Config{Action: cse.mode, Scale: cse.scale, UseDelta: true}
+		curve := bucketMeans(trainCurve(ctrl, episodes, epLen, cfg.Seed+int64(i)*307), nBuckets)
+		row := []string{cse.name}
+		for _, v := range curve {
+			row = append(row, fmtF(v, 1))
+		}
+		tbl.AddRow(row...)
+	}
+	return &Report{ID: "fig6", Title: "Action-space comparison", Tables: []Table{tbl}}
+}
+
+func runTab3(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	tbl := Table{Name: "100Mbps / 100ms / 1BDP", Cols: []string{"setting", "thr(Mbps)", "latency(ms)", "loss(%)"}}
+	with := rlcc.Config{Action: rlcc.MIMDAurora, UseDelta: true}
+	without := with
+	without.DisableLossTerm = true
+	_, thr, del, loss := evalFormulation(with, cfg, 401)
+	tbl.AddRow("with loss rate", fmtF(thr, 1), fmtF(del, 0), fmtF(loss, 2))
+	_, thr, del, loss = evalFormulation(without, cfg, 402)
+	tbl.AddRow("w/o loss rate", fmtF(thr, 1), fmtF(del, 0), fmtF(loss, 2))
+	return &Report{ID: "tab3", Title: "Loss term in the reward", Tables: []Table{tbl}}
+}
+
+func runTab4(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	tbl := Table{Name: "100Mbps / 100ms / 1BDP", Cols: []string{"setting", "thr(Mbps)", "latency(ms)", "loss(%)", "fairness"}}
+	for _, cse := range []struct {
+		name     string
+		useDelta bool
+		off      int64
+	}{{"r", false, 501}, {"dr", true, 502}} {
+		ctrl := rlcc.Config{Action: rlcc.MIMDAurora, UseDelta: cse.useDelta}
+		_, thr, del, loss := evalFormulation(ctrl, cfg, cse.off)
+		// Fairness: two flows with the same trained formulation.
+		episodes, epLen := trainingScale(cfg.Quick)
+		env := rlcc.LaptopEnvRange()
+		env.CellularFraction = 0
+		res := rlcc.Train(rlcc.TrainConfig{Episodes: episodes, EpisodeLen: epLen, Env: &env,
+			Ctrl: ctrl, Seed: cfg.Seed + cse.off + 7})
+		mk := func(seed int64) cc.Controller {
+			c := ctrl.WithDefaults()
+			c.Agent = res.Agent
+			c.Norm = res.Norm
+			c.CC.Seed = seed
+			return rlcc.New("tab4", c)
+		}
+		dur := 30 * time.Second
+		if cfg.Quick {
+			dur = 10 * time.Second
+		}
+		ms := RunFlows(Scenario{
+			Capacity: trace.Constant(trace.Mbps(100)),
+			MinRTT:   100 * time.Millisecond,
+			Buffer:   int(trace.Mbps(100) * 0.1),
+			Duration: dur,
+		}, []Maker{mk, mk}, []time.Duration{0, 0}, cfg.Seed+cse.off, 0)
+		j := stats.JainIndex([]float64{ms[0].ThrMbps, ms[1].ThrMbps})
+		tbl.AddRow(cse.name, fmtF(thr, 1), fmtF(del, 0), fmtF(loss, 2), fmtF(j, 3))
+	}
+	return &Report{ID: "tab4", Title: "r vs delta-r reward", Tables: []Table{tbl}}
+}

@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"time"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "fig7",
+		Title: "Average throughput and delay across 4 wired + 4 cellular traces (full CCA sweep)",
+		Paper: "C-Libra: ~0.97/0.95x CUBIC's throughput at 4.6/3.3x lower delay (wired/cellular); B-Libra cuts delay 30% vs BBR on cellular; both Pareto-dominate; Orca below Libra's throughput",
+		Run:   runFig7,
+	})
+}
+
+func runFig7(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	dur := 60 * time.Second
+	if cfg.Quick {
+		dur = 12 * time.Second
+	}
+	wired := WiredScenarios(dur)
+	cellular := LTEScenarios(dur, cfg.Seed)
+	ccas := []string{"cubic", "bbr", "copa", "sprout", "vivace", "proteus", "remy",
+		"indigo", "aurora", "orca", "mod-rl", "cl-libra", "c-libra", "b-libra"}
+	ag := cfg.agents()
+
+	family := func(name string, ss []Scenario) Table {
+		tbl := Table{Name: name, Cols: []string{"cca", "norm.thr", "avg delay(ms)", "loss"}}
+		// First pass: find the best average throughput for normalisation.
+		type agg struct{ thr, delay, loss float64 }
+		res := map[string]agg{}
+		best := 0.0
+		for _, cca := range ccas {
+			mk := MakerFor(cca, ag, nil)
+			var a agg
+			for si, s := range ss {
+				m := RunFlow(s, mk, cfg.Seed+int64(si)*131, 0)
+				a.thr += m.ThrMbps
+				a.delay += m.DelayMs
+				a.loss += m.LossRate
+			}
+			n := float64(len(ss))
+			a.thr /= n
+			a.delay /= n
+			a.loss /= n
+			res[cca] = a
+			if a.thr > best {
+				best = a.thr
+			}
+		}
+		for _, cca := range ccas {
+			a := res[cca]
+			tbl.AddRow(cca, fmtF(a.thr/best, 3), fmtF(a.delay, 0), fmtF(a.loss, 4))
+		}
+		return tbl
+	}
+
+	return &Report{
+		ID:    "fig7",
+		Title: "Trace sweep (throughput vs delay scatter data)",
+		Tables: []Table{
+			family("wired traces (avg of 4)", wired),
+			family("cellular traces (avg of 4)", cellular),
+		},
+	}
+}

@@ -1,0 +1,30 @@
+package exp
+
+import "libra/internal/cc"
+
+// memSizer is implemented by controllers that can estimate their
+// resident memory (model weights plus buffers).
+type memSizer interface {
+	MemBytes() int
+}
+
+// controllerMemBytes estimates a controller's resident memory for the
+// Fig. 2(c) overhead comparison. Learning-based controllers report
+// their model sizes; classic algorithms are a few hundred bytes of
+// scalar state.
+func controllerMemBytes(c cc.Controller) int {
+	if m, ok := c.(memSizer); ok {
+		return m.MemBytes()
+	}
+	switch c.Name() {
+	case "vivace", "proteus":
+		// DeferredMonitor intervals + learning scalars.
+		return 4096
+	case "remy":
+		return 2048 // rule table
+	case "indigo":
+		return 3072 // policy weights / oracle state
+	default:
+		return 512 // classic scalar state
+	}
+}

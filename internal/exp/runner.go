@@ -1,0 +1,259 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"libra/internal/cc"
+	"libra/internal/cc/bbr"
+	"libra/internal/cc/copa"
+	"libra/internal/cc/cubic"
+	"libra/internal/cc/indigo"
+	"libra/internal/cc/orca"
+	"libra/internal/cc/remy"
+	"libra/internal/cc/reno"
+	"libra/internal/cc/sprout"
+	"libra/internal/cc/vegas"
+	"libra/internal/cc/vivace"
+	"libra/internal/core"
+	"libra/internal/netem"
+	"libra/internal/rlcc"
+	"libra/internal/trace"
+	"libra/internal/utility"
+)
+
+// Scenario is one emulated-network workload.
+type Scenario struct {
+	Name     string
+	Capacity trace.Trace
+	MinRTT   time.Duration
+	Buffer   int
+	Loss     float64
+	Duration time.Duration
+}
+
+// WiredScenarios returns the paper's wired trace set (Fig. 1 uses
+// 24/48/96 Mbps; Fig. 7 adds 12 Mbps), with 30 ms RTT and 150 KB buffer.
+func WiredScenarios(d time.Duration, mbps ...float64) []Scenario {
+	if len(mbps) == 0 {
+		mbps = []float64{12, 24, 48, 96}
+	}
+	out := make([]Scenario, 0, len(mbps))
+	for _, m := range mbps {
+		out = append(out, Scenario{
+			Name:     fmt.Sprintf("Wired-%gMbps", m),
+			Capacity: trace.Constant(trace.Mbps(m)),
+			MinRTT:   30 * time.Millisecond,
+			Buffer:   150_000,
+			Duration: d,
+		})
+	}
+	return out
+}
+
+// LTEScenarios returns the synthetic cellular trace set (LTE#1..#3 plus
+// the driving tour), 30 ms RTT, 150 KB buffer.
+func LTEScenarios(d time.Duration, seed int64) []Scenario {
+	mk := func(name string, tr trace.Trace) Scenario {
+		return Scenario{Name: name, Capacity: tr, MinRTT: 30 * time.Millisecond,
+			Buffer: 150_000, Duration: d}
+	}
+	return []Scenario{
+		mk("LTE-stationary", trace.NewLTE(trace.LTEStationary, d, seed+1)),
+		mk("LTE-walking", trace.NewLTE(trace.LTEWalking, d, seed+2)),
+		mk("LTE-driving", trace.NewLTE(trace.LTEDriving, d, seed+3)),
+		mk("LTE-tour", trace.NewDrivingTour(d, seed+4)),
+	}
+}
+
+// Metrics summarises one flow's run.
+type Metrics struct {
+	Util     float64
+	ThrMbps  float64
+	DelayMs  float64
+	LossRate float64
+	// CPUFrac is controller compute-time divided by simulated time —
+	// the overhead metric (Fig. 2c / Fig. 12).
+	CPUFrac float64
+	Flow    *netem.Flow
+	Net     *netem.Network
+	Ctrl    cc.Controller
+}
+
+// Maker constructs a fresh controller per flow.
+type Maker func(seed int64) cc.Controller
+
+// CCASet lists the controller names the harness can build.
+var CCASet = []string{
+	"cubic", "bbr", "reno", "vegas", "copa", "sprout", "vivace", "proteus",
+	"remy", "indigo", "aurora", "orca", "mod-rl", "westwood", "illinois",
+	"dctcp", "c-libra", "b-libra", "cl-libra", "w-libra", "i-libra", "d-libra",
+}
+
+// MakerFor builds a controller factory for name, wiring in the trained
+// agents where the algorithm has a learning component. Libra variants
+// accept a utility override via util (nil = paper default).
+func MakerFor(name string, ag *AgentSet, util utility.Func) Maker {
+	libra := func(seed int64, classic func(cc.Config) core.Classic, noClassic bool, nm string) cc.Controller {
+		base := cc.Config{Seed: seed}.WithDefaults()
+		rlCfg := rlcc.LibraRLConfig(base)
+		if ag != nil {
+			rlCfg.Agent = ag.LibraRL
+			rlCfg.Norm = ag.LibraNorm
+		}
+		cfg := core.Config{
+			CC:           base,
+			RL:           rlcc.New("libra-rl", rlCfg),
+			Util:         util,
+			NoClassic:    noClassic,
+			Name:         nm,
+			RecordCycles: true,
+		}
+		if classic != nil {
+			cfg.Classic = classic(base)
+		}
+		return core.New(cfg)
+	}
+	switch name {
+	case "cubic":
+		return func(seed int64) cc.Controller { return cubic.New(cc.Config{Seed: seed}) }
+	case "bbr":
+		return func(seed int64) cc.Controller { return bbr.New(cc.Config{Seed: seed}) }
+	case "reno":
+		return func(seed int64) cc.Controller { return reno.New(cc.Config{Seed: seed}) }
+	case "vegas":
+		return func(seed int64) cc.Controller { return vegas.New(cc.Config{Seed: seed}) }
+	case "copa":
+		return func(seed int64) cc.Controller { return copa.New(cc.Config{Seed: seed}) }
+	case "sprout":
+		return func(seed int64) cc.Controller { return sprout.New(cc.Config{Seed: seed}) }
+	case "vivace":
+		return func(seed int64) cc.Controller { return vivace.New(cc.Config{Seed: seed}) }
+	case "proteus":
+		return func(seed int64) cc.Controller { return vivace.NewProteus(cc.Config{Seed: seed}) }
+	case "remy":
+		return func(seed int64) cc.Controller { return remy.New(cc.Config{Seed: seed}) }
+	case "indigo":
+		return func(seed int64) cc.Controller { return indigo.New(cc.Config{Seed: seed}) }
+	case "aurora":
+		return func(seed int64) cc.Controller {
+			cfg := rlcc.AuroraConfig(cc.Config{Seed: seed})
+			if ag != nil {
+				cfg.Agent = ag.Aurora
+				cfg.Norm = ag.AuroraNorm
+			}
+			return rlcc.New("aurora", cfg)
+		}
+	case "orca":
+		return func(seed int64) cc.Controller {
+			cfg := rlcc.OrcaRLConfig(cc.Config{Seed: seed})
+			if ag != nil {
+				cfg.Agent = ag.Orca
+				cfg.Norm = ag.OrcaNorm
+			}
+			return orca.New(cfg)
+		}
+	case "mod-rl":
+		return func(seed int64) cc.Controller {
+			base := cc.Config{Seed: seed}
+			cfg := rlcc.LibraRLConfig(base)
+			u := utility.Default()
+			cfg.RewardFunc = u.Value
+			if ag != nil {
+				cfg.Agent = ag.ModRL
+				cfg.Norm = ag.ModRLNorm
+			}
+			return rlcc.New("mod-rl", cfg)
+		}
+	case "c-libra":
+		return func(seed int64) cc.Controller {
+			return libra(seed, func(b cc.Config) core.Classic { return core.NewCubicAdapter(b) }, false, "c-libra")
+		}
+	case "b-libra":
+		return func(seed int64) cc.Controller {
+			return libra(seed, func(b cc.Config) core.Classic { return core.NewBBRAdapter(b) }, false, "b-libra")
+		}
+	case "cl-libra":
+		return func(seed int64) cc.Controller { return libra(seed, nil, true, "cl-libra") }
+	default:
+		return func(seed int64) cc.Controller {
+			ctrl, err := cc.New(name, cc.Config{Seed: seed})
+			if err != nil {
+				panic(err)
+			}
+			return ctrl
+		}
+	}
+}
+
+// RunFlow drives one controller over a scenario and returns its
+// metrics. When bucket > 0 the flow records time series at that width.
+func RunFlow(s Scenario, mk Maker, seed int64, bucket time.Duration) Metrics {
+	n := netem.New(netem.Config{
+		Capacity:     s.Capacity,
+		MinRTT:       s.MinRTT,
+		BufferBytes:  s.Buffer,
+		LossRate:     s.Loss,
+		Seed:         seed,
+		RecordSeries: bucket > 0,
+		SeriesBucket: bucket,
+	})
+	ctrl := mk(seed)
+	f := n.AddFlow(ctrl, 0, 0)
+	n.Run(s.Duration)
+	return flowMetrics(n, f, s.Duration)
+}
+
+func flowMetrics(n *netem.Network, f *netem.Flow, d time.Duration) Metrics {
+	return Metrics{
+		Util:     n.Utilization(d),
+		ThrMbps:  trace.ToMbps(f.Stats.AvgThroughput()),
+		DelayMs:  float64(f.Stats.AvgRTT()) / float64(time.Millisecond),
+		LossRate: f.Stats.LossRate(),
+		CPUFrac:  float64(f.Stats.ComputeNs) / float64(d.Nanoseconds()),
+		Flow:     f,
+		Net:      n,
+		Ctrl:     f.Controller(),
+	}
+}
+
+// RunFlows drives several controllers sharing one bottleneck; starts[i]
+// delays flow i. Returns per-flow metrics.
+func RunFlows(s Scenario, mks []Maker, starts []time.Duration, seed int64, bucket time.Duration) []Metrics {
+	n := netem.New(netem.Config{
+		Capacity:     s.Capacity,
+		MinRTT:       s.MinRTT,
+		BufferBytes:  s.Buffer,
+		LossRate:     s.Loss,
+		Seed:         seed,
+		RecordSeries: bucket > 0,
+		SeriesBucket: bucket,
+	})
+	flows := make([]*netem.Flow, len(mks))
+	for i, mk := range mks {
+		var start time.Duration
+		if i < len(starts) {
+			start = starts[i]
+		}
+		flows[i] = n.AddFlow(mk(seed+int64(i)*101), start, 0)
+	}
+	n.Run(s.Duration)
+	out := make([]Metrics, len(flows))
+	for i, f := range flows {
+		out[i] = flowMetrics(n, f, s.Duration)
+	}
+	return out
+}
+
+// Repeat runs the scenario rep times with distinct seeds and returns
+// the per-run metrics.
+func Repeat(s Scenario, mk Maker, reps int, seed int64) []Metrics {
+	out := make([]Metrics, reps)
+	for i := 0; i < reps; i++ {
+		out[i] = RunFlow(s, mk, seed+int64(i)*977, 0)
+	}
+	return out
+}
+
+// fmtF formats a float with the given precision.
+func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"libra/internal/rlcc"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSmokeAllExperiments runs every registered experiment in quick mode
+// with a shared (tiny) trained agent set and sanity-checks the reports.
+// It is the integration test of the whole harness; skip with -short.
+func TestSmokeAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take minutes; skipped with -short")
+	}
+	agents := TrainAgentSet(TrainSpec{Seed: 1, Episodes: 6, EpisodeLen: 4 * time.Second,
+		Env: smokeEnv()})
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			start := time.Now()
+			rep := e.Run(RunConfig{Quick: true, Seed: 1, Agents: agents})
+			if rep == nil || len(rep.Tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			out := rep.String()
+			if !strings.Contains(out, e.ID) {
+				t.Fatalf("report does not mention its ID:\n%s", out)
+			}
+			for _, tbl := range rep.Tables {
+				if len(tbl.Rows) == 0 {
+					t.Fatalf("%s table %q empty", e.ID, tbl.Name)
+				}
+				for _, row := range tbl.Rows {
+					for _, cell := range row {
+						if strings.Contains(cell, "NaN") || strings.Contains(cell, "Inf") {
+							t.Fatalf("%s produced non-finite cell %q in %q", e.ID, cell, tbl.Name)
+						}
+					}
+				}
+			}
+			t.Logf("%s: %d tables in %.1fs", e.ID, len(rep.Tables), time.Since(start).Seconds())
+		})
+	}
+}
+
+func smokeEnv() rlcc.EnvRange {
+	e := rlcc.LaptopEnvRange()
+	e.CapacityMbps = [2]float64{20, 60}
+	return e
+}

@@ -1,0 +1,89 @@
+package netem
+
+import (
+	"math"
+	"time"
+)
+
+// CoDel implements the Controlled-Delay AQM (Nichols & Jacobson, CACM
+// 2012). The paper's Sec. 2 motivates Libra with exactly this contrast:
+// keeping CUBIC's queueing delay low requires an in-network scheme like
+// CoDel ("which requires changes in the network devices and incurs
+// extra costs"), whereas Libra reaches low delay end-to-end. The
+// emulator supports CoDel so that contrast is measurable (see the
+// "aqm" experiment).
+//
+// Algorithm: at dequeue time, a packet's sojourn time is compared with
+// Target. Once sojourn has stayed above Target for a full Interval, the
+// queue enters the dropping state and drops head packets at instants
+// spaced Interval/sqrt(count) apart until sojourn falls below Target.
+type CoDel struct {
+	// Target is the acceptable standing queue delay (default 5 ms).
+	Target time.Duration
+	// Interval is the sliding window in which sojourn must dip below
+	// Target at least once (default 100 ms).
+	Interval time.Duration
+
+	firstAboveTime time.Duration
+	dropNext       time.Duration
+	count          int
+	lastCount      int
+	dropping       bool
+}
+
+// NewCoDel returns a CoDel instance with the RFC 8289 defaults.
+func NewCoDel() *CoDel {
+	return &CoDel{Target: 5 * time.Millisecond, Interval: 100 * time.Millisecond}
+}
+
+// controlLaw computes the next drop instant.
+func (c *CoDel) controlLaw(t time.Duration) time.Duration {
+	return t + time.Duration(float64(c.Interval)/math.Sqrt(float64(c.count)))
+}
+
+// ShouldDrop decides the fate of the packet about to be dequeued, given
+// its sojourn time and the current virtual time. It returns true when
+// the packet must be dropped (the caller then consults ShouldDrop again
+// for the next head packet).
+func (c *CoDel) ShouldDrop(sojourn, now time.Duration) bool {
+	okToDrop := c.updateState(sojourn, now)
+	if c.dropping {
+		if !okToDrop {
+			c.dropping = false
+			return false
+		}
+		if now >= c.dropNext {
+			c.count++
+			c.dropNext = c.controlLaw(c.dropNext)
+			return true
+		}
+		return false
+	}
+	if okToDrop && (now-c.dropNext < c.Interval || now-c.firstAboveTime >= c.Interval) {
+		c.dropping = true
+		// Resume at a higher drop rate if we were dropping recently.
+		if now-c.dropNext < c.Interval && c.lastCount > 2 {
+			c.count = c.lastCount - 2
+		} else {
+			c.count = 1
+		}
+		c.lastCount = c.count
+		c.dropNext = c.controlLaw(now)
+		return true
+	}
+	return false
+}
+
+// updateState tracks whether sojourn has exceeded Target continuously
+// for one Interval.
+func (c *CoDel) updateState(sojourn, now time.Duration) bool {
+	if sojourn < c.Target {
+		c.firstAboveTime = 0
+		return false
+	}
+	if c.firstAboveTime == 0 {
+		c.firstAboveTime = now + c.Interval
+		return false
+	}
+	return now >= c.firstAboveTime
+}

@@ -1,0 +1,91 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"libra/internal/cc"
+	"libra/internal/cc/cubic"
+	"libra/internal/trace"
+)
+
+func TestCoDelStateMachine(t *testing.T) {
+	c := NewCoDel()
+	// Below target: never drops.
+	for i := 0; i < 100; i++ {
+		if c.ShouldDrop(time.Millisecond, time.Duration(i)*10*time.Millisecond) {
+			t.Fatal("dropped below target")
+		}
+	}
+	// Above target but for less than one interval: no drop yet.
+	now := 10 * time.Second
+	if c.ShouldDrop(20*time.Millisecond, now) {
+		t.Fatal("dropped before a full interval above target")
+	}
+	// Sustained above target for > interval: dropping begins.
+	dropped := false
+	for i := 0; i < 50; i++ {
+		now += 10 * time.Millisecond
+		if c.ShouldDrop(20*time.Millisecond, now) {
+			dropped = true
+		}
+	}
+	if !dropped {
+		t.Fatal("CoDel never entered dropping state under sustained delay")
+	}
+	// Sojourn back under target: dropping stops.
+	now += 10 * time.Millisecond
+	if c.ShouldDrop(time.Millisecond, now) {
+		t.Fatal("dropped after sojourn recovered")
+	}
+	if c.dropping {
+		t.Fatal("dropping state not cleared")
+	}
+}
+
+func TestCoDelDropRateAccelerates(t *testing.T) {
+	c := NewCoDel()
+	now := time.Duration(0)
+	var drops []time.Duration
+	for i := 0; i < 3000; i++ {
+		now += time.Millisecond
+		if c.ShouldDrop(30*time.Millisecond, now) {
+			drops = append(drops, now)
+		}
+	}
+	if len(drops) < 5 {
+		t.Fatalf("only %d drops under persistent overload", len(drops))
+	}
+	// Inter-drop gaps should shrink (interval/sqrt(count)).
+	first := drops[1] - drops[0]
+	last := drops[len(drops)-1] - drops[len(drops)-2]
+	if last >= first {
+		t.Fatalf("drop rate did not accelerate: first gap %v, last %v", first, last)
+	}
+}
+
+func TestCoDelTamesCubicBufferbloat(t *testing.T) {
+	run := func(codel bool) time.Duration {
+		n := New(Config{
+			Capacity:    trace.Constant(trace.Mbps(24)),
+			MinRTT:      40 * time.Millisecond,
+			BufferBytes: 600_000, // deep buffer: 200 ms if filled
+			CoDel:       codel,
+			Seed:        5,
+		})
+		f := n.AddFlow(cubic.New(cc.Config{Seed: 1}), 0, 0)
+		n.Run(20 * time.Second)
+		if codel && n.Link().DroppedAQM == 0 {
+			t.Fatal("CoDel never dropped")
+		}
+		return f.Stats.AvgRTT()
+	}
+	tail := run(false)
+	codel := run(true)
+	if codel >= tail {
+		t.Fatalf("CoDel delay %v not below droptail %v", codel, tail)
+	}
+	if codel > 70*time.Millisecond {
+		t.Fatalf("CUBIC+CoDel delay %v; target is a short standing queue", codel)
+	}
+}

@@ -1,0 +1,440 @@
+package netem
+
+import (
+	"time"
+
+	"libra/internal/cc"
+	"libra/internal/sim"
+)
+
+// reorderThreshold is the duplicate-ACK style gap (in packets) beyond
+// which an outstanding packet is declared lost.
+const reorderThreshold = 3
+
+// rtoMin and rtoMax bound the retransmission-timeout estimate.
+const (
+	rtoMin = 200 * time.Millisecond
+	rtoMax = 10 * time.Second
+)
+
+type pktState struct {
+	size            int
+	sentAt          time.Duration
+	deliveredAtSend int64
+	done            bool
+}
+
+// pendingAck carries receiver-side info back to the sender.
+type pendingAck struct {
+	seq             int64
+	size            int
+	sentAt          time.Duration
+	deliveredAtSend int64
+	ce              bool
+}
+
+// FlowStats aggregates the per-flow measurements the experiments consume.
+type FlowStats struct {
+	AckedBytes int64
+	LostBytes  int64
+	SentBytes  int64
+	RTTSum     time.Duration
+	RTTCount   int64
+	MinRTT     time.Duration
+	MaxRTT     time.Duration
+	// Throughput buckets acknowledged bytes over time.
+	Throughput *Series
+	// Delay buckets RTT samples (milliseconds) over time.
+	Delay *Series
+	// ComputeNs is the wall-clock nanoseconds spent inside the
+	// controller's decision code — the overhead metric of Fig. 2(c)/12.
+	ComputeNs int64
+	// Active is the duration the flow spent sending.
+	Active time.Duration
+}
+
+// AvgRTT returns the mean RTT over the flow's lifetime.
+func (s *FlowStats) AvgRTT() time.Duration {
+	if s.RTTCount == 0 {
+		return 0
+	}
+	return s.RTTSum / time.Duration(s.RTTCount)
+}
+
+// AvgThroughput returns acknowledged bytes/sec over the active period.
+func (s *FlowStats) AvgThroughput() float64 {
+	if s.Active <= 0 {
+		return 0
+	}
+	return float64(s.AckedBytes) / s.Active.Seconds()
+}
+
+// LossRate returns lost/(lost+acked) bytes.
+func (s *FlowStats) LossRate() float64 {
+	tot := s.AckedBytes + s.LostBytes
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.LostBytes) / float64(tot)
+}
+
+// Flow is one sender/receiver pair attached to the network's bottleneck.
+type Flow struct {
+	ID   int
+	net  *Network
+	ctrl cc.Controller
+	mss  int
+
+	startAt, stopAt time.Duration
+	running         bool
+
+	// Application limiting: when appRate > 0 the source produces data
+	// at that rate (token bucket with a small burst allowance) instead
+	// of being an infinite backlog — a streaming-style workload.
+	appRate   float64
+	appTokens float64
+	appLast   time.Duration
+
+	nextSeq       int64
+	headSeq       int64
+	inflight      []pktState
+	inflightBytes int
+
+	delivered int64
+	srtt      time.Duration
+	rttvar    time.Duration
+	minRTT    time.Duration
+
+	nextSend   time.Duration
+	paceTimer  sim.Timer
+	paceArmed  bool
+	rtoTimer   sim.Timer
+	rtoArmed   bool
+	rtoBackoff int
+
+	ackBuf  cc.Ack
+	lossBuf cc.Loss
+
+	Stats FlowStats
+}
+
+// Controller returns the flow's congestion controller.
+func (f *Flow) Controller() cc.Controller { return f.ctrl }
+
+// SRTT returns the current smoothed RTT estimate.
+func (f *Flow) SRTT() time.Duration { return f.srtt }
+
+// MinRTT returns the minimum RTT observed so far.
+func (f *Flow) MinRTT() time.Duration { return f.minRTT }
+
+// InFlight returns the bytes currently unacknowledged.
+func (f *Flow) InFlight() int { return f.inflightBytes }
+
+// SetAppRate makes the flow application-limited: the source produces
+// bytes at rate (bytes/sec) rather than an infinite backlog. Zero
+// restores bulk behaviour. Call before the flow starts.
+func (f *Flow) SetAppRate(rate float64) {
+	f.appRate = rate
+	f.appTokens = float64(2 * f.mss)
+}
+
+// appAllows reports whether the application has produced enough data
+// for one more packet, replenishing the token bucket.
+func (f *Flow) appAllows(now time.Duration) bool {
+	if f.appRate <= 0 {
+		return true
+	}
+	if now > f.appLast {
+		f.appTokens += f.appRate * (now - f.appLast).Seconds()
+		// Cap the burst at 100 ms of data so idle periods do not turn
+		// into line-rate bursts.
+		if burst := f.appRate * 0.1; f.appTokens > burst {
+			f.appTokens = burst
+		}
+		f.appLast = now
+	}
+	return f.appTokens >= float64(f.mss)
+}
+
+func (f *Flow) start() {
+	f.running = true
+	f.nextSend = f.net.Eng.Now()
+	if tk, ok := f.ctrl.(cc.Ticker); ok {
+		f.runTicker(tk)
+	}
+	f.trySend()
+}
+
+func (f *Flow) runTicker(tk cc.Ticker) {
+	if !f.running {
+		return
+	}
+	t0 := nanotime()
+	d := tk.OnTick(f.net.Eng.Now())
+	f.Stats.ComputeNs += nanotime() - t0
+	f.trySend()
+	if d > 0 {
+		f.net.Eng.After(d, func() { f.runTicker(tk) })
+	}
+}
+
+func (f *Flow) stop() {
+	if !f.running {
+		return
+	}
+	f.running = false
+	f.Stats.Active = f.net.Eng.Now() - f.startAt
+	f.net.Eng.Cancel(f.paceTimer)
+	f.net.Eng.Cancel(f.rtoTimer)
+	if st, ok := f.ctrl.(cc.Stopper); ok {
+		st.Stop(f.net.Eng.Now())
+	}
+}
+
+// trySend transmits as many packets as the pacing rate and congestion
+// window currently allow and re-arms the pacing timer.
+func (f *Flow) trySend() {
+	if !f.running {
+		return
+	}
+	now := f.net.Eng.Now()
+	for {
+		cwnd := f.ctrl.Window()
+		// Anti-deadlock: always allow one packet when nothing is in
+		// flight, whatever the window says.
+		if float64(f.inflightBytes+f.mss) > cwnd && f.inflightBytes > 0 {
+			return // window-limited; ACKs will reopen
+		}
+		rate := f.ctrl.Rate()
+		if rate > 0 && now < f.nextSend {
+			f.armPacing(f.nextSend)
+			return
+		}
+		if !f.appAllows(now) {
+			// Application-limited: wake when enough data accumulated.
+			deficit := float64(f.mss) - f.appTokens
+			wait := time.Duration(deficit / f.appRate * float64(time.Second))
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+			f.armPacing(now + wait)
+			return
+		}
+		f.sendPacket(now)
+		if f.appRate > 0 {
+			f.appTokens -= float64(f.mss)
+		}
+		if rate > 0 {
+			gap := time.Duration(float64(f.mss) / rate * float64(time.Second))
+			if gap <= 0 || gap > time.Hour { // NaN/Inf/zero guard
+				gap = time.Microsecond
+			}
+			if f.nextSend < now {
+				f.nextSend = now
+			}
+			f.nextSend += gap
+		}
+	}
+}
+
+func (f *Flow) armPacing(at time.Duration) {
+	if f.paceArmed {
+		return
+	}
+	f.paceArmed = true
+	f.paceTimer = f.net.Eng.At(at, func() {
+		f.paceArmed = false
+		f.trySend()
+	})
+}
+
+func (f *Flow) sendPacket(now time.Duration) {
+	p := f.net.pool.get()
+	p.Flow = f
+	p.Seq = f.nextSeq
+	p.Size = f.mss
+	p.SentAt = now
+	p.DeliveredAtSend = f.delivered
+	f.nextSeq++
+	f.inflight = append(f.inflight, pktState{size: p.Size, sentAt: now, deliveredAtSend: p.DeliveredAtSend})
+	f.inflightBytes += p.Size
+	f.Stats.SentBytes += int64(p.Size)
+	f.armRTO(now)
+	f.net.link.Enqueue(p)
+}
+
+// onDelivered runs when a data packet reaches the receiver; the ACK
+// returns after the reverse propagation delay.
+func (f *Flow) onDelivered(p *Packet) {
+	pa := pendingAck{seq: p.Seq, size: p.Size, sentAt: p.SentAt, deliveredAtSend: p.DeliveredAtSend, ce: p.CE}
+	f.net.pool.put(p)
+	f.net.Eng.After(f.net.ackDelay, func() { f.onAck(pa) })
+}
+
+func (f *Flow) onAck(pa pendingAck) {
+	seq, size, sentAt, deliveredAtSend := pa.seq, pa.size, pa.sentAt, pa.deliveredAtSend
+	now := f.net.Eng.Now()
+	idx := int(seq - f.headSeq)
+	if idx < 0 || idx >= len(f.inflight) || f.inflight[idx].done {
+		return // duplicate or already resolved
+	}
+	f.inflight[idx].done = true
+	f.inflightBytes -= size
+	f.delivered += int64(size)
+	f.rtoBackoff = 0
+
+	rtt := now - sentAt
+	f.updateRTT(rtt)
+	f.Stats.AckedBytes += int64(size)
+	f.Stats.RTTSum += rtt
+	f.Stats.RTTCount++
+	if f.Stats.MinRTT == 0 || rtt < f.Stats.MinRTT {
+		f.Stats.MinRTT = rtt
+	}
+	if rtt > f.Stats.MaxRTT {
+		f.Stats.MaxRTT = rtt
+	}
+	if f.Stats.Throughput != nil {
+		f.Stats.Throughput.Add(now, float64(size))
+	}
+	if f.Stats.Delay != nil {
+		f.Stats.Delay.Add(now, float64(rtt)/float64(time.Millisecond))
+	}
+
+	// Gap-based loss detection: outstanding packets more than
+	// reorderThreshold behind the acknowledged one are lost.
+	lost := 0
+	var lostSentAt time.Duration
+	for i := 0; i < idx-reorderThreshold; i++ {
+		if !f.inflight[i].done {
+			f.inflight[i].done = true
+			f.inflightBytes -= f.inflight[i].size
+			if lost == 0 {
+				lostSentAt = f.inflight[i].sentAt
+			}
+			lost += f.inflight[i].size
+		}
+	}
+	f.popResolved()
+
+	var rateSample float64
+	if el := (now - sentAt).Seconds(); el > 0 {
+		rateSample = float64(f.delivered-deliveredAtSend) / el
+	}
+	f.ackBuf = cc.Ack{
+		Now:          now,
+		RTT:          rtt,
+		SRTT:         f.srtt,
+		MinRTT:       f.minRTT,
+		Acked:        size,
+		InFlight:     f.inflightBytes,
+		Delivered:    f.delivered,
+		DeliveryRate: rateSample,
+		ECE:          pa.ce,
+	}
+	t0 := nanotime()
+	f.ctrl.OnAck(&f.ackBuf)
+	if lost > 0 {
+		f.Stats.LostBytes += int64(lost)
+		f.lossBuf = cc.Loss{Now: now, SentAt: lostSentAt, Lost: lost, InFlight: f.inflightBytes}
+		f.ctrl.OnLoss(&f.lossBuf)
+	}
+	f.Stats.ComputeNs += nanotime() - t0
+
+	f.rearmRTO(now)
+	f.trySend()
+}
+
+func (f *Flow) popResolved() {
+	i := 0
+	for i < len(f.inflight) && f.inflight[i].done {
+		i++
+	}
+	if i > 0 {
+		n := copy(f.inflight, f.inflight[i:])
+		f.inflight = f.inflight[:n]
+		f.headSeq += int64(i)
+	}
+}
+
+func (f *Flow) updateRTT(rtt time.Duration) {
+	if f.minRTT == 0 || rtt < f.minRTT {
+		f.minRTT = rtt
+	}
+	if f.srtt == 0 {
+		f.srtt = rtt
+		f.rttvar = rtt / 2
+		return
+	}
+	diff := f.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	f.rttvar = (3*f.rttvar + diff) / 4
+	f.srtt = (7*f.srtt + rtt) / 8
+}
+
+func (f *Flow) rto() time.Duration {
+	rto := f.srtt + 4*f.rttvar
+	if rto < rtoMin {
+		rto = rtoMin
+	}
+	for i := 0; i < f.rtoBackoff && rto < rtoMax; i++ {
+		rto *= 2
+	}
+	if rto > rtoMax {
+		rto = rtoMax
+	}
+	return rto
+}
+
+func (f *Flow) armRTO(now time.Duration) {
+	if f.rtoArmed {
+		return
+	}
+	f.rtoArmed = true
+	f.rtoTimer = f.net.Eng.At(now+f.rto(), f.onRTO)
+}
+
+func (f *Flow) rearmRTO(now time.Duration) {
+	f.net.Eng.Cancel(f.rtoTimer)
+	f.rtoArmed = false
+	if f.inflightBytes > 0 {
+		f.armRTO(now)
+	}
+}
+
+func (f *Flow) onRTO() {
+	f.rtoArmed = false
+	if !f.running && f.inflightBytes == 0 {
+		return
+	}
+	now := f.net.Eng.Now()
+	lost := 0
+	var lostSentAt time.Duration
+	for i := range f.inflight {
+		if !f.inflight[i].done {
+			f.inflight[i].done = true
+			if lost == 0 {
+				lostSentAt = f.inflight[i].sentAt
+			}
+			lost += f.inflight[i].size
+		}
+	}
+	f.inflight = f.inflight[:0]
+	f.headSeq = f.nextSeq
+	f.inflightBytes = 0
+	if lost == 0 {
+		return
+	}
+	f.Stats.LostBytes += int64(lost)
+	f.rtoBackoff++
+	f.lossBuf = cc.Loss{Now: now, SentAt: lostSentAt, Lost: lost, InFlight: 0, Timeout: true}
+	t0 := nanotime()
+	f.ctrl.OnLoss(&f.lossBuf)
+	f.Stats.ComputeNs += nanotime() - t0
+	f.trySend()
+}
+
+// nanotime reads the wall clock for compute-cost accounting.
+func nanotime() int64 { return time.Now().UnixNano() }

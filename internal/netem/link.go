@@ -1,0 +1,172 @@
+package netem
+
+import (
+	"math/rand"
+	"time"
+
+	"libra/internal/sim"
+	"libra/internal/trace"
+)
+
+// minLinkRate floors the instantaneous trace rate so that serialization
+// times stay finite during deep fades (1 kbit/s).
+const minLinkRate = 125.0
+
+// Link is a droptail FIFO bottleneck with time-varying capacity, an
+// optional iid stochastic loss process at ingress, and a fixed one-way
+// propagation delay applied after serialization.
+type Link struct {
+	eng   *sim.Engine
+	cap   trace.Trace
+	prop  time.Duration
+	buf   int // queue limit in bytes (excluding the packet in service)
+	ecn   int
+	codel *CoDel
+	loss  float64
+	rng   *rand.Rand
+	sink  func(*Packet)
+	drop  func(*Packet, bool) // stochastic=true when channel loss, false when tail drop
+	queue []*Packet
+	qhead int
+	qByte int
+	busy  bool
+
+	// Statistics.
+	DeliveredBytes int64
+	DroppedBytes   int64
+	DroppedTail    int64
+	DroppedChannel int64
+	DroppedAQM     int64
+	MarkedPackets  int64
+	qIntegral      float64 // byte-seconds, for mean queue occupancy
+	lastQSample    time.Duration
+}
+
+// LinkConfig parameterises a Link.
+type LinkConfig struct {
+	Capacity    trace.Trace
+	PropDelay   time.Duration // one-way, applied after serialization
+	BufferBytes int
+	LossRate    float64 // iid drop probability at ingress
+	// ECNThreshold, when positive, CE-marks packets that arrive while
+	// the queue holds more than this many bytes.
+	ECNThreshold int
+	// CoDel, when non-nil, applies Controlled-Delay AQM at dequeue.
+	CoDel *CoDel
+	Seed  int64
+}
+
+// newLink wires a link into the engine. sink receives packets after
+// serialization + propagation; drop is informed of every dropped packet.
+func newLink(eng *sim.Engine, cfg LinkConfig, sink func(*Packet), drop func(*Packet, bool)) *Link {
+	return &Link{
+		eng:   eng,
+		cap:   cfg.Capacity,
+		prop:  cfg.PropDelay,
+		buf:   cfg.BufferBytes,
+		ecn:   cfg.ECNThreshold,
+		codel: cfg.CoDel,
+		loss:  cfg.LossRate,
+		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x5f3759df)),
+		sink:  sink,
+		drop:  drop,
+	}
+}
+
+// QueuedBytes returns the current queue occupancy (excluding the packet
+// in service).
+func (l *Link) QueuedBytes() int { return l.qByte }
+
+// MeanQueueBytes returns the time-averaged queue occupancy up to now.
+func (l *Link) MeanQueueBytes(now time.Duration) float64 {
+	l.sampleQueue(now)
+	if now <= 0 {
+		return 0
+	}
+	return l.qIntegral / now.Seconds()
+}
+
+func (l *Link) sampleQueue(now time.Duration) {
+	dt := (now - l.lastQSample).Seconds()
+	if dt > 0 {
+		l.qIntegral += float64(l.qByte) * dt
+		l.lastQSample = now
+	}
+}
+
+// Enqueue offers a packet to the link at the current virtual time.
+func (l *Link) Enqueue(p *Packet) {
+	now := l.eng.Now()
+	if l.loss > 0 && l.rng.Float64() < l.loss {
+		l.DroppedBytes += int64(p.Size)
+		l.DroppedChannel++
+		l.drop(p, true)
+		return
+	}
+	if l.qByte+p.Size > l.buf {
+		l.DroppedBytes += int64(p.Size)
+		l.DroppedTail++
+		l.drop(p, false)
+		return
+	}
+	l.sampleQueue(now)
+	if l.ecn > 0 && l.qByte > l.ecn {
+		p.CE = true
+		l.MarkedPackets++
+	}
+	l.qByte += p.Size
+	if l.qhead > 0 && l.qhead*2 >= len(l.queue) {
+		// Compact the deque.
+		n := copy(l.queue, l.queue[l.qhead:])
+		for i := n; i < len(l.queue); i++ {
+			l.queue[i] = nil
+		}
+		l.queue = l.queue[:n]
+		l.qhead = 0
+	}
+	l.queue = append(l.queue, p)
+	if !l.busy {
+		l.busy = true
+		l.serveNext()
+	}
+}
+
+// serveNext begins serialising the head-of-line packet.
+func (l *Link) serveNext() {
+	now := l.eng.Now()
+	// CoDel head drop: discard packets whose sojourn exceeds the AQM's
+	// control law before starting service.
+	for l.codel != nil && l.qhead < len(l.queue) {
+		p := l.queue[l.qhead]
+		if !l.codel.ShouldDrop(now-p.SentAt, now) {
+			break
+		}
+		l.sampleQueue(now)
+		l.queue[l.qhead] = nil
+		l.qhead++
+		l.qByte -= p.Size
+		l.DroppedBytes += int64(p.Size)
+		l.DroppedAQM++
+		l.drop(p, false)
+	}
+	if l.qhead >= len(l.queue) {
+		l.busy = false
+		return
+	}
+	p := l.queue[l.qhead]
+	rate := l.cap.RateAt(now)
+	if rate < minLinkRate {
+		rate = minLinkRate
+	}
+	tx := time.Duration(float64(p.Size) / rate * float64(time.Second))
+	l.eng.After(tx, func() {
+		l.sampleQueue(l.eng.Now())
+		l.queue[l.qhead] = nil
+		l.qhead++
+		l.qByte -= p.Size
+		l.DeliveredBytes += int64(p.Size)
+		pkt := p
+		l.eng.After(l.prop, func() { l.sink(pkt) })
+		l.serveNext()
+	})
+}

@@ -1,0 +1,65 @@
+package netem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"libra/internal/cc"
+	"libra/internal/trace"
+)
+
+// Property: for any constant-rate overdriving sender, the link never
+// delivers more than capacity x time (plus one in-service packet).
+func TestQuickLinkNeverExceedsCapacity(t *testing.T) {
+	f := func(capRaw, rateRaw uint8, bufRaw uint16) bool {
+		capMbps := 1 + float64(capRaw%40)
+		sendMbps := 1 + float64(rateRaw%80)
+		buf := 10000 + int(bufRaw)%200000
+		n := New(Config{
+			Capacity:    trace.Constant(trace.Mbps(capMbps)),
+			MinRTT:      20 * time.Millisecond,
+			BufferBytes: buf,
+			Seed:        int64(capRaw)*7 + int64(rateRaw),
+		})
+		n.AddFlow(cc.FixedRate{R: trace.Mbps(sendMbps)}, 0, 0)
+		const d = 3 * time.Second
+		n.Run(d)
+		limit := trace.Mbps(capMbps)*d.Seconds() + 1500
+		return float64(n.Link().DeliveredBytes) <= limit
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(21))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: queue occupancy never exceeds the configured buffer.
+func TestQuickQueueBounded(t *testing.T) {
+	f := func(bufRaw uint16) bool {
+		buf := 5000 + int(bufRaw)%100000
+		n := New(Config{
+			Capacity:    trace.Constant(trace.Mbps(5)),
+			MinRTT:      20 * time.Millisecond,
+			BufferBytes: buf,
+			Seed:        int64(bufRaw),
+		})
+		n.AddFlow(cc.FixedRate{R: trace.Mbps(50)}, 0, 0)
+		ok := true
+		probe := func() {
+			if n.Link().QueuedBytes() > buf {
+				ok = false
+			}
+		}
+		for i := 1; i <= 20; i++ {
+			n.Eng.After(time.Duration(i)*100*time.Millisecond, probe)
+		}
+		n.Run(2100 * time.Millisecond)
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(22))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

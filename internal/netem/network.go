@@ -1,0 +1,139 @@
+package netem
+
+import (
+	"time"
+
+	"libra/internal/cc"
+	"libra/internal/sim"
+	"libra/internal/trace"
+)
+
+// Config describes the emulated path.
+type Config struct {
+	// Capacity is the bottleneck capacity trace.
+	Capacity trace.Trace
+	// MinRTT is the round-trip propagation delay, split evenly between
+	// the forward (post-serialization) and ACK directions.
+	MinRTT time.Duration
+	// BufferBytes is the droptail queue limit.
+	BufferBytes int
+	// LossRate is the iid stochastic loss probability.
+	LossRate float64
+	// ECNThreshold, when positive, enables ECN: packets enqueued while
+	// the queue exceeds this many bytes are CE-marked and the mark is
+	// echoed on their ACKs (DCTCP-style marking).
+	ECNThreshold int
+	// CoDel enables Controlled-Delay AQM at the bottleneck (RFC 8289
+	// defaults: 5 ms target, 100 ms interval).
+	CoDel bool
+	// MSS is the packet size (default 1500).
+	MSS int
+	// Seed drives all stochastic behaviour.
+	Seed int64
+	// RecordSeries enables per-flow throughput/delay time series with
+	// the given bucket (default 100 ms when RecordSeries is set but
+	// SeriesBucket is zero).
+	RecordSeries bool
+	SeriesBucket time.Duration
+}
+
+// Network is a single-bottleneck emulated topology.
+type Network struct {
+	Eng      *sim.Engine
+	cfg      Config
+	link     *Link
+	flows    []*Flow
+	pool     packetPool
+	ackDelay time.Duration
+}
+
+// New builds a network. The engine is created internally and owned by
+// the network.
+func New(cfg Config) *Network {
+	if cfg.MSS == 0 {
+		cfg.MSS = cc.DefaultMSS
+	}
+	if cfg.BufferBytes <= 0 {
+		cfg.BufferBytes = 150 * 1000
+	}
+	eng := sim.New(cfg.Seed)
+	n := &Network{Eng: eng, cfg: cfg, ackDelay: cfg.MinRTT / 2}
+	var cd *CoDel
+	if cfg.CoDel {
+		cd = NewCoDel()
+	}
+	n.link = newLink(eng, LinkConfig{
+		CoDel:        cd,
+		Capacity:     cfg.Capacity,
+		PropDelay:    cfg.MinRTT - cfg.MinRTT/2,
+		BufferBytes:  cfg.BufferBytes,
+		LossRate:     cfg.LossRate,
+		ECNThreshold: cfg.ECNThreshold,
+		Seed:         cfg.Seed,
+	}, n.deliver, n.dropped)
+	return n
+}
+
+// Link exposes the bottleneck for queue statistics.
+func (n *Network) Link() *Link { return n.link }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+func (n *Network) deliver(p *Packet) {
+	p.Flow.onDelivered(p)
+}
+
+func (n *Network) dropped(p *Packet, _ bool) {
+	n.pool.put(p)
+}
+
+// AddFlow attaches a sender driven by ctrl, active on [start, stop).
+// A zero stop means "until the end of the run".
+func (n *Network) AddFlow(ctrl cc.Controller, start, stop time.Duration) *Flow {
+	f := &Flow{
+		ID:      len(n.flows),
+		net:     n,
+		ctrl:    ctrl,
+		mss:     n.cfg.MSS,
+		startAt: start,
+		stopAt:  stop,
+	}
+	if n.cfg.RecordSeries {
+		b := n.cfg.SeriesBucket
+		if b <= 0 {
+			b = 100 * time.Millisecond
+		}
+		f.Stats.Throughput = NewSeries(b)
+		f.Stats.Delay = NewSeries(b)
+	}
+	n.flows = append(n.flows, f)
+	n.Eng.At(start, f.start)
+	if stop > 0 {
+		n.Eng.At(stop, f.stop)
+	}
+	return f
+}
+
+// Flows returns the attached flows in creation order.
+func (n *Network) Flows() []*Flow { return n.flows }
+
+// Run advances the simulation to time d and finalises flow statistics.
+func (n *Network) Run(d time.Duration) {
+	n.Eng.Run(d)
+	for _, f := range n.flows {
+		if f.running {
+			f.stop()
+		}
+	}
+}
+
+// Utilization returns delivered bytes at the bottleneck divided by the
+// link's mean capacity over [0, d].
+func (n *Network) Utilization(d time.Duration) float64 {
+	mean := trace.MeanRate(n.cfg.Capacity, d, 10*time.Millisecond)
+	if mean <= 0 || d <= 0 {
+		return 0
+	}
+	return float64(n.link.DeliveredBytes) / (mean * d.Seconds())
+}

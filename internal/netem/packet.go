@@ -1,0 +1,49 @@
+// Package netem emulates a network path at packet granularity on top of
+// the discrete-event engine in internal/sim.
+//
+// The topology every experiment in the paper needs is a single shared
+// bottleneck: N senders feed one droptail FIFO link with (possibly
+// trace-driven, time-varying) capacity, followed by a fixed one-way
+// propagation delay; receivers acknowledge each packet and ACKs return
+// after the reverse propagation delay on an uncongested path. This is the
+// Mahimahi model re-expressed as a discrete-event simulation, and it is
+// the substitution for the paper's Linux-kernel + Mahimahi + live
+// Internet testbeds (see DESIGN.md).
+package netem
+
+import "time"
+
+// Packet is one data segment traversing the emulated path. Packets are
+// pooled by the Network to keep the per-packet hot path allocation-free.
+type Packet struct {
+	Flow   *Flow
+	Seq    int64
+	Size   int // bytes, including all headers
+	SentAt time.Duration
+	// DeliveredAtSend snapshots the sender's delivered-bytes counter at
+	// transmission time, enabling BBR-style delivery-rate samples.
+	DeliveredAtSend int64
+	// CE is set when the bottleneck marked the packet (ECN congestion
+	// experienced); the receiver echoes it on the ACK.
+	CE bool
+}
+
+type packetPool struct {
+	free []*Packet
+}
+
+func (p *packetPool) get() *Packet {
+	if n := len(p.free); n > 0 {
+		pk := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		*pk = Packet{}
+		return pk
+	}
+	return &Packet{}
+}
+
+func (p *packetPool) put(pk *Packet) {
+	pk.Flow = nil
+	p.free = append(p.free, pk)
+}

@@ -1,0 +1,69 @@
+package netem
+
+import "time"
+
+// Series accumulates a time-bucketed scalar, e.g. bytes acknowledged per
+// 100 ms bucket, from which per-bucket rates or means are derived.
+type Series struct {
+	Bucket time.Duration
+	sums   []float64
+	counts []int
+}
+
+// NewSeries returns a series with the given bucket width.
+func NewSeries(bucket time.Duration) *Series {
+	if bucket <= 0 {
+		bucket = 100 * time.Millisecond
+	}
+	return &Series{Bucket: bucket}
+}
+
+// Add folds v into the bucket containing at.
+func (s *Series) Add(at time.Duration, v float64) {
+	i := int(at / s.Bucket)
+	if i < 0 {
+		i = 0
+	}
+	for len(s.sums) <= i {
+		s.sums = append(s.sums, 0)
+		s.counts = append(s.counts, 0)
+	}
+	s.sums[i] += v
+	s.counts[i]++
+}
+
+// Len returns the number of buckets.
+func (s *Series) Len() int { return len(s.sums) }
+
+// Sum returns the accumulated value of bucket i (zero out of range).
+func (s *Series) Sum(i int) float64 {
+	if i < 0 || i >= len(s.sums) {
+		return 0
+	}
+	return s.sums[i]
+}
+
+// Rate returns bucket i's sum divided by the bucket width in seconds —
+// e.g. bytes/sec when the series accumulates bytes.
+func (s *Series) Rate(i int) float64 {
+	return s.Sum(i) / s.Bucket.Seconds()
+}
+
+// Mean returns the average of the samples in bucket i, or zero when the
+// bucket is empty.
+func (s *Series) Mean(i int) float64 {
+	if i < 0 || i >= len(s.sums) || s.counts[i] == 0 {
+		return 0
+	}
+	return s.sums[i] / float64(s.counts[i])
+}
+
+// Rates returns the per-bucket rates for buckets [0, n). Buckets beyond
+// the recorded range are zero.
+func (s *Series) Rates(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.Rate(i)
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2015).
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Eps     float64
+	m, v    [][]float64
+	t       int
+	clipped float64 // gradient clip norm (0 disables)
+}
+
+// NewAdam returns an optimizer with standard betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// SetClip enables global-norm gradient clipping.
+func (a *Adam) SetClip(norm float64) { a.clipped = norm }
+
+// Step applies one update to params given aligned grads, then leaves the
+// grads untouched (callers zero them).
+func (a *Adam) Step(params, grads []*Matrix) {
+	if a.m == nil {
+		for _, p := range params {
+			a.m = append(a.m, make([]float64, len(p.Data)))
+			a.v = append(a.v, make([]float64, len(p.Data)))
+		}
+	}
+	if a.clipped > 0 {
+		var norm float64
+		for _, g := range grads {
+			for _, v := range g.Data {
+				norm += v * v
+			}
+		}
+		norm = math.Sqrt(norm)
+		if norm > a.clipped {
+			scale := a.clipped / norm
+			for _, g := range grads {
+				for i := range g.Data {
+					g.Data[i] *= scale
+				}
+			}
+		}
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for pi, p := range params {
+		g := grads[pi]
+		m, v := a.m[pi], a.v[pi]
+		for i := range p.Data {
+			gi := g.Data[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*gi
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*gi*gi
+			mhat := m[i] / bc1
+			vhat := v[i] / bc2
+			p.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}

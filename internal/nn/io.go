@@ -1,0 +1,44 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// snapshot is the gob wire format for an MLP.
+type snapshot struct {
+	Sizes   []int
+	Act     Activation
+	Weights [][]float64
+}
+
+// Save serialises the network's architecture and weights.
+func (m *MLP) Save(w io.Writer) error {
+	s := snapshot{Sizes: m.Sizes, Act: m.Act}
+	for _, p := range m.Params() {
+		s.Weights = append(s.Weights, p.Data)
+	}
+	return gob.NewEncoder(w).Encode(&s)
+}
+
+// Load reconstructs a network saved with Save.
+func Load(r io.Reader) (*MLP, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
+	m := NewMLP(rand.New(rand.NewSource(0)), s.Act, s.Sizes...)
+	params := m.Params()
+	if len(params) != len(s.Weights) {
+		return nil, fmt.Errorf("nn: load: %d weight blocks for %d params", len(s.Weights), len(params))
+	}
+	for i, p := range params {
+		if len(p.Data) != len(s.Weights[i]) {
+			return nil, fmt.Errorf("nn: load: block %d has %d values, want %d", i, len(s.Weights[i]), len(p.Data))
+		}
+		copy(p.Data, s.Weights[i])
+	}
+	return m, nil
+}

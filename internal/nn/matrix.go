@@ -1,0 +1,108 @@
+// Package nn is a small, dependency-free neural-network library: dense
+// layers with tanh activations, reverse-mode gradients, and the Adam
+// optimizer. It is the substitution for the TensorFlow 1.14 stack the
+// paper trains its PPO agents with (see DESIGN.md): the PPO semantics
+// are unchanged, only the tensor backend differs.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Zero clears the matrix in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// XavierInit fills the matrix with Glorot-uniform weights.
+func (m *Matrix) XavierInit(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (2*rng.Float64() - 1) * limit
+	}
+}
+
+// MulVec computes y = M x for a vector x of length Cols; y has length
+// Rows. dst is reused when it has the right length.
+func (m *Matrix) MulVec(x, dst []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("nn: MulVec dimension mismatch: %d cols vs %d input", m.Cols, len(x)))
+	}
+	if len(dst) != m.Rows {
+		dst = make([]float64, m.Rows)
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		var sum float64
+		for c, w := range row {
+			sum += w * x[c]
+		}
+		dst[r] = sum
+	}
+	return dst
+}
+
+// MulVecT computes y = M^T x for a vector x of length Rows; y has length
+// Cols.
+func (m *Matrix) MulVecT(x, dst []float64) []float64 {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("nn: MulVecT dimension mismatch: %d rows vs %d input", m.Rows, len(x)))
+	}
+	if len(dst) != m.Cols {
+		dst = make([]float64, m.Cols)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		xr := x[r]
+		for c := range row {
+			dst[c] += row[c] * xr
+		}
+	}
+	return dst
+}
+
+// AddOuter accumulates M += a * x y^T (outer product), used for weight
+// gradients.
+func (m *Matrix) AddOuter(a float64, x, y []float64) {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic("nn: AddOuter dimension mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		ax := a * x[r]
+		for c := range row {
+			row[c] += ax * y[c]
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Activation selects the hidden-layer nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Tanh Activation = iota
+	ReLU
+)
+
+func (a Activation) apply(v float64) float64 {
+	switch a {
+	case ReLU:
+		if v < 0 {
+			return 0
+		}
+		return v
+	default:
+		return math.Tanh(v)
+	}
+}
+
+func (a Activation) deriv(pre, post float64) float64 {
+	switch a {
+	case ReLU:
+		if pre <= 0 {
+			return 0
+		}
+		return 1
+	default:
+		return 1 - post*post
+	}
+}
+
+// layer is one dense layer with cached forward state for backprop.
+type layer struct {
+	w, b   *Matrix
+	dw, db *Matrix
+	in     []float64 // cached input
+	pre    []float64 // pre-activation
+	out    []float64 // post-activation
+	last   bool      // output layer: linear
+}
+
+// MLP is a fully-connected network with identical hidden activations and
+// a linear output layer.
+type MLP struct {
+	Sizes  []int
+	Act    Activation
+	layers []*layer
+	gradIn []float64
+}
+
+// NewMLP builds a network with the given layer sizes, e.g.
+// NewMLP(rng, Tanh, 12, 32, 32, 2) for a 12-input, 2-output net with two
+// 32-unit tanh hidden layers.
+func NewMLP(rng *rand.Rand, act Activation, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{Sizes: sizes, Act: act}
+	for i := 0; i < len(sizes)-1; i++ {
+		l := &layer{
+			w:    NewMatrix(sizes[i+1], sizes[i]),
+			b:    NewMatrix(sizes[i+1], 1),
+			dw:   NewMatrix(sizes[i+1], sizes[i]),
+			db:   NewMatrix(sizes[i+1], 1),
+			pre:  make([]float64, sizes[i+1]),
+			out:  make([]float64, sizes[i+1]),
+			last: i == len(sizes)-2,
+		}
+		l.w.XavierInit(rng)
+		m.layers = append(m.layers, l)
+	}
+	return m
+}
+
+// Forward runs the network, caching activations for a subsequent
+// Backward. The returned slice is owned by the MLP and overwritten by
+// the next Forward.
+func (m *MLP) Forward(x []float64) []float64 {
+	cur := x
+	for _, l := range m.layers {
+		l.in = cur
+		l.w.MulVec(cur, l.pre)
+		for i := range l.pre {
+			l.pre[i] += l.b.Data[i]
+			if l.last {
+				l.out[i] = l.pre[i]
+			} else {
+				l.out[i] = m.Act.apply(l.pre[i])
+			}
+		}
+		cur = l.out
+	}
+	return cur
+}
+
+// Backward accumulates parameter gradients for the most recent Forward,
+// given dLoss/dOutput, and returns dLoss/dInput.
+func (m *MLP) Backward(gradOut []float64) []float64 {
+	grad := gradOut
+	for i := len(m.layers) - 1; i >= 0; i-- {
+		l := m.layers[i]
+		// delta = grad * act'(pre)
+		delta := make([]float64, len(grad))
+		for j := range grad {
+			if l.last {
+				delta[j] = grad[j]
+			} else {
+				delta[j] = grad[j] * m.Act.deriv(l.pre[j], l.out[j])
+			}
+		}
+		l.dw.AddOuter(1, delta, l.in)
+		for j := range delta {
+			l.db.Data[j] += delta[j]
+		}
+		if i > 0 {
+			grad = l.w.MulVecT(delta, nil)
+		} else {
+			m.gradIn = l.w.MulVecT(delta, m.gradIn)
+			grad = m.gradIn
+		}
+	}
+	return grad
+}
+
+// ZeroGrad clears accumulated gradients.
+func (m *MLP) ZeroGrad() {
+	for _, l := range m.layers {
+		l.dw.Zero()
+		l.db.Zero()
+	}
+}
+
+// Params returns the parameter matrices in a stable order
+// (W1, b1, W2, b2, ...).
+func (m *MLP) Params() []*Matrix {
+	out := make([]*Matrix, 0, 2*len(m.layers))
+	for _, l := range m.layers {
+		out = append(out, l.w, l.b)
+	}
+	return out
+}
+
+// Grads returns the gradient matrices aligned with Params.
+func (m *MLP) Grads() []*Matrix {
+	out := make([]*Matrix, 0, 2*len(m.layers))
+	for _, l := range m.layers {
+		out = append(out, l.dw, l.db)
+	}
+	return out
+}
+
+// NumParams returns the total parameter count.
+func (m *MLP) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.Data)
+	}
+	return n
+}
+
+// Clone returns a deep copy sharing no state.
+func (m *MLP) Clone() *MLP {
+	out := &MLP{Sizes: append([]int(nil), m.Sizes...), Act: m.Act}
+	for _, l := range m.layers {
+		out.layers = append(out.layers, &layer{
+			w:    l.w.Clone(),
+			b:    l.b.Clone(),
+			dw:   NewMatrix(l.dw.Rows, l.dw.Cols),
+			db:   NewMatrix(l.db.Rows, l.db.Cols),
+			pre:  make([]float64, len(l.pre)),
+			out:  make([]float64, len(l.out)),
+			last: l.last,
+		})
+	}
+	return out
+}

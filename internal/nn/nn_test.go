@@ -1,0 +1,249 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixOps(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(0, 2, 3)
+	m.Set(1, 0, 4)
+	m.Set(1, 1, 5)
+	m.Set(1, 2, 6)
+	y := m.MulVec([]float64{1, 1, 1}, nil)
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec %v", y)
+	}
+	yt := m.MulVecT([]float64{1, 1}, nil)
+	if yt[0] != 5 || yt[1] != 7 || yt[2] != 9 {
+		t.Fatalf("MulVecT %v", yt)
+	}
+	m2 := NewMatrix(2, 2)
+	m2.AddOuter(2, []float64{1, 2}, []float64{3, 4})
+	if m2.At(0, 0) != 6 || m2.At(1, 1) != 16 {
+		t.Fatalf("AddOuter %v", m2.Data)
+	}
+}
+
+func TestMulVecPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(2, 3).MulVec([]float64{1}, nil)
+}
+
+func TestForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP(rng, Tanh, 4, 8, 3)
+	out := m.Forward([]float64{0.1, -0.2, 0.3, 0.4})
+	if len(out) != 3 {
+		t.Fatalf("output length %d", len(out))
+	}
+	if m.NumParams() != 4*8+8+8*3+3 {
+		t.Fatalf("param count %d", m.NumParams())
+	}
+}
+
+// Gradient check: backprop gradients must match finite differences.
+func TestGradientCheck(t *testing.T) {
+	for _, act := range []Activation{Tanh, ReLU} {
+		rng := rand.New(rand.NewSource(2))
+		m := NewMLP(rng, act, 3, 5, 4, 2)
+		x := []float64{0.3, -0.7, 0.5}
+		target := []float64{0.2, -0.1}
+
+		loss := func() float64 {
+			out := m.Forward(x)
+			var l float64
+			for i := range out {
+				d := out[i] - target[i]
+				l += 0.5 * d * d
+			}
+			return l
+		}
+
+		// Analytic gradients.
+		m.ZeroGrad()
+		out := m.Forward(x)
+		gradOut := make([]float64, len(out))
+		for i := range out {
+			gradOut[i] = out[i] - target[i]
+		}
+		m.Backward(gradOut)
+
+		params := m.Params()
+		grads := m.Grads()
+		const h = 1e-6
+		checked := 0
+		for pi, p := range params {
+			for i := 0; i < len(p.Data); i += 7 { // sample every 7th weight
+				orig := p.Data[i]
+				p.Data[i] = orig + h
+				lp := loss()
+				p.Data[i] = orig - h
+				lm := loss()
+				p.Data[i] = orig
+				numeric := (lp - lm) / (2 * h)
+				analytic := grads[pi].Data[i]
+				if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+					t.Fatalf("act=%v param %d[%d]: analytic %v vs numeric %v", act, pi, i, analytic, numeric)
+				}
+				checked++
+			}
+		}
+		if checked < 10 {
+			t.Fatalf("only checked %d weights", checked)
+		}
+	}
+}
+
+func TestInputGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP(rng, Tanh, 2, 6, 1)
+	x := []float64{0.4, -0.3}
+	m.ZeroGrad()
+	out := m.Forward(x)
+	gin := m.Backward([]float64{1})
+	const h = 1e-6
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + h
+		lp := m.Forward(x)[0]
+		x[i] = orig - h
+		lm := m.Forward(x)[0]
+		x[i] = orig
+		numeric := (lp - lm) / (2 * h)
+		if math.Abs(numeric-gin[i]) > 1e-5*(1+math.Abs(numeric)) {
+			t.Fatalf("input grad %d: %v vs %v", i, gin[i], numeric)
+		}
+	}
+	_ = out
+}
+
+func TestAdamReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewMLP(rng, Tanh, 1, 16, 1)
+	opt := NewAdam(0.01)
+	// Fit y = sin(3x) on [-1, 1].
+	lossAt := func() float64 {
+		var l float64
+		for x := -1.0; x <= 1; x += 0.1 {
+			out := m.Forward([]float64{x})
+			d := out[0] - math.Sin(3*x)
+			l += d * d
+		}
+		return l
+	}
+	before := lossAt()
+	for epoch := 0; epoch < 400; epoch++ {
+		m.ZeroGrad()
+		for x := -1.0; x <= 1; x += 0.1 {
+			out := m.Forward([]float64{x})
+			m.Backward([]float64{2 * (out[0] - math.Sin(3*x))})
+		}
+		opt.Step(m.Params(), m.Grads())
+	}
+	after := lossAt()
+	if after > before/10 {
+		t.Fatalf("Adam failed to fit: loss %v -> %v", before, after)
+	}
+}
+
+func TestAdamClipping(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMLP(rng, Tanh, 1, 4, 1)
+	opt := NewAdam(0.1)
+	opt.SetClip(0.001)
+	before := m.Params()[0].Clone()
+	m.ZeroGrad()
+	m.Forward([]float64{1})
+	m.Backward([]float64{1e9}) // exploding gradient
+	opt.Step(m.Params(), m.Grads())
+	var maxDelta float64
+	for i, v := range m.Params()[0].Data {
+		d := math.Abs(v - before.Data[i])
+		if d > maxDelta {
+			maxDelta = d
+		}
+	}
+	// Adam steps are bounded by LR regardless, but clipping should keep
+	// the moment estimates finite and the step modest.
+	if maxDelta > 0.2 || math.IsNaN(maxDelta) {
+		t.Fatalf("clipped step still moved %v", maxDelta)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMLP(rng, Tanh, 3, 7, 2)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, 0.2, 0.3}
+	a := append([]float64(nil), m.Forward(x)...)
+	b := m2.Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("loaded model diverges: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMLP(rng, Tanh, 2, 4, 1)
+	c := m.Clone()
+	x := []float64{0.5, -0.5}
+	a := m.Forward(x)[0]
+	if c.Forward(x)[0] != a {
+		t.Fatal("clone should match initially")
+	}
+	m.Params()[0].Data[0] += 1
+	if c.Forward(x)[0] != a {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+// Property: forward pass is deterministic and finite for any input.
+func TestQuickForwardFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewMLP(rng, Tanh, 4, 8, 2)
+	f := func(a, b, c, d float64) bool {
+		clamp := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Max(-1e6, math.Min(1e6, v))
+		}
+		out := m.Forward([]float64{clamp(a), clamp(b), clamp(c), clamp(d)})
+		for _, v := range out {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGaussianLogProb(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := NewGaussianPolicy(rng, 2, 1, []int{4}, 0) // std = 1
+	obs := []float64{0.1, 0.2}
+	mean := append([]float64(nil), p.Mean(obs)...)
+	// logp at the mean of a unit Gaussian is -0.5*log(2*pi).
+	lp := p.LogProb(obs, mean)
+	want := -0.5 * log2Pi
+	if math.Abs(lp-want) > 1e-9 {
+		t.Fatalf("logp at mean %v, want %v", lp, want)
+	}
+	// One std away: exponent adds -0.5.
+	lp1 := p.LogProb(obs, []float64{mean[0] + 1})
+	if math.Abs(lp1-(want-0.5)) > 1e-9 {
+		t.Fatalf("logp at mean+sigma %v, want %v", lp1, want-0.5)
+	}
+}
+
+func TestSampleSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := NewGaussianPolicy(rng, 1, 1, []int{4}, 0)
+	obs := []float64{0.5}
+	mean := p.Mean(obs)[0]
+	var sum, sq float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		a, _ := p.Sample(obs)
+		sum += a[0]
+		sq += (a[0] - mean) * (a[0] - mean)
+	}
+	if math.Abs(sum/n-mean) > 0.1 {
+		t.Fatalf("sample mean %v vs policy mean %v", sum/n, mean)
+	}
+	if std := math.Sqrt(sq / n); std < 0.8 || std > 1.2 {
+		t.Fatalf("sample std %v, want ~1", std)
+	}
+}
+
+func TestBackwardLogProbGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := NewGaussianPolicy(rng, 2, 2, []int{5}, -0.3)
+	obs := []float64{0.4, -0.2}
+	act := []float64{0.7, 0.1}
+
+	p.ZeroGrad()
+	p.BackwardLogProb(obs, act, 1)
+	grads := p.Grads()
+	params := p.Params()
+
+	const h = 1e-6
+	for pi, pm := range params {
+		for i := 0; i < len(pm.Data); i += 3 {
+			orig := pm.Data[i]
+			pm.Data[i] = orig + h
+			lp := p.LogProb(obs, act)
+			pm.Data[i] = orig - h
+			lm := p.LogProb(obs, act)
+			pm.Data[i] = orig
+			numeric := (lp - lm) / (2 * h)
+			if math.Abs(numeric-grads[pi].Data[i]) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("param %d[%d]: analytic %v vs numeric %v", pi, i, grads[pi].Data[i], numeric)
+			}
+		}
+	}
+}
+
+func TestEntropyIncreasesWithStd(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	lo := NewGaussianPolicy(rng, 1, 1, []int{4}, -1)
+	hi := NewGaussianPolicy(rng, 1, 1, []int{4}, 0)
+	if lo.Entropy() >= hi.Entropy() {
+		t.Fatal("entropy should grow with log-std")
+	}
+}
+
+// PPO must learn a contextual bandit: obs s ~ U(-1,1), reward
+// -(a - s)^2. The optimal policy outputs a = s.
+func TestPPOLearnsContextualBandit(t *testing.T) {
+	agent := NewPPO(5, 1, 1, Config{Hidden: []int{16}, ActorLR: 1e-2, CriticLR: 1e-2, MiniBatch: 32})
+	rng := rand.New(rand.NewSource(6))
+
+	evalErr := func() float64 {
+		var sum float64
+		for s := -1.0; s <= 1; s += 0.1 {
+			a := agent.Policy.Mean([]float64{s})[0]
+			sum += (a - s) * (a - s)
+		}
+		return sum / 21
+	}
+	before := evalErr()
+	for iter := 0; iter < 60; iter++ {
+		for i := 0; i < 128; i++ {
+			s := 2*rng.Float64() - 1
+			obs := []float64{s}
+			act, logp, val := agent.Act(obs)
+			rew := -(act[0] - s) * (act[0] - s)
+			agent.Store(obs, act, logp, rew, val, true)
+		}
+		agent.Update(0)
+	}
+	after := evalErr()
+	if after > before/4 || after > 0.1 {
+		t.Fatalf("PPO failed to learn: err %v -> %v", before, after)
+	}
+}
+
+func TestGAEComputation(t *testing.T) {
+	agent := NewPPO(7, 1, 1, Config{Gamma: 0.5, Lambda: 1, Epochs: 1, MiniBatch: 8})
+	// Two-step episode with known values: check Update consumes the
+	// buffer and doesn't blow up; GAE correctness is covered indirectly
+	// by the learning test, here we check bookkeeping.
+	obs := []float64{0}
+	act, logp, val := agent.Act(obs)
+	agent.Store(obs, act, logp, 1, val, false)
+	act2, logp2, val2 := agent.Act(obs)
+	agent.Store(obs, act2, logp2, 1, val2, true)
+	st := agent.Update(0)
+	if st.Samples != 2 {
+		t.Fatalf("update consumed %d samples", st.Samples)
+	}
+	if agent.BufLen() != 0 {
+		t.Fatal("buffer not cleared after update")
+	}
+	if math.IsNaN(st.PolicyLoss) || math.IsNaN(st.ValueLoss) {
+		t.Fatal("NaN losses")
+	}
+}
+
+func TestUpdateOnEmptyBuffer(t *testing.T) {
+	agent := NewPPO(8, 2, 1, Config{})
+	st := agent.Update(0)
+	if st.Samples != 0 {
+		t.Fatal("empty update should be a no-op")
+	}
+}
+
+func TestRunningNorm(t *testing.T) {
+	n := NewRunningNorm(2)
+	// Pass-through before enough data.
+	out := n.Normalize([]float64{3, 4}, nil)
+	if out[0] != 3 || out[1] != 4 {
+		t.Fatal("should pass through before 2 observations")
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		n.Observe([]float64{5 + 2*rng.NormFloat64(), -3 + 0.5*rng.NormFloat64()})
+	}
+	z := n.Normalize([]float64{5, -3}, nil)
+	if math.Abs(z[0]) > 0.15 || math.Abs(z[1]) > 0.15 {
+		t.Fatalf("mean inputs should normalise near zero: %v", z)
+	}
+	z2 := n.Normalize([]float64{9, -2}, nil)
+	if math.Abs(z2[0]-2) > 0.3 || math.Abs(z2[1]-2) > 0.6 {
+		t.Fatalf("2-sigma inputs should normalise near 2: %v", z2)
+	}
+	// Clipping.
+	z3 := n.Normalize([]float64{1e9, 0}, nil)
+	if z3[0] != 10 {
+		t.Fatalf("extreme input should clip to 10, got %v", z3[0])
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	mk := func() float64 {
+		a := NewPPO(42, 3, 1, Config{})
+		obs := []float64{0.1, 0.2, 0.3}
+		act, _, _ := a.Act(obs)
+		return act[0]
+	}
+	if mk() != mk() {
+		t.Fatal("same seed should give identical behaviour")
+	}
+}

@@ -1,0 +1,367 @@
+package rlcc
+
+import (
+	"math"
+	"time"
+
+	"libra/internal/cc"
+	"libra/internal/rl"
+)
+
+// ActionMode selects how the agent's scalar action maps to a rate
+// change (Sec. 4.2, "Action space").
+type ActionMode int
+
+// Action modes evaluated in Fig. 6.
+const (
+	// AIAD: x_{t+1} = x_t + a_t (a in Mbps).
+	AIAD ActionMode = iota
+	// MIMDAurora: x*(1+delta*a) for a>=0, x/(1-delta*a) otherwise.
+	MIMDAurora
+	// MIMDOrca: x * 2^a.
+	MIMDOrca
+)
+
+// auroraDelta is the Aurora scaling factor the paper sets to 0.025.
+const auroraDelta = 0.025
+
+// Config parameterises the RL-based CCA.
+type Config struct {
+	CC cc.Config
+	// Features is the state space; defaults to LibraStateSpace().
+	Features []Feature
+	// History is h, the number of stacked feature vectors (default 5).
+	History int
+	// Action selects the rate-update rule (default MIMDAurora).
+	Action ActionMode
+	// Scale bounds the raw action to [-Scale, Scale] (default 5; Orca
+	// mode conventionally uses 2).
+	Scale float64
+	// Reward weights (defaults w1=1, w2=0.5, w3=10 as in Sec. 5).
+	W1, W2, W3 float64
+	// RewardXMax fixes the throughput normaliser x_max (bytes/sec) to a
+	// known reference — the top of the training environment's capacity
+	// range, as Orca normalises by the environment's max bandwidth.
+	// Left at zero, x_max is the flow's own observed maximum, which is
+	// degenerate: any stable rate then scores w1 exactly, removing the
+	// incentive to grow. Default: 200 Mbps (the paper's training
+	// ceiling).
+	RewardXMax float64
+	// UseDelta selects the delta-r reward (default true for Libra).
+	UseDelta bool
+	// DisableLossTerm drops the loss component (Tab. 3 ablation).
+	DisableLossTerm bool
+	// RewardFunc, when non-nil, replaces the Alg. 2 reward entirely —
+	// the Modified-RL baseline plugs the Eq. 1 utility in here.
+	RewardFunc func(throughputMbps, rttGradient, lossRate float64) float64
+	// Agent is the shared PPO agent; one is created when nil.
+	Agent *rl.PPO
+	// Norm is the shared observation normaliser. The policy's inputs
+	// are only meaningful under the statistics it was trained with, so
+	// the normaliser must travel with the agent; one is created when
+	// nil (fresh-training case).
+	Norm *rl.RunningNorm
+	// PPO configures the agent when it is created here.
+	PPO rl.Config
+	// Train enables transition recording into the agent's buffer.
+	Train bool
+	// Deterministic uses the policy mean instead of sampling (inference
+	// without exploration noise).
+	Deterministic bool
+	// Seed drives agent construction when Agent is nil.
+	Seed int64
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	c.CC = c.CC.WithDefaults()
+	if c.Features == nil {
+		c.Features = LibraStateSpace()
+	}
+	if c.History == 0 {
+		c.History = 5
+	}
+	if c.Scale == 0 {
+		if c.Action == MIMDOrca {
+			c.Scale = 2
+		} else {
+			c.Scale = 5
+		}
+	}
+	if c.W1 == 0 {
+		c.W1 = 1
+	}
+	if c.W2 == 0 {
+		c.W2 = 0.5
+	}
+	if c.W3 == 0 {
+		c.W3 = 10
+	}
+	if c.RewardXMax == 0 {
+		c.RewardXMax = 200e6 / 8
+	}
+	return c
+}
+
+// ObsDim returns the observation dimension for the config.
+func (c Config) ObsDim() int {
+	cc := c.WithDefaults()
+	return StateWidth(cc.Features) * cc.History
+}
+
+// Controller is the RL-based CCA (Alg. 2). It implements cc.Controller
+// and cc.Ticker; one decision is made per monitor interval.
+type Controller struct {
+	cfg   Config
+	name  string
+	agent *rl.PPO
+	ext   *Extractor
+	norm  *rl.RunningNorm
+	mon   cc.Monitor
+
+	srtt    time.Duration
+	rate    float64
+	started bool
+
+	stateBuf []float64 // h stacked normalised feature vectors
+	featBuf  []float64
+	width    int
+
+	// Pending transition (action taken, awaiting reward).
+	haveAction bool
+	prevObs    []float64
+	prevAct    []float64
+	prevLogp   float64
+	prevVal    float64
+
+	// Reward normalisation trackers (Alg. 2 line 6).
+	xMax float64 // max throughput seen, bytes/sec
+	dMin float64 // min delay seen, seconds
+
+	prevReward    float64
+	haveReward    bool
+	lastReward    float64 // exported for telemetry
+	episodeReward float64
+	episodeRaw    float64 // sum of unshaped per-MI rewards
+	decisions     int
+}
+
+// New constructs the controller.
+func New(name string, cfg Config) *Controller {
+	cfg = cfg.WithDefaults()
+	width := StateWidth(cfg.Features)
+	agent := cfg.Agent
+	if agent == nil {
+		agent = rl.NewPPO(cfg.Seed, width*cfg.History, 1, cfg.PPO)
+	}
+	norm := cfg.Norm
+	if norm == nil {
+		norm = rl.NewRunningNorm(width)
+	}
+	return &Controller{
+		cfg:      cfg,
+		name:     name,
+		agent:    agent,
+		ext:      NewExtractor(cfg.Features),
+		norm:     norm,
+		rate:     cfg.CC.InitialRate,
+		stateBuf: make([]float64, width*cfg.History),
+		width:    width,
+	}
+}
+
+func init() {
+	cc.Register("aurora", func(cfg cc.Config) cc.Controller {
+		return New("aurora", AuroraConfig(cfg))
+	})
+	cc.Register("rl", func(cfg cc.Config) cc.Controller {
+		return New("rl", Config{CC: cfg, Seed: cfg.Seed})
+	})
+}
+
+// Name implements cc.Controller.
+func (r *Controller) Name() string { return r.name }
+
+// Agent returns the underlying PPO agent (for training and persistence).
+func (r *Controller) Agent() *rl.PPO { return r.agent }
+
+// OnAck implements cc.Controller.
+func (r *Controller) OnAck(a *cc.Ack) {
+	r.srtt = a.SRTT
+	r.ext.OnAck(a)
+	r.mon.OnAck(a)
+}
+
+// OnLoss implements cc.Controller.
+func (r *Controller) OnLoss(l *cc.Loss) { r.mon.OnLoss(l) }
+
+// miLen returns the decision interval (one smoothed RTT, floored).
+func (r *Controller) miLen() time.Duration {
+	if r.srtt <= 0 {
+		return 100 * time.Millisecond
+	}
+	mi := r.srtt
+	if mi < 20*time.Millisecond {
+		mi = 20 * time.Millisecond
+	}
+	if mi > 500*time.Millisecond {
+		mi = 500 * time.Millisecond
+	}
+	return mi
+}
+
+// reward computes the Alg. 2 reward for a closed MI.
+func (r *Controller) reward(iv *cc.IntervalStats) float64 {
+	if r.cfg.RewardFunc != nil {
+		return r.cfg.RewardFunc(iv.Throughput()*8/1e6, iv.RTTGradient(), iv.LossRate())
+	}
+	thr := iv.Throughput()
+	delay := iv.AvgRTT().Seconds()
+	loss := iv.LossRate()
+	if thr > r.xMax {
+		r.xMax = thr
+	}
+	if delay > 0 && (r.dMin == 0 || delay < r.dMin) {
+		r.dMin = delay
+	}
+	xm := math.Max(r.xMax, 1)
+	if r.cfg.RewardXMax > 0 {
+		xm = r.cfg.RewardXMax
+	}
+	dm := math.Max(r.dMin, 1e-4)
+	w3 := r.cfg.W3
+	if r.cfg.DisableLossTerm {
+		w3 = 0
+	}
+	return r.cfg.W1*thr/xm - r.cfg.W2*delay/dm - w3*loss
+}
+
+// OnTick implements cc.Ticker: close the MI, credit the previous action
+// with its reward, and emit the next rate decision.
+func (r *Controller) OnTick(now time.Duration) time.Duration {
+	iv := r.mon.Roll(now)
+	if !r.started {
+		r.started = true
+		return r.miLen()
+	}
+	// Paper (Sec. 3): with no ACKs during the interval, keep the same
+	// rate decision.
+	if !iv.HasFeedback() {
+		return r.miLen()
+	}
+
+	raw := r.reward(iv)
+	var rew float64
+	if r.cfg.UseDelta {
+		if r.haveReward {
+			rew = raw - r.prevReward
+		}
+		r.prevReward = raw
+		r.haveReward = true
+	} else {
+		rew = raw
+	}
+	r.lastReward = rew
+	r.episodeReward += rew
+	r.episodeRaw += raw
+
+	// Credit the pending transition.
+	if r.haveAction && r.cfg.Train {
+		r.agent.Store(r.prevObs, r.prevAct, r.prevLogp, rew, r.prevVal, false)
+	}
+
+	// Build the next state: shift history, append normalised features.
+	r.featBuf = r.ext.Extract(iv, r.rate, r.cfg.CC.MSS, r.featBuf[:0])
+	r.norm.Observe(r.featBuf)
+	copy(r.stateBuf, r.stateBuf[r.width:])
+	r.norm.Normalize(r.featBuf, r.stateBuf[len(r.stateBuf)-r.width:])
+
+	// Act.
+	var act []float64
+	var logp, val float64
+	if r.cfg.Deterministic {
+		act = append([]float64(nil), r.agent.Policy.Mean(r.stateBuf)...)
+	} else {
+		act, logp, val = r.agent.Act(r.stateBuf)
+	}
+	a := clamp(act[0], -1, 1) * r.cfg.Scale
+	r.applyAction(a)
+	r.decisions++
+
+	if r.cfg.Train {
+		r.prevObs = append(r.prevObs[:0], r.stateBuf...)
+		r.prevAct = append(r.prevAct[:0], act...)
+		r.prevLogp = logp
+		r.prevVal = val
+		r.haveAction = true
+	}
+	return r.miLen()
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// applyAction maps the bounded action onto the new rate.
+func (r *Controller) applyAction(a float64) {
+	switch r.cfg.Action {
+	case AIAD:
+		r.rate += a * 1e6 / 8 // a is in Mbps
+	case MIMDOrca:
+		r.rate *= math.Pow(2, a)
+	default: // MIMDAurora
+		if a >= 0 {
+			r.rate *= 1 + auroraDelta*a
+		} else {
+			r.rate /= 1 - auroraDelta*a
+		}
+	}
+	r.rate = r.cfg.CC.ClampRate(r.rate)
+}
+
+// Rate implements cc.Controller.
+func (r *Controller) Rate() float64 { return r.rate }
+
+// SetRate overrides the operating rate (Libra seeds the RL component
+// from the winning base rate each control cycle).
+func (r *Controller) SetRate(rate float64) {
+	r.rate = r.cfg.CC.ClampRate(rate)
+}
+
+// Window implements cc.Controller: rate-based.
+func (r *Controller) Window() float64 { return math.Max(2*r.rate, 4*float64(r.cfg.CC.MSS)) }
+
+// Stop implements cc.Stopper: finalize the last pending transition.
+func (r *Controller) Stop(now time.Duration) {
+	if r.haveAction && r.cfg.Train {
+		r.agent.Store(r.prevObs, r.prevAct, r.prevLogp, 0, r.prevVal, true)
+		r.haveAction = false
+	}
+}
+
+// EpisodeReward returns the accumulated (shaped) reward since
+// construction.
+func (r *Controller) EpisodeReward() float64 { return r.episodeReward }
+
+// EpisodeRawReward returns the accumulated unshaped per-MI reward r_t.
+// Learning curves plot this sum: in delta-r mode the shaped rewards
+// telescope to ~0 per episode and carry no curve information.
+func (r *Controller) EpisodeRawReward() float64 { return r.episodeRaw }
+
+// LastReward returns the most recent per-MI reward.
+func (r *Controller) LastReward() float64 { return r.lastReward }
+
+// Decisions returns the number of rate decisions taken.
+func (r *Controller) Decisions() int { return r.decisions }
+
+// MemBytes estimates controller-resident memory: the agent's models
+// plus state/normalisation buffers.
+func (r *Controller) MemBytes() int {
+	return r.agent.MemBytes() + 8*(len(r.stateBuf)+len(r.featBuf)+4*r.width)
+}

@@ -1,0 +1,166 @@
+// Package rlcc implements the RL-based congestion controller of the
+// paper's Alg. 2, with every formulation knob Sec. 4.2 studies:
+// configurable state spaces (the Tab. 1 candidates (i)-(ix)), AIAD and
+// MIMD action modes at different scales, reward with or without the
+// loss term, and r vs delta-r reward shaping. The same machinery
+// instantiates Aurora, the DRL part of Orca, and the RL component
+// inside Libra.
+package rlcc
+
+import (
+	"time"
+
+	"libra/internal/cc"
+)
+
+// Feature identifies one state candidate from Tab. 1.
+type Feature int
+
+// Tab. 1 state candidates.
+const (
+	// FeatAckGapEWMA (i): EWMA of the time gap between sequential ACKs.
+	FeatAckGapEWMA Feature = iota + 1
+	// FeatSendGapEWMA (ii): EWMA of the timestamp difference between
+	// sequential packets (derived from the pacing rate).
+	FeatSendGapEWMA
+	// FeatRTTRatio (iii): ratio between the most recent and minimum RTT.
+	FeatRTTRatio
+	// FeatSendRate (iv): current sending rate.
+	FeatSendRate
+	// FeatSentAckedRatio (v): ratio between packets sent and acknowledged.
+	FeatSentAckedRatio
+	// FeatRTTAndMin (vi): current RTT and the minimum RTT (two values).
+	FeatRTTAndMin
+	// FeatLossRate (vii): average loss rate of packets.
+	FeatLossRate
+	// FeatRTTGradient (viii): derivative of latency with respect to time.
+	FeatRTTGradient
+	// FeatDeliveryRate (ix): average delivery rate.
+	FeatDeliveryRate
+)
+
+// Width returns how many scalars the feature contributes.
+func (f Feature) Width() int {
+	if f == FeatRTTAndMin {
+		return 2
+	}
+	return 1
+}
+
+// String names the feature with its Tab. 1 index.
+func (f Feature) String() string {
+	switch f {
+	case FeatAckGapEWMA:
+		return "(i)ack-gap"
+	case FeatSendGapEWMA:
+		return "(ii)send-gap"
+	case FeatRTTRatio:
+		return "(iii)rtt-ratio"
+	case FeatSendRate:
+		return "(iv)send-rate"
+	case FeatSentAckedRatio:
+		return "(v)sent/acked"
+	case FeatRTTAndMin:
+		return "(vi)rtt+min"
+	case FeatLossRate:
+		return "(vii)loss"
+	case FeatRTTGradient:
+		return "(viii)rtt-grad"
+	case FeatDeliveryRate:
+		return "(ix)delivery"
+	}
+	return "unknown"
+}
+
+// StateWidth returns the per-MI feature width of a feature set.
+func StateWidth(fs []Feature) int {
+	w := 0
+	for _, f := range fs {
+		w += f.Width()
+	}
+	return w
+}
+
+// Extractor turns per-ACK feedback and MI statistics into a raw feature
+// vector. It is exported so that Orca (internal/cc/orca) can reuse the
+// same state construction as the in-package controller.
+type Extractor struct {
+	features []Feature
+
+	ackGapEWMA  float64 // seconds
+	lastAckAt   time.Duration
+	lastRTT     time.Duration
+	minRTT      time.Duration
+	deliveryEst float64
+}
+
+// NewExtractor builds an extractor over the given feature set.
+func NewExtractor(fs []Feature) *Extractor {
+	return &Extractor{features: fs}
+}
+
+// OnAck updates the per-ACK running signals.
+func (e *Extractor) OnAck(a *cc.Ack) {
+	if e.lastAckAt > 0 {
+		gap := (a.Now - e.lastAckAt).Seconds()
+		const alpha = 0.1
+		if e.ackGapEWMA == 0 {
+			e.ackGapEWMA = gap
+		} else {
+			e.ackGapEWMA += alpha * (gap - e.ackGapEWMA)
+		}
+	}
+	e.lastAckAt = a.Now
+	e.lastRTT = a.RTT
+	if e.minRTT == 0 || a.RTT < e.minRTT {
+		e.minRTT = a.RTT
+	}
+	if a.DeliveryRate > 0 {
+		const alpha = 0.2
+		if e.deliveryEst == 0 {
+			e.deliveryEst = a.DeliveryRate
+		} else {
+			e.deliveryEst += alpha * (a.DeliveryRate - e.deliveryEst)
+		}
+	}
+}
+
+// Extract appends the raw feature values for one closed MI to dst.
+// rate is the pacing rate in force (bytes/sec); mss the segment size.
+func (e *Extractor) Extract(iv *cc.IntervalStats, rate float64, mss int, dst []float64) []float64 {
+	for _, f := range e.features {
+		switch f {
+		case FeatAckGapEWMA:
+			dst = append(dst, e.ackGapEWMA*1000) // ms
+		case FeatSendGapEWMA:
+			gap := 0.0
+			if rate > 0 {
+				gap = float64(mss) / rate * 1000 // ms between packets
+			}
+			dst = append(dst, gap)
+		case FeatRTTRatio:
+			ratio := 1.0
+			if e.minRTT > 0 && e.lastRTT > 0 {
+				ratio = float64(e.lastRTT) / float64(e.minRTT)
+			}
+			dst = append(dst, ratio)
+		case FeatSendRate:
+			dst = append(dst, rate*8/1e6) // Mbps
+		case FeatSentAckedRatio:
+			r := 1.0
+			if iv.Acked > 0 {
+				r = float64(iv.Acked+iv.Lost) / float64(iv.Acked)
+			}
+			dst = append(dst, r)
+		case FeatRTTAndMin:
+			dst = append(dst, iv.AvgRTT().Seconds()*1000, e.minRTT.Seconds()*1000)
+		case FeatLossRate:
+			dst = append(dst, iv.LossRate())
+		case FeatRTTGradient:
+			dst = append(dst, iv.RTTGradient())
+		case FeatDeliveryRate:
+			dst = append(dst, e.deliveryEst*8/1e6) // Mbps
+		}
+	}
+	return dst
+}

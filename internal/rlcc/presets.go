@@ -1,0 +1,107 @@
+package rlcc
+
+import "libra/internal/cc"
+
+// State-space presets compared in Fig. 5. Each returns the feature set a
+// published learning-based CCA observes (Tab. 1 mapping).
+
+// LibraStateSpace is the paper's optimised combination: (iv), (vii),
+// (viii), (ix) — the Tab. 2 winner (baseline minus (vi)).
+func LibraStateSpace() []Feature {
+	return []Feature{FeatSendRate, FeatLossRate, FeatRTTGradient, FeatDeliveryRate}
+}
+
+// BaselineStateSpace is the Tab. 2 baseline: the union of the PCC and
+// DRL-CC state spaces — (iv), (vi), (vii), (viii), (ix).
+func BaselineStateSpace() []Feature {
+	return []Feature{FeatSendRate, FeatRTTAndMin, FeatLossRate, FeatRTTGradient, FeatDeliveryRate}
+}
+
+// AuroraStateSpace: Aurora observes latency gradient, latency ratio and
+// send ratio — (iii), (v), (viii).
+func AuroraStateSpace() []Feature {
+	return []Feature{FeatRTTRatio, FeatSentAckedRatio, FeatRTTGradient}
+}
+
+// RLTCPStateSpace: RL-TCP observes the EWMA inter-ACK/inter-send gaps
+// and the RTT ratio — (i), (ii), (iii).
+func RLTCPStateSpace() []Feature {
+	return []Feature{FeatAckGapEWMA, FeatSendGapEWMA, FeatRTTRatio}
+}
+
+// PCCStateSpace: the PCC(-RL) formulation — (iv), (vii), (viii).
+func PCCStateSpace() []Feature {
+	return []Feature{FeatSendRate, FeatLossRate, FeatRTTGradient}
+}
+
+// RemyStateSpace: Remy's rule-table inputs — (i), (ii), (iii).
+func RemyStateSpace() []Feature {
+	return []Feature{FeatAckGapEWMA, FeatSendGapEWMA, FeatRTTRatio}
+}
+
+// DRLCCStateSpace: DRL-CC observes sending rate, RTT/min, delivery —
+// (ii), (iv), (vi), (ix).
+func DRLCCStateSpace() []Feature {
+	return []Feature{FeatSendGapEWMA, FeatSendRate, FeatRTTAndMin, FeatDeliveryRate}
+}
+
+// OrcaStateSpace: Orca's agent observes (ii), (iv), (vi), (vii), (ix).
+func OrcaStateSpace() []Feature {
+	return []Feature{FeatSendGapEWMA, FeatSendRate, FeatRTTAndMin, FeatLossRate, FeatDeliveryRate}
+}
+
+// NamedStateSpaces returns the Fig. 5 comparison set keyed by CCA name.
+func NamedStateSpaces() map[string][]Feature {
+	return map[string][]Feature{
+		"aurora": AuroraStateSpace(),
+		"rl-tcp": RLTCPStateSpace(),
+		"pcc":    PCCStateSpace(),
+		"remy":   RemyStateSpace(),
+		"drl-cc": DRLCCStateSpace(),
+		"libra":  LibraStateSpace(),
+		"orca":   OrcaStateSpace(),
+	}
+}
+
+// AuroraConfig returns the configuration reproducing Aurora: its state
+// space, MIMD action rule with the 0.025 scaling, absolute reward r
+// (not delta), loss term included.
+func AuroraConfig(base cc.Config) Config {
+	return Config{
+		CC:       base,
+		Features: AuroraStateSpace(),
+		History:  5,
+		Action:   MIMDAurora,
+		Scale:    5,
+		UseDelta: false,
+		Seed:     base.Seed,
+	}
+}
+
+// LibraRLConfig returns the configuration of Libra's optimised RL
+// component: Libra state space, MIMD action mode, delta-r reward.
+func LibraRLConfig(base cc.Config) Config {
+	return Config{
+		CC:       base,
+		Features: LibraStateSpace(),
+		History:  5,
+		Action:   MIMDAurora,
+		Scale:    5,
+		UseDelta: true,
+		Seed:     base.Seed,
+	}
+}
+
+// OrcaRLConfig returns the configuration of Orca's DRL agent: Orca
+// state space, the 2^a MIMD rule with a in [-2, 2], absolute reward.
+func OrcaRLConfig(base cc.Config) Config {
+	return Config{
+		CC:       base,
+		Features: OrcaStateSpace(),
+		History:  5,
+		Action:   MIMDOrca,
+		Scale:    2,
+		UseDelta: false,
+		Seed:     base.Seed,
+	}
+}

@@ -1,0 +1,149 @@
+package rlcc
+
+import (
+	"math/rand"
+	"time"
+
+	"libra/internal/netem"
+	"libra/internal/rl"
+	"libra/internal/trace"
+)
+
+// EnvRange describes the randomised training environment of Sec. 5
+// ("Implementation"): link capacity 10-200 Mbps, min RTT 10-200 ms,
+// buffer 10 KB - 5 MB, stochastic loss 0-10%. Each episode draws one
+// network uniformly from these ranges.
+type EnvRange struct {
+	CapacityMbps [2]float64
+	RTT          [2]time.Duration
+	BufferBytes  [2]int
+	LossRate     [2]float64
+	// CellularFraction is the fraction of episodes run over a synthetic
+	// LTE trace instead of a constant link.
+	CellularFraction float64
+}
+
+// PaperEnvRange returns the paper's training ranges.
+func PaperEnvRange() EnvRange {
+	return EnvRange{
+		CapacityMbps:     [2]float64{10, 200},
+		RTT:              [2]time.Duration{10 * time.Millisecond, 200 * time.Millisecond},
+		BufferBytes:      [2]int{10_000, 5_000_000},
+		LossRate:         [2]float64{0, 0.1},
+		CellularFraction: 0.25,
+	}
+}
+
+// LaptopEnvRange returns a narrower, faster-converging range for
+// laptop-scale training runs (documented substitution: same code path,
+// smaller sweep).
+func LaptopEnvRange() EnvRange {
+	return EnvRange{
+		CapacityMbps: [2]float64{10, 100},
+		RTT:          [2]time.Duration{20 * time.Millisecond, 120 * time.Millisecond},
+		BufferBytes:  [2]int{30_000, 1_000_000},
+		// The full 0-10%% stochastic-loss range (as the paper trains)
+		// matters: policies that never saw heavy random loss learn
+		// "loss means back off", which is exactly the wrong response
+		// to channel loss (Remark 3).
+		LossRate:         [2]float64{0, 0.08},
+		CellularFraction: 0.25,
+	}
+}
+
+// TrainConfig drives Train.
+type TrainConfig struct {
+	// Episodes to run (default 100).
+	Episodes int
+	// EpisodeLen is the simulated duration per episode (default 15 s).
+	EpisodeLen time.Duration
+	// Env is the environment distribution (default LaptopEnvRange).
+	Env *EnvRange
+	// Ctrl is the controller formulation to train (Train is forced on).
+	Ctrl Config
+	// Seed drives environment sampling and agent init.
+	Seed int64
+	// OnEpisode, when non-nil, is invoked after each episode with its
+	// index and total reward.
+	OnEpisode func(i int, reward float64)
+}
+
+// TrainResult reports the learning curve.
+type TrainResult struct {
+	// Rewards holds one total episode reward per episode — the series
+	// plotted in Fig. 5 / Fig. 6.
+	Rewards []float64
+	// Agent is the trained PPO agent.
+	Agent *rl.PPO
+	// Norm is the observation normaliser the agent was trained with;
+	// deploy the agent together with it.
+	Norm *rl.RunningNorm
+}
+
+// Train runs the PPO training loop: one flow per episode on a freshly
+// sampled network, with a policy update after every episode.
+func Train(cfg TrainConfig) TrainResult {
+	if cfg.Episodes == 0 {
+		cfg.Episodes = 100
+	}
+	if cfg.EpisodeLen == 0 {
+		cfg.EpisodeLen = 15 * time.Second
+	}
+	env := cfg.Env
+	if env == nil {
+		e := LaptopEnvRange()
+		env = &e
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	ctrlCfg := cfg.Ctrl.WithDefaults()
+	ctrlCfg.Train = true
+	agent := ctrlCfg.Agent
+	if agent == nil {
+		agent = rl.NewPPO(cfg.Seed, ctrlCfg.ObsDim(), 1, ctrlCfg.PPO)
+		ctrlCfg.Agent = agent
+	}
+	if ctrlCfg.Norm == nil {
+		ctrlCfg.Norm = rl.NewRunningNorm(StateWidth(ctrlCfg.Features))
+	}
+
+	res := TrainResult{Agent: agent, Norm: ctrlCfg.Norm}
+	for ep := 0; ep < cfg.Episodes; ep++ {
+		capMbps := env.CapacityMbps[0] + rng.Float64()*(env.CapacityMbps[1]-env.CapacityMbps[0])
+		rtt := env.RTT[0] + time.Duration(rng.Int63n(int64(env.RTT[1]-env.RTT[0]+1)))
+		buf := env.BufferBytes[0] + rng.Intn(env.BufferBytes[1]-env.BufferBytes[0]+1)
+		loss := env.LossRate[0] + rng.Float64()*(env.LossRate[1]-env.LossRate[0])
+
+		var capTrace trace.Trace = trace.Constant(trace.Mbps(capMbps))
+		if rng.Float64() < env.CellularFraction {
+			sc := trace.LTEScenario(rng.Intn(3))
+			capTrace = trace.NewLTE(sc, cfg.EpisodeLen, rng.Int63())
+		}
+
+		n := netem.New(netem.Config{
+			Capacity:    capTrace,
+			MinRTT:      rtt,
+			BufferBytes: buf,
+			LossRate:    loss,
+			Seed:        rng.Int63(),
+		})
+		epCfg := ctrlCfg
+		epCfg.CC.Seed = rng.Int63()
+		// Randomise the starting rate across the capacity range so the
+		// policy visits under- and over-utilised states every episode;
+		// the MIMD action space alone cannot traverse two decades of
+		// rate within one episode (Aurora's gym does the same).
+		mean := trace.MeanRate(capTrace, cfg.EpisodeLen, 100*time.Millisecond)
+		epCfg.CC.InitialRate = (0.05 + 1.3*rng.Float64()) * mean
+		ctrl := New("rl-train", epCfg)
+		n.AddFlow(ctrl, 0, 0)
+		n.Run(cfg.EpisodeLen)
+
+		agent.Update(0)
+		res.Rewards = append(res.Rewards, ctrl.EpisodeRawReward())
+		if cfg.OnEpisode != nil {
+			cfg.OnEpisode(ep, ctrl.EpisodeRawReward())
+		}
+	}
+	return res
+}

@@ -1,0 +1,167 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in scheduling order, which,
+// together with a seeded random source, makes every simulation run exactly
+// reproducible for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Clock is a point in virtual time, measured from the start of the
+// simulation. It is a time.Duration so that the full arithmetic and
+// formatting toolbox of the standard library applies.
+type Clock = time.Duration
+
+// Event is a closure scheduled to run at a virtual instant.
+type event struct {
+	at  Clock
+	seq uint64 // tie-breaker: FIFO among same-instant events
+	fn  func()
+	idx int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// not usable; construct with New.
+type Engine struct {
+	now    Clock
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	halted bool
+}
+
+// New returns an engine whose random source is seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Clock { return e.now }
+
+// Rand returns the engine's deterministic random source. All stochastic
+// components of a simulation should draw from this source (or from sources
+// derived from it) so that runs are reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Timer identifies a scheduled event so that it can be cancelled.
+type Timer struct{ ev *event }
+
+// At schedules fn to run at virtual time t. Scheduling in the past (t less
+// than Now) runs the event at the current instant instead; this keeps
+// callers simple when computing delays that may round to zero or below.
+func (e *Engine) At(t Clock, fn func()) Timer {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return Timer{ev: ev}
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d Clock, fn func()) Timer {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled timer is a no-op.
+func (e *Engine) Cancel(t Timer) {
+	if t.ev == nil || t.ev.fn == nil {
+		return
+	}
+	t.ev.fn = nil // mark dead; popped lazily
+}
+
+// Halt stops Run before the next event is dispatched.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run dispatches events in order until the queue is empty or virtual time
+// would pass until. The clock is left at the time of the last dispatched
+// event, or at until if the queue drained earlier.
+func (e *Engine) Run(until Clock) {
+	e.halted = false
+	for len(e.events) > 0 && !e.halted {
+		ev := e.events[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&e.events)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Step dispatches the single next pending event and reports whether one
+// was dispatched.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.fn == nil {
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Pending returns the number of scheduled (non-cancelled) events. It is
+// linear in queue size and intended for tests.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if ev.fn != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,161 @@
+// Package stats implements the evaluation metrics of Sec. 5: Jain's
+// fairness index, link utilisation summaries, CDFs, and the
+// convergence-time / stability definitions of Tab. 5.
+package stats
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// JainIndex computes Jain's fairness index of the allocations:
+// (sum x)^2 / (n * sum x^2). It is 1 for a perfectly fair allocation
+// and 1/n when one flow takes everything.
+func JainIndex(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, v := range x {
+		sum += v
+		sq += v * v
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(x)) * sq)
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var ss float64
+	for _, v := range x {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(x)))
+}
+
+// Range returns max - min (0 for empty input).
+func Range(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// Percentile returns the p-th percentile (0..100) by linear
+// interpolation on the sorted copy of x.
+func Percentile(x []float64, p float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// CDF returns the empirical CDF of x evaluated at the given points: for
+// each point, the fraction of samples <= point.
+func CDF(x, points []float64) []float64 {
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = float64(sort.SearchFloat64s(s, math.Nextafter(p, math.Inf(1)))) / float64(len(s))
+	}
+	return out
+}
+
+// ConvergenceResult reports the Tab. 5 metrics for one flow.
+type ConvergenceResult struct {
+	// Converged reports whether a stable window was found.
+	Converged bool
+	// Time is measured from the flow's entry to the start of the first
+	// window in which the rate stays within ±Tolerance of its mean for
+	// Hold seconds.
+	Time time.Duration
+	// StdDev is the rate standard deviation after convergence.
+	StdDev float64
+	// Mean is the average rate after convergence.
+	Mean float64
+}
+
+// Convergence applies the paper's Tab. 5 definition to a rate series
+// sampled at interval dt starting at the flow's entry: convergence time
+// is "the time from the flow's entry to the earliest time after which
+// it maintains a stable sending rate (within ±25%) for 5 seconds".
+func Convergence(series []float64, dt time.Duration, tolerance float64, hold time.Duration) ConvergenceResult {
+	if tolerance == 0 {
+		tolerance = 0.25
+	}
+	if hold == 0 {
+		hold = 5 * time.Second
+	}
+	win := int(hold / dt)
+	if win < 1 {
+		win = 1
+	}
+	for start := 0; start+win <= len(series); start++ {
+		window := series[start : start+win]
+		m := Mean(window)
+		if m <= 0 {
+			continue
+		}
+		ok := true
+		for _, v := range window {
+			if math.Abs(v-m) > tolerance*m {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rest := series[start:]
+			return ConvergenceResult{
+				Converged: true,
+				Time:      time.Duration(start) * dt,
+				StdDev:    StdDev(rest),
+				Mean:      Mean(rest),
+			}
+		}
+	}
+	return ConvergenceResult{}
+}

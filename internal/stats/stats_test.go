@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal shares: %v", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("total unfairness: %v", got)
+	}
+	if JainIndex(nil) != 0 || JainIndex([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+// Property: Jain's index is always in [1/n, 1] for non-negative input
+// with at least one positive value.
+func TestQuickJainBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		x := make([]float64, len(raw))
+		any := false
+		for i, v := range raw {
+			x[i] = float64(v)
+			if v > 0 {
+				any = true
+			}
+		}
+		if !any {
+			return true
+		}
+		j := JainIndex(x)
+		n := float64(len(x))
+		return j >= 1/n-1e-12 && j <= 1+1e-12
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStdRange(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(x) != 5 {
+		t.Fatalf("mean %v", Mean(x))
+	}
+	if got := StdDev(x); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("std %v", got)
+	}
+	if Range(x) != 7 {
+		t.Fatalf("range %v", Range(x))
+	}
+	if Mean(nil) != 0 || StdDev([]float64{1}) != 0 || Range(nil) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2},
+	}
+	for _, c := range cases {
+		if got := Percentile(x, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("p%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	got := CDF(x, []float64{0, 1, 2.5, 4, 10})
+	want := []float64{0, 0.25, 0.5, 1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("CDF %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: CDF is monotone non-decreasing in the evaluation points.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(samples []uint8, probes []uint8) bool {
+		if len(samples) == 0 || len(probes) == 0 {
+			return true
+		}
+		x := make([]float64, len(samples))
+		for i, v := range samples {
+			x[i] = float64(v)
+		}
+		p := make([]float64, len(probes))
+		for i, v := range probes {
+			p[i] = float64(v)
+		}
+		sorted := append([]float64(nil), p...)
+		sort.Float64s(sorted)
+		got := CDF(x, sorted)
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		return got[len(got)-1] <= 1 && got[0] >= 0
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvergenceDetectsStableTail(t *testing.T) {
+	// 10 s of ramp then 10 s stable at 16, sampled at 1 s.
+	series := make([]float64, 20)
+	for i := 0; i < 10; i++ {
+		series[i] = float64(i * 3) // ramp with >25% jumps
+	}
+	for i := 10; i < 20; i++ {
+		series[i] = 16
+	}
+	res := Convergence(series, time.Second, 0.25, 5*time.Second)
+	if !res.Converged {
+		t.Fatal("failed to converge on stable tail")
+	}
+	if res.Time > 10*time.Second {
+		t.Fatalf("convergence time %v, want <=10s", res.Time)
+	}
+	if math.Abs(res.Mean-16) > 3 {
+		t.Fatalf("converged mean %v", res.Mean)
+	}
+}
+
+func TestConvergenceRejectsOscillation(t *testing.T) {
+	series := make([]float64, 30)
+	for i := range series {
+		if i%2 == 0 {
+			series[i] = 10
+		} else {
+			series[i] = 30
+		}
+	}
+	if res := Convergence(series, time.Second, 0.25, 5*time.Second); res.Converged {
+		t.Fatal("oscillating series should not converge")
+	}
+}
+
+func TestConvergenceEmptyAndShort(t *testing.T) {
+	if Convergence(nil, time.Second, 0.25, 5*time.Second).Converged {
+		t.Fatal("empty series converged")
+	}
+	if !Convergence([]float64{5, 5, 5, 5, 5, 5}, time.Second, 0.25, 5*time.Second).Converged {
+		t.Fatal("constant series should converge immediately")
+	}
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// LTEScenario selects one of the synthetic cellular trace generators.
+// The three scenarios mirror the paper's LTE#1..LTE#3 traces (stationary,
+// walking, driving) collected by Pantheon and DeepCC. We substitute
+// seeded stochastic processes whose mean, variance, and fade behaviour
+// match the published TMobile LTE ranges (0..40 Mbps): capacity follows a
+// mean-reverting (Ornstein-Uhlenbeck-like) process with scenario-specific
+// volatility plus occasional deep fades for the mobile scenarios.
+type LTEScenario int
+
+// Scenario constants, ordered by increasing channel volatility.
+const (
+	LTEStationary LTEScenario = iota
+	LTEWalking
+	LTEDriving
+)
+
+// String names the scenario for experiment logs.
+func (s LTEScenario) String() string {
+	switch s {
+	case LTEStationary:
+		return "lte-stationary"
+	case LTEWalking:
+		return "lte-walking"
+	case LTEDriving:
+		return "lte-driving"
+	}
+	return "lte-unknown"
+}
+
+type lteParams struct {
+	meanMbps  float64 // long-run mean
+	reversion float64 // pull towards mean per step (0..1)
+	volMbps   float64 // per-step Gaussian volatility
+	fadeProb  float64 // probability per step of entering a deep fade
+	fadeMbps  float64 // capacity during a fade
+	fadeSteps int     // fade length in steps
+	maxMbps   float64
+}
+
+func (s LTEScenario) params() lteParams {
+	switch s {
+	case LTEStationary:
+		return lteParams{meanMbps: 24, reversion: 0.08, volMbps: 1.2, fadeProb: 0, fadeMbps: 0, fadeSteps: 0, maxMbps: 40}
+	case LTEWalking:
+		return lteParams{meanMbps: 18, reversion: 0.10, volMbps: 2.5, fadeProb: 0.004, fadeMbps: 3, fadeSteps: 8, maxMbps: 40}
+	default: // LTEDriving
+		return lteParams{meanMbps: 14, reversion: 0.14, volMbps: 4.5, fadeProb: 0.012, fadeMbps: 1, fadeSteps: 12, maxMbps: 40}
+	}
+}
+
+// NewLTE generates a synthetic LTE capacity trace for the scenario,
+// sampled every 100 ms for the given duration, using the given seed.
+func NewLTE(s LTEScenario, d time.Duration, seed int64) *Sampled {
+	const step = 100 * time.Millisecond
+	p := s.params()
+	rng := rand.New(rand.NewSource(seed))
+	n := int(d / step)
+	if n < 1 {
+		n = 1
+	}
+	rates := make([]float64, n)
+	cur := p.meanMbps
+	fade := 0
+	for i := 0; i < n; i++ {
+		if fade > 0 {
+			fade--
+			rates[i] = Mbps(p.fadeMbps)
+			continue
+		}
+		if p.fadeProb > 0 && rng.Float64() < p.fadeProb {
+			fade = p.fadeSteps
+			rates[i] = Mbps(p.fadeMbps)
+			continue
+		}
+		cur += p.reversion*(p.meanMbps-cur) + rng.NormFloat64()*p.volMbps
+		cur = math.Max(0.5, math.Min(p.maxMbps, cur))
+		rates[i] = Mbps(cur)
+	}
+	return &Sampled{Interval: step, Rates: rates}
+}
+
+// NewDrivingTour generates the user-movement trace of Fig. 8: a driving
+// LTE channel whose mean capacity ramps through distinct regimes (urban,
+// highway, tunnel fade, suburban), so that capacity-tracking behaviour is
+// visible in a short run.
+func NewDrivingTour(d time.Duration, seed int64) *Sampled {
+	const step = 100 * time.Millisecond
+	rng := rand.New(rand.NewSource(seed))
+	n := int(d / step)
+	if n < 1 {
+		n = 1
+	}
+	rates := make([]float64, n)
+	// Regime means as a fraction of the tour.
+	regime := func(frac float64) float64 {
+		switch {
+		case frac < 0.2:
+			return 10 // urban
+		case frac < 0.45:
+			return 28 // highway
+		case frac < 0.55:
+			return 2 // tunnel
+		case frac < 0.8:
+			return 20 // suburban
+		default:
+			return 8 // arrival
+		}
+	}
+	cur := regime(0)
+	for i := 0; i < n; i++ {
+		mean := regime(float64(i) / float64(n))
+		cur += 0.25*(mean-cur) + rng.NormFloat64()*1.5
+		cur = math.Max(0.5, math.Min(40, cur))
+		rates[i] = Mbps(cur)
+	}
+	return &Sampled{Interval: step, Rates: rates}
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// mahimahiMTU is the packet size one Mahimahi delivery opportunity
+// represents (one full-size Ethernet frame).
+const mahimahiMTU = 1500
+
+// ParseMahimahi reads a Mahimahi link trace: one integer per line, each
+// the millisecond timestamp of a delivery opportunity for one 1500-byte
+// packet. The result is a Sampled trace binned at 100 ms granularity.
+// Blank lines and lines starting with '#' are ignored.
+func ParseMahimahi(r io.Reader) (*Sampled, error) {
+	sc := bufio.NewScanner(r)
+	var stamps []int64
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		ms, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("mahimahi trace line %d: %w", line, err)
+		}
+		if ms < 0 {
+			return nil, fmt.Errorf("mahimahi trace line %d: negative timestamp %d", line, ms)
+		}
+		stamps = append(stamps, ms)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(stamps) == 0 {
+		return nil, fmt.Errorf("mahimahi trace: no delivery opportunities")
+	}
+	sort.Slice(stamps, func(i, j int) bool { return stamps[i] < stamps[j] })
+
+	const binMs = 100
+	last := stamps[len(stamps)-1]
+	nBins := int(last/binMs) + 1
+	counts := make([]int, nBins)
+	for _, ms := range stamps {
+		counts[int(ms/binMs)]++
+	}
+	rates := make([]float64, nBins)
+	for i, c := range counts {
+		rates[i] = float64(c*mahimahiMTU) / (float64(binMs) / 1000)
+	}
+	return &Sampled{Interval: binMs * time.Millisecond, Rates: rates}, nil
+}
+
+// WriteMahimahi emits one period of tr in Mahimahi link-trace format at
+// millisecond granularity. For time-invariant traces, d controls the
+// emitted length; for periodic traces d defaults to one period when zero.
+func WriteMahimahi(w io.Writer, tr Trace, d time.Duration) error {
+	if d <= 0 {
+		d = tr.Duration()
+		if d <= 0 {
+			return fmt.Errorf("mahimahi: duration required for time-invariant trace")
+		}
+	}
+	bw := bufio.NewWriter(w)
+	// Accumulate fractional delivery opportunities per millisecond.
+	var credit float64
+	for ms := int64(0); ms < int64(d/time.Millisecond); ms++ {
+		rate := tr.RateAt(time.Duration(ms) * time.Millisecond)
+		credit += rate / 1000 / mahimahiMTU
+		for credit >= 1 {
+			credit--
+			if _, err := fmt.Fprintln(bw, ms); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

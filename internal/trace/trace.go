@@ -1,0 +1,171 @@
+// Package trace models time-varying bottleneck capacity.
+//
+// A Trace maps virtual time to the instantaneous capacity of a link in
+// bytes per second. Traces are the workload generators behind every
+// experiment in the paper: constant wired links, the step scenario of
+// Fig. 2(a), and the synthetic LTE traces standing in for the Pantheon /
+// DeepCC cellular measurements (see DESIGN.md for the substitution note).
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Trace reports link capacity over virtual time.
+type Trace interface {
+	// RateAt returns the capacity in bytes per second at time t. Traces of
+	// finite length loop: RateAt(t) == RateAt(t mod Duration()).
+	RateAt(t time.Duration) float64
+	// Duration returns the length of one period of the trace, or 0 if the
+	// trace is time-invariant.
+	Duration() time.Duration
+}
+
+// Mbps converts megabits per second to bytes per second.
+func Mbps(v float64) float64 { return v * 1e6 / 8 }
+
+// ToMbps converts bytes per second to megabits per second.
+func ToMbps(v float64) float64 { return v * 8 / 1e6 }
+
+// Constant is a fixed-capacity trace.
+type Constant float64
+
+// RateAt implements Trace.
+func (c Constant) RateAt(time.Duration) float64 { return float64(c) }
+
+// Duration implements Trace.
+func (c Constant) Duration() time.Duration { return 0 }
+
+// String describes the trace for experiment logs.
+func (c Constant) String() string { return fmt.Sprintf("const %.1fMbps", ToMbps(float64(c))) }
+
+// Step cycles through Levels, holding each for Period. It reproduces the
+// paper's step-scenario whose available capacity changes every 10 seconds.
+type Step struct {
+	Period time.Duration
+	Levels []float64 // bytes/sec
+}
+
+// RateAt implements Trace.
+func (s *Step) RateAt(t time.Duration) float64 {
+	if len(s.Levels) == 0 || s.Period <= 0 {
+		return 0
+	}
+	i := int(t/s.Period) % len(s.Levels)
+	if i < 0 {
+		i = 0
+	}
+	return s.Levels[i]
+}
+
+// Duration implements Trace.
+func (s *Step) Duration() time.Duration {
+	return s.Period * time.Duration(len(s.Levels))
+}
+
+// Piecewise holds capacity constant between breakpoints. Points must be
+// sorted by time; the rate before the first point is the first point's
+// rate. The trace loops after End.
+type Piecewise struct {
+	Points []Point
+	End    time.Duration
+}
+
+// Point is one breakpoint of a piecewise-constant trace.
+type Point struct {
+	At   time.Duration
+	Rate float64 // bytes/sec
+}
+
+// RateAt implements Trace.
+func (p *Piecewise) RateAt(t time.Duration) float64 {
+	if len(p.Points) == 0 {
+		return 0
+	}
+	if p.End > 0 {
+		t %= p.End
+	}
+	// Binary search for the last point at or before t.
+	lo, hi := 0, len(p.Points)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.Points[mid].At <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return p.Points[0].Rate
+	}
+	return p.Points[lo-1].Rate
+}
+
+// Duration implements Trace.
+func (p *Piecewise) Duration() time.Duration { return p.End }
+
+// Sampled holds capacity samples at a fixed interval, interpreted as a
+// step function. It is the representation used by the synthetic LTE
+// generators and by Mahimahi-format traces.
+type Sampled struct {
+	Interval time.Duration
+	Rates    []float64 // bytes/sec, one per interval
+}
+
+// RateAt implements Trace.
+func (s *Sampled) RateAt(t time.Duration) float64 {
+	if len(s.Rates) == 0 || s.Interval <= 0 {
+		return 0
+	}
+	i := int(t/s.Interval) % len(s.Rates)
+	if i < 0 {
+		i = 0
+	}
+	return s.Rates[i]
+}
+
+// Duration implements Trace.
+func (s *Sampled) Duration() time.Duration {
+	return s.Interval * time.Duration(len(s.Rates))
+}
+
+// Mean returns the average rate of one period in bytes/sec.
+func (s *Sampled) Mean() float64 {
+	if len(s.Rates) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range s.Rates {
+		sum += r
+	}
+	return sum / float64(len(s.Rates))
+}
+
+// Scale returns a copy of the trace with every rate multiplied by k.
+func (s *Sampled) Scale(k float64) *Sampled {
+	out := &Sampled{Interval: s.Interval, Rates: make([]float64, len(s.Rates))}
+	for i, r := range s.Rates {
+		out.Rates[i] = r * k
+	}
+	return out
+}
+
+// MeanRate returns the average capacity of tr over [0, d] sampled at the
+// given granularity. It is the denominator of every link-utilisation
+// metric in the experiment harness.
+func MeanRate(tr Trace, d, granularity time.Duration) float64 {
+	if granularity <= 0 {
+		granularity = 10 * time.Millisecond
+	}
+	var sum float64
+	n := 0
+	for t := time.Duration(0); t < d; t += granularity {
+		sum += tr.RateAt(t)
+		n++
+	}
+	if n == 0 {
+		return tr.RateAt(0)
+	}
+	return sum / float64(n)
+}

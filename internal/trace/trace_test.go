@@ -1,0 +1,248 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMbpsRoundTrip(t *testing.T) {
+	if got := Mbps(48); got != 6e6 {
+		t.Fatalf("Mbps(48)=%v, want 6e6 bytes/sec", got)
+	}
+	if got := ToMbps(Mbps(12.5)); math.Abs(got-12.5) > 1e-9 {
+		t.Fatalf("round trip: %v", got)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant(Mbps(24))
+	for _, at := range []time.Duration{0, time.Second, time.Hour} {
+		if c.RateAt(at) != Mbps(24) {
+			t.Fatalf("constant rate changed at %v", at)
+		}
+	}
+	if c.Duration() != 0 {
+		t.Fatal("constant trace should report zero duration")
+	}
+}
+
+func TestStepCyclesLevels(t *testing.T) {
+	s := &Step{Period: 10 * time.Second, Levels: []float64{Mbps(5), Mbps(20), Mbps(10)}}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, Mbps(5)},
+		{9 * time.Second, Mbps(5)},
+		{10 * time.Second, Mbps(20)},
+		{25 * time.Second, Mbps(10)},
+		{30 * time.Second, Mbps(5)}, // wrapped
+	}
+	for _, c := range cases {
+		if got := s.RateAt(c.at); got != c.want {
+			t.Errorf("step at %v = %v, want %v", c.at, ToMbps(got), ToMbps(c.want))
+		}
+	}
+	if s.Duration() != 30*time.Second {
+		t.Fatalf("step duration %v", s.Duration())
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	s := &Step{}
+	if s.RateAt(time.Second) != 0 || s.Duration() != 0 {
+		t.Fatal("empty step trace should be zero")
+	}
+}
+
+func TestPiecewiseLookup(t *testing.T) {
+	p := &Piecewise{
+		Points: []Point{{0, Mbps(10)}, {5 * time.Second, Mbps(30)}, {8 * time.Second, Mbps(20)}},
+		End:    10 * time.Second,
+	}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, Mbps(10)},
+		{4 * time.Second, Mbps(10)},
+		{5 * time.Second, Mbps(30)},
+		{7 * time.Second, Mbps(30)},
+		{9 * time.Second, Mbps(20)},
+		{11 * time.Second, Mbps(10)}, // looped
+	}
+	for _, c := range cases {
+		if got := p.RateAt(c.at); got != c.want {
+			t.Errorf("piecewise at %v = %v, want %v", c.at, ToMbps(got), ToMbps(c.want))
+		}
+	}
+}
+
+// Property: piecewise binary-search lookup agrees with a linear scan.
+func TestQuickPiecewiseMatchesLinearScan(t *testing.T) {
+	f := func(raw []uint8, probe uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := &Piecewise{}
+		at := time.Duration(0)
+		for i, r := range raw {
+			at += time.Duration(r) * time.Millisecond
+			p.Points = append(p.Points, Point{At: at, Rate: float64(i + 1)})
+		}
+		tprobe := time.Duration(probe) * time.Millisecond
+		// Linear scan reference.
+		want := p.Points[0].Rate
+		for _, pt := range p.Points {
+			if pt.At <= tprobe {
+				want = pt.Rate
+			}
+		}
+		return p.RateAt(tprobe) == want
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLTETraceProperties(t *testing.T) {
+	for _, sc := range []LTEScenario{LTEStationary, LTEWalking, LTEDriving} {
+		tr := NewLTE(sc, 60*time.Second, 1)
+		if tr.Duration() != 60*time.Second {
+			t.Fatalf("%v duration %v", sc, tr.Duration())
+		}
+		for i, r := range tr.Rates {
+			if r < 0 || r > Mbps(40) {
+				t.Fatalf("%v sample %d out of [0,40Mbps]: %v", sc, i, ToMbps(r))
+			}
+		}
+		if m := ToMbps(tr.Mean()); m < 2 || m > 35 {
+			t.Fatalf("%v mean %.1fMbps outside plausible range", sc, m)
+		}
+	}
+}
+
+func TestLTEVolatilityOrdering(t *testing.T) {
+	vol := func(sc LTEScenario) float64 {
+		tr := NewLTE(sc, 120*time.Second, 3)
+		mean := tr.Mean()
+		var ss float64
+		for _, r := range tr.Rates {
+			d := r - mean
+			ss += d * d
+		}
+		return math.Sqrt(ss/float64(len(tr.Rates))) / mean // coefficient of variation
+	}
+	s, w, d := vol(LTEStationary), vol(LTEWalking), vol(LTEDriving)
+	if !(s < w && w < d) {
+		t.Fatalf("volatility should increase stationary<walking<driving: %v %v %v", s, w, d)
+	}
+}
+
+func TestLTEDeterministicBySeed(t *testing.T) {
+	a := NewLTE(LTEDriving, 30*time.Second, 9)
+	b := NewLTE(LTEDriving, 30*time.Second, 9)
+	for i := range a.Rates {
+		if a.Rates[i] != b.Rates[i] {
+			t.Fatal("same seed produced different trace")
+		}
+	}
+	c := NewLTE(LTEDriving, 30*time.Second, 10)
+	same := true
+	for i := range a.Rates {
+		if a.Rates[i] != c.Rates[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical trace")
+	}
+}
+
+func TestDrivingTourRegimes(t *testing.T) {
+	tr := NewDrivingTour(40*time.Second, 5)
+	// Tunnel regime (45%..55% of tour) should be much slower than highway
+	// (20%..45%).
+	avg := func(lo, hi float64) float64 {
+		n := len(tr.Rates)
+		var sum float64
+		cnt := 0
+		for i := int(lo * float64(n)); i < int(hi*float64(n)); i++ {
+			sum += tr.Rates[i]
+			cnt++
+		}
+		return sum / float64(cnt)
+	}
+	if highway, tunnel := avg(0.25, 0.45), avg(0.47, 0.53); tunnel > highway/2 {
+		t.Fatalf("tunnel (%v) not clearly slower than highway (%v)", ToMbps(tunnel), ToMbps(highway))
+	}
+}
+
+func TestMeanRate(t *testing.T) {
+	s := &Step{Period: time.Second, Levels: []float64{Mbps(10), Mbps(30)}}
+	got := MeanRate(s, 2*time.Second, 10*time.Millisecond)
+	if math.Abs(got-Mbps(20)) > Mbps(0.5) {
+		t.Fatalf("mean rate %v, want ~20Mbps", ToMbps(got))
+	}
+}
+
+func TestMahimahiRoundTrip(t *testing.T) {
+	orig := &Step{Period: time.Second, Levels: []float64{Mbps(12), Mbps(24)}}
+	var buf bytes.Buffer
+	if err := WriteMahimahi(&buf, orig, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseMahimahi(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean rate should survive the round trip within quantisation error.
+	if got, want := parsed.Mean(), Mbps(18); math.Abs(got-want) > Mbps(1.5) {
+		t.Fatalf("round-trip mean %v, want ~18Mbps", ToMbps(got))
+	}
+}
+
+func TestParseMahimahiErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":   "12\nxyz\n",
+		"negative":  "-5\n",
+		"empty":     "# only a comment\n\n",
+		"wordsline": "12 13\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseMahimahi(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestParseMahimahiUnsorted(t *testing.T) {
+	tr, err := ParseMahimahi(strings.NewReader("300\n100\n200\n100\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Duration() <= 0 {
+		t.Fatal("parsed trace has no duration")
+	}
+}
+
+func TestWriteMahimahiNeedsDuration(t *testing.T) {
+	if err := WriteMahimahi(&bytes.Buffer{}, Constant(Mbps(10)), 0); err == nil {
+		t.Fatal("expected error for time-invariant trace without duration")
+	}
+}
+
+func TestSampledScale(t *testing.T) {
+	s := &Sampled{Interval: time.Second, Rates: []float64{1, 2, 3}}
+	d := s.Scale(2)
+	if d.Rates[2] != 6 || s.Rates[2] != 3 {
+		t.Fatal("scale should copy, not mutate")
+	}
+}

@@ -1,0 +1,154 @@
+// Package utility implements the utility functions Libra and the PCC
+// family use to score sending-rate decisions.
+//
+// Libra's default utility (paper Eq. 1) is
+//
+//	u(x) = alpha * x^t - beta * x * max(0, dRTT/dt) - gamma * x * L
+//
+// with x the throughput in Mbit/s, dRTT/dt the dimensionless latency
+// gradient, L the loss rate, and defaults t=0.9, alpha=1, beta=900,
+// gamma=11.35 (the PCC Vivace constants the paper adopts). The strict
+// concavity of x^t for 0<t<1 gives the unique Nash equilibrium of
+// Theorem 4.1; the property tests in this package check exactly those
+// conditions.
+package utility
+
+import (
+	"fmt"
+	"math"
+)
+
+// Func scores one monitor interval: throughput in Mbit/s, the latency
+// gradient d(RTT)/dt (dimensionless), and the loss rate in [0,1].
+type Func interface {
+	// Value returns the utility of the observed behaviour.
+	Value(throughputMbps, rttGradient, lossRate float64) float64
+	// String describes the function for logs.
+	String() string
+}
+
+// Libra is the paper's Eq. 1 utility.
+type Libra struct {
+	// T is the throughput exponent, 0 < T < 1.
+	T float64
+	// Alpha, Beta, Gamma weight throughput, latency inflation, and loss.
+	Alpha, Beta, Gamma float64
+}
+
+// Default returns the paper's default parameters (t=0.9, alpha=1,
+// beta=900, gamma=11.35).
+func Default() Libra { return Libra{T: 0.9, Alpha: 1, Beta: 900, Gamma: 11.35} }
+
+// Preference variants evaluated in Sec. 5.2 (Fig. 11).
+func Throughput1() Libra { u := Default(); u.Alpha *= 2; return u }
+
+// Throughput2 is the Th-2 variant (3x default alpha).
+func Throughput2() Libra { u := Default(); u.Alpha *= 3; return u }
+
+// Latency1 is the La-1 variant (2x default beta).
+func Latency1() Libra { u := Default(); u.Beta *= 2; return u }
+
+// Latency2 is the La-2 variant (3x default beta).
+func Latency2() Libra { u := Default(); u.Beta *= 3; return u }
+
+// Value implements Func.
+func (u Libra) Value(x, grad, loss float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	if grad < 0 {
+		grad = 0 // max(0, dRTT/dt): only penalise growing delay
+	}
+	return u.Alpha*math.Pow(x, u.T) - u.Beta*x*grad - u.Gamma*x*loss
+}
+
+// String implements Func.
+func (u Libra) String() string {
+	return fmt.Sprintf("libra(t=%.2f a=%.2f b=%.0f g=%.2f)", u.T, u.Alpha, u.Beta, u.Gamma)
+}
+
+// Vivace is the PCC Vivace utility — identical functional form to
+// Libra's Eq. 1 with the original constants; kept as its own type so the
+// PCC implementations are parameterised independently.
+type Vivace struct {
+	T, Beta, Gamma float64
+}
+
+// DefaultVivace returns PCC Vivace's published constants.
+func DefaultVivace() Vivace { return Vivace{T: 0.9, Beta: 900, Gamma: 11.35} }
+
+// Value implements Func.
+func (u Vivace) Value(x, grad, loss float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	if grad < 0 {
+		grad = 0
+	}
+	return math.Pow(x, u.T) - u.Beta*x*grad - u.Gamma*x*loss
+}
+
+// String implements Func.
+func (u Vivace) String() string { return "vivace" }
+
+// Proteus approximates PCC Proteus's primary utility: on top of the
+// Vivace form it also penalises latency *deviation* in both directions,
+// which yields the smoother, more cautious behaviour the paper observes
+// for Proteus (documented approximation of the Proteus-P utility).
+type Proteus struct {
+	T, Beta, Gamma, Dev float64
+}
+
+// DefaultProteus returns the constants used in our experiments.
+func DefaultProteus() Proteus { return Proteus{T: 0.9, Beta: 900, Gamma: 11.35, Dev: 300} }
+
+// Value implements Func.
+func (u Proteus) Value(x, grad, loss float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	pos := grad
+	if pos < 0 {
+		pos = 0
+	}
+	return math.Pow(x, u.T) - u.Beta*x*pos - u.Dev*x*math.Abs(grad) - u.Gamma*x*loss
+}
+
+// String implements Func.
+func (u Proteus) String() string { return "proteus" }
+
+// Normalizer rescales utilities into [0,1] given running min/max bounds;
+// Fig. 18 reports normalised utilities.
+type Normalizer struct {
+	min, max float64
+	seen     bool
+}
+
+// Observe folds a raw utility into the bounds.
+func (n *Normalizer) Observe(v float64) {
+	if !n.seen {
+		n.min, n.max, n.seen = v, v, true
+		return
+	}
+	if v < n.min {
+		n.min = v
+	}
+	if v > n.max {
+		n.max = v
+	}
+}
+
+// Norm maps v into [0,1] under the observed bounds.
+func (n *Normalizer) Norm(v float64) float64 {
+	if !n.seen || n.max == n.min {
+		return 0
+	}
+	x := (v - n.min) / (n.max - n.min)
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,151 @@
+package utility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultMatchesPaperConstants(t *testing.T) {
+	u := Default()
+	if u.T != 0.9 || u.Alpha != 1 || u.Beta != 900 || u.Gamma != 11.35 {
+		t.Fatalf("defaults %+v", u)
+	}
+}
+
+func TestMonotoneInThroughputWhenClean(t *testing.T) {
+	u := Default()
+	prev := math.Inf(-1)
+	for x := 0.5; x < 200; x += 0.5 {
+		v := u.Value(x, 0, 0)
+		if v <= prev {
+			t.Fatalf("utility not increasing at x=%v", x)
+		}
+		prev = v
+	}
+}
+
+func TestPenaltiesReduceUtility(t *testing.T) {
+	u := Default()
+	clean := u.Value(50, 0, 0)
+	if u.Value(50, 0.1, 0) >= clean {
+		t.Fatal("latency gradient did not reduce utility")
+	}
+	if u.Value(50, 0, 0.05) >= clean {
+		t.Fatal("loss did not reduce utility")
+	}
+}
+
+func TestNegativeGradientIgnored(t *testing.T) {
+	u := Default()
+	if u.Value(50, -1, 0) != u.Value(50, 0, 0) {
+		t.Fatal("Eq.1 uses max(0, dRTT/dt); negative gradients must not reward")
+	}
+}
+
+func TestPreferenceVariants(t *testing.T) {
+	// Throughput-weighted variants rank a fast/laggy option higher than
+	// the default does relative to a slow/clean option; latency-weighted
+	// variants do the opposite.
+	fast := func(u Libra) float64 { return u.Value(50, 0.05, 0.01) }
+	slow := func(u Libra) float64 { return u.Value(30, 0.001, 0) }
+
+	if fast(Throughput2())-slow(Throughput2()) <= fast(Default())-slow(Default()) {
+		t.Fatal("Th-2 did not shift preference towards throughput")
+	}
+	if fast(Latency2())-slow(Latency2()) >= fast(Default())-slow(Default()) {
+		t.Fatal("La-2 did not shift preference towards latency")
+	}
+}
+
+// Property (Theorem 4.1 precondition): u is strictly concave in x for
+// any valid parameters — second difference negative everywhere.
+func TestQuickStrictConcavity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := Libra{
+			T:     0.1 + 0.8*rng.Float64(),
+			Alpha: 0.1 + 5*rng.Float64(),
+			Beta:  rng.Float64() * 2000,
+			Gamma: rng.Float64() * 50,
+		}
+		grad := rng.Float64() * 0.2
+		loss := rng.Float64() * 0.2
+		h := 0.5
+		for x := 1.0; x < 150; x += 2.5 {
+			d2 := u.Value(x+h, grad, loss) - 2*u.Value(x, grad, loss) + u.Value(x-h, grad, loss)
+			if d2 >= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with the droptail model of Appendix A (L = 1 - C/S,
+// gradient = (S-C)/C for S >= C), the symmetric allocation is a Nash
+// equilibrium — no sender can unilaterally improve by deviating.
+func TestQuickNashEquilibriumSymmetric(t *testing.T) {
+	u := Default()
+	capacity := 100.0 // Mbps
+	f := func(nRaw uint8, devRaw uint8) bool {
+		n := 2 + int(nRaw)%8
+		fair := capacity / float64(n)
+		others := fair * float64(n-1)
+		value := func(x float64) float64 {
+			s := x + others
+			grad, loss := 0.0, 0.0
+			if s >= capacity {
+				grad = (s - capacity) / capacity
+				loss = 1 - capacity/s
+			}
+			return u.Value(x, grad, loss)
+		}
+		base := value(fair)
+		// Any deviation in (0, 2*fair] must not beat the fair share.
+		dev := (0.02 + float64(devRaw)/255.0*1.98) * fair
+		if dev == fair {
+			return true
+		}
+		return value(dev) <= base+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVivaceAndProteus(t *testing.T) {
+	v := DefaultVivace()
+	p := DefaultProteus()
+	if v.Value(50, 0, 0) != p.Value(50, 0, 0) {
+		t.Fatal("clean-path utilities should agree")
+	}
+	// Proteus additionally penalises negative gradients (deviation).
+	if p.Value(50, -0.05, 0) >= v.Value(50, -0.05, 0) {
+		t.Fatal("Proteus should penalise latency deviation")
+	}
+	if v.String() == "" || p.String() == "" || Default().String() == "" {
+		t.Fatal("String() must describe the function")
+	}
+}
+
+func TestNormalizer(t *testing.T) {
+	var n Normalizer
+	if n.Norm(5) != 0 {
+		t.Fatal("unseen normalizer should return 0")
+	}
+	n.Observe(10)
+	n.Observe(20)
+	if n.Norm(15) != 0.5 || n.Norm(10) != 0 || n.Norm(20) != 1 {
+		t.Fatal("linear scaling broken")
+	}
+	if n.Norm(0) != 0 || n.Norm(100) != 1 {
+		t.Fatal("clamping broken")
+	}
+}

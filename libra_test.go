@@ -1,0 +1,91 @@
+package libra
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewDefaultsToCLibra(t *testing.T) {
+	s := New()
+	if s.Name() != "c-libra" && s.Name() != "libra" {
+		t.Fatalf("default sender name %q", s.Name())
+	}
+	if New(WithBBR()).Name() != "b-libra" {
+		t.Fatal("WithBBR name")
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	net := NewNetwork(NetworkConfig{
+		Capacity: ConstantMbps(24),
+		MinRTT:   40 * time.Millisecond,
+		Seed:     1,
+	})
+	f := net.AddFlow(New(WithCubic(), WithSeed(2)), 0, 0)
+	net.Run(15 * time.Second)
+	if ToMbps(f.Stats.AvgThroughput()) < 24*0.6 {
+		t.Fatalf("quickstart throughput %.1f Mbps", ToMbps(f.Stats.AvgThroughput()))
+	}
+}
+
+func TestBaselinesConstructible(t *testing.T) {
+	for _, name := range Baselines() {
+		if Baseline(name, 1) == nil {
+			t.Fatalf("baseline %s nil", name)
+		}
+	}
+}
+
+func TestUtilityHelpers(t *testing.T) {
+	d := DefaultUtility()
+	th := ThroughputOriented(2)
+	la := LatencyOriented(2)
+	if th.Value(50, 0.01, 0) <= d.Value(50, 0.01, 0) {
+		t.Fatal("Th-2 should score throughput higher")
+	}
+	if la.Value(50, 0.01, 0) >= d.Value(50, 0.01, 0) {
+		t.Fatal("La-2 should penalise latency more")
+	}
+	if ThroughputOriented(1).Value(50, 0, 0) >= th.Value(50, 0, 0) {
+		t.Fatal("level ordering")
+	}
+	if LatencyOriented(1).Value(50, 0.01, 0) <= la.Value(50, 0.01, 0) {
+		t.Fatal("La level ordering")
+	}
+}
+
+func TestTraceHelpers(t *testing.T) {
+	if ConstantMbps(8).RateAt(time.Hour) != Mbps(8) {
+		t.Fatal("constant trace")
+	}
+	st := StepMbps(time.Second, 1, 2)
+	if st.RateAt(1500*time.Millisecond) != Mbps(2) {
+		t.Fatal("step trace")
+	}
+	for _, sc := range []string{"stationary", "walking", "driving"} {
+		tr := LTE(sc, 5*time.Second, 3)
+		if tr.RateAt(time.Second) <= 0 {
+			t.Fatalf("LTE %s trace empty", sc)
+		}
+	}
+	if ToMbps(Mbps(13)) != 13 {
+		t.Fatal("unit round trip")
+	}
+}
+
+func TestExperimentRegistryExposed(t *testing.T) {
+	if len(Experiments()) < 20 {
+		t.Fatalf("only %d experiments exposed", len(Experiments()))
+	}
+	if _, ok := RunExperiment("no-such-id", true, 1); ok {
+		t.Fatal("unknown experiment should report !ok")
+	}
+}
+
+func TestTrainedAgentOption(t *testing.T) {
+	opt := TrainLibraAgent(1, 2, 2*time.Second)
+	s := New(WithCubic(), opt)
+	if s.RL() == nil {
+		t.Fatal("trained RL component missing")
+	}
+}
