@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-guard check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Telemetry overhead guard: the disabled tracer path must stay under
+# 2 ns/op with zero allocations. TestNopTracerBudget measures it with
+# testing.Benchmark; the nanosecond assertion only arms when
+# TELEMETRY_BENCH_GUARD is set, because it needs this package run in
+# isolation (a parallel ./... sweep measures CPU contention instead).
+bench-guard:
+	TELEMETRY_BENCH_GUARD=1 $(GO) test ./internal/telemetry/ -run TestNopTracerBudget -count=1 -v
+
+check: vet build race bench-guard
+
+clean:
+	$(GO) clean ./...

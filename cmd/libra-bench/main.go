@@ -18,17 +18,22 @@ import (
 	"strings"
 	"time"
 
+	"libra/internal/cliutil"
 	"libra/internal/exp"
 )
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list experiments and exit")
-		run    = flag.String("run", "", "comma-separated experiment IDs")
-		all    = flag.Bool("all", false, "run every experiment")
-		quick  = flag.Bool("quick", false, "reduced durations/repeats")
-		seed   = flag.Int64("seed", 1, "random seed")
-		models = flag.String("models", "", "directory of trained models (from libra-train)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		run        = flag.String("run", "", "comma-separated experiment IDs")
+		all        = flag.Bool("all", false, "run every experiment")
+		quick      = flag.Bool("quick", false, "reduced durations/repeats")
+		seed       = flag.Int64("seed", 1, "random seed")
+		models     = flag.String("models", "", "directory of trained models (from libra-train)")
+		traceOut   = flag.String("trace-out", "", "write a JSONL telemetry event stream of every run to this file")
+		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file after the runs")
+		metricsFmt = flag.String("metrics-format", "auto", "metrics snapshot format: auto|json|prom")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address")
 	)
 	flag.Parse()
 
@@ -52,6 +57,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	cliutil.StartPprof(*pprofAddr, exp.MetricsRegistry())
+	tracer, closeTracer, err := cliutil.OpenTracer(*traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	exp.SetTracer(tracer)
+
 	cfg := exp.RunConfig{Quick: *quick, Seed: *seed}
 	if *models != "" {
 		set, err := exp.LoadAgentSet(*models, *seed)
@@ -72,5 +85,14 @@ func main() {
 		rep := e.Run(cfg)
 		fmt.Print(rep.String())
 		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+
+	if err := closeTracer(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+		os.Exit(1)
+	}
+	if err := cliutil.WriteMetrics(exp.MetricsRegistry(), *metricsOut, *metricsFmt); err != nil {
+		fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -5,6 +5,8 @@
 //
 //	libra-sim -cca c-libra,cubic -capacity 48 -rtt 40ms -dur 30s
 //	libra-sim -cca b-libra -trace lte:driving -loss 0.01
+//	libra-sim -cca c-libra -trace lte:walking -trace-out events.jsonl \
+//	          -metrics-out metrics.prom -pprof localhost:6060
 package main
 
 import (
@@ -14,21 +16,27 @@ import (
 	"strings"
 	"time"
 
+	"libra/internal/cliutil"
 	"libra/internal/exp"
 	"libra/internal/netem"
+	"libra/internal/telemetry"
 	"libra/internal/trace"
 )
 
 func main() {
 	var (
-		ccas      = flag.String("cca", "c-libra", "comma-separated controllers sharing the bottleneck")
-		capMbps   = flag.Float64("capacity", 48, "link capacity in Mbps (ignored with -trace)")
-		traceSpec = flag.String("trace", "", "capacity trace: lte:stationary|walking|driving|tour, or step:P,L1,L2,...")
-		rtt       = flag.Duration("rtt", 40*time.Millisecond, "minimum RTT")
-		buffer    = flag.Int("buffer", 150000, "droptail buffer in bytes")
-		loss      = flag.Float64("loss", 0, "iid stochastic loss probability")
-		dur       = flag.Duration("dur", 30*time.Second, "simulated duration")
-		seed      = flag.Int64("seed", 1, "random seed")
+		ccas       = flag.String("cca", "c-libra", "comma-separated controllers sharing the bottleneck")
+		capMbps    = flag.Float64("capacity", 48, "link capacity in Mbps (ignored with -trace)")
+		traceSpec  = flag.String("trace", "", "capacity trace: lte:stationary|walking|driving|tour, or step:P,L1,L2,...")
+		rtt        = flag.Duration("rtt", 40*time.Millisecond, "minimum RTT")
+		buffer     = flag.Int("buffer", 150000, "droptail buffer in bytes")
+		loss       = flag.Float64("loss", 0, "iid stochastic loss probability")
+		dur        = flag.Duration("dur", 30*time.Second, "simulated duration")
+		seed       = flag.Int64("seed", 1, "random seed")
+		traceOut   = flag.String("trace-out", "", "write a JSONL telemetry event stream to this file")
+		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file after the run")
+		metricsFmt = flag.String("metrics-format", "auto", "metrics snapshot format: auto|json|prom")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address")
 	)
 	flag.Parse()
 
@@ -36,6 +44,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	cliutil.StartPprof(*pprofAddr, exp.MetricsRegistry())
+	tracer, closeTracer, err := cliutil.OpenTracer(*traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	n := netem.New(netem.Config{
@@ -46,14 +61,20 @@ func main() {
 		Seed:         *seed,
 		RecordSeries: true,
 		SeriesBucket: time.Second,
+		Tracer:       tracer,
 	})
 	names := strings.Split(*ccas, ",")
 	flows := make([]*netem.Flow, len(names))
 	for i, name := range names {
 		mk := exp.MakerFor(strings.TrimSpace(name), nil, nil)
-		flows[i] = n.AddFlow(mk(*seed+int64(i)*31), 0, 0)
+		ctrl := mk(*seed + int64(i)*31)
+		if tb, ok := ctrl.(telemetry.Traceable); ok && telemetry.Enabled(tracer) {
+			tb.SetTracer(tracer, i)
+		}
+		flows[i] = n.AddFlow(ctrl, 0, 0)
 	}
 	n.Run(*dur)
+	exp.ObserveLink(n, *dur)
 
 	fmt.Printf("%-6s %-9s", "t(s)", "cap(Mbps)")
 	for _, name := range names {
@@ -70,11 +91,25 @@ func main() {
 	}
 	fmt.Println()
 	for i, f := range flows {
+		m := exp.Observe(n, f, *dur)
 		fmt.Printf("%-10s avg %.2f Mbps, avg RTT %v, loss %.3f%%\n",
-			names[i], trace.ToMbps(f.Stats.AvgThroughput()), f.Stats.AvgRTT().Round(time.Millisecond),
-			f.Stats.LossRate()*100)
+			names[i], m.ThrMbps, f.Stats.AvgRTT().Round(time.Millisecond), m.LossRate*100)
 	}
 	fmt.Printf("link utilisation: %.3f\n", n.Utilization(*dur))
+	ds := n.Link().DropStats()
+	if ds.Total() > 0 {
+		fmt.Printf("drops: %d tail, %d channel, %d aqm (%d bytes)\n",
+			ds.Tail, ds.Channel, ds.AQM, ds.Bytes)
+	}
+
+	if err := closeTracer(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+		os.Exit(1)
+	}
+	if err := cliutil.WriteMetrics(exp.MetricsRegistry(), *metricsOut, *metricsFmt); err != nil {
+		fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 func buildTrace(spec string, capMbps float64, d time.Duration, seed int64) (trace.Trace, error) {

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -34,23 +35,9 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		tr, err := trace.ParseMahimahi(f)
-		if err != nil {
+		if err := inspectTrace(f, *inspect, os.Stdout); err != nil {
 			fatal(err)
 		}
-		var lo, hi float64
-		lo = tr.Rates[0]
-		for _, r := range tr.Rates {
-			if r < lo {
-				lo = r
-			}
-			if r > hi {
-				hi = r
-			}
-		}
-		fmt.Printf("duration: %s\nsamples:  %d @ %s\nmean:     %.2f Mbps\nmin/max:  %.2f / %.2f Mbps\n",
-			tr.Duration(), len(tr.Rates), tr.Interval,
-			trace.ToMbps(tr.Mean()), trace.ToMbps(lo), trace.ToMbps(hi))
 	case *gen != "":
 		var tr trace.Trace
 		switch *gen {
@@ -90,6 +77,32 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// inspectTrace parses a Mahimahi trace from r and writes its summary
+// statistics to w. A trace with no rate samples (empty file, or headers
+// and comments only) is a clear error rather than a panic.
+func inspectTrace(r io.Reader, name string, w io.Writer) error {
+	tr, err := trace.ParseMahimahi(r)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	if len(tr.Rates) == 0 {
+		return fmt.Errorf("%s: trace has no delivery opportunities (empty or comment-only file)", name)
+	}
+	lo, hi := tr.Rates[0], tr.Rates[0]
+	for _, r := range tr.Rates {
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	_, err = fmt.Fprintf(w, "duration: %s\nsamples:  %d @ %s\nmean:     %.2f Mbps\nmin/max:  %.2f / %.2f Mbps\n",
+		tr.Duration(), len(tr.Rates), tr.Interval,
+		trace.ToMbps(tr.Mean()), trace.ToMbps(lo), trace.ToMbps(hi))
+	return err
 }
 
 func fatal(err error) {

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// inspectTrace used to index tr.Rates[0] unconditionally, which panicked
+// on traces that parse but yield no samples. Empty and comment-only
+// inputs must produce a clear error instead.
+func TestInspectEmptyTrace(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"headers-only", "# mahimahi link trace\n# generated 2026-08-05\n\n"},
+		{"blank-lines", "\n\n\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("inspectTrace panicked: %v", r)
+				}
+			}()
+			var out strings.Builder
+			err := inspectTrace(strings.NewReader(tc.input), tc.name+".mahi", &out)
+			if err == nil {
+				t.Fatalf("want error for %s trace, got output:\n%s", tc.name, out.String())
+			}
+			if !strings.Contains(err.Error(), tc.name+".mahi") {
+				t.Errorf("error should name the file: %v", err)
+			}
+		})
+	}
+}
+
+func TestInspectValidTrace(t *testing.T) {
+	// Three delivery opportunities inside 100 ms bins at 0, 100, 250 ms.
+	in := "# comment\n0\n100\n250\n"
+	var out strings.Builder
+	if err := inspectTrace(strings.NewReader(in), "ok.mahi", &out); err != nil {
+		t.Fatalf("inspectTrace: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"duration:", "samples:", "mean:", "min/max:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -15,19 +15,25 @@ import (
 	"time"
 
 	"libra/internal/cc"
+	"libra/internal/cliutil"
 	"libra/internal/exp"
 	"libra/internal/rlcc"
 )
 
 func main() {
 	var (
-		out      = flag.String("out", "models", "output directory for trained models")
-		episodes = flag.Int("episodes", 0, "training episodes per agent (0 = spec default)")
-		epLen    = flag.Duration("eplen", 0, "simulated seconds per episode (0 = spec default)")
-		paper    = flag.Bool("paper", false, "use the paper's full training ranges (slower)")
-		seed     = flag.Int64("seed", 1, "random seed")
+		out        = flag.String("out", "models", "output directory for trained models")
+		episodes   = flag.Int("episodes", 0, "training episodes per agent (0 = spec default)")
+		epLen      = flag.Duration("eplen", 0, "simulated seconds per episode (0 = spec default)")
+		paper      = flag.Bool("paper", false, "use the paper's full training ranges (slower)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file after training")
+		metricsFmt = flag.String("metrics-format", "auto", "metrics snapshot format: auto|json|prom")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address")
 	)
 	flag.Parse()
+
+	cliutil.StartPprof(*pprofAddr, exp.MetricsRegistry())
 
 	spec := exp.QuickTrainSpec(*seed)
 	if *paper {
@@ -70,6 +76,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("saved models to %s (use: libra-bench -models %s)\n", *out, *out)
+
+	if err := cliutil.WriteMetrics(exp.MetricsRegistry(), *metricsOut, *metricsFmt); err != nil {
+		fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 func baseCfg(seed int64) cc.Config { return cc.Config{Seed: seed} }

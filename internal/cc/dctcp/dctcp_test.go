@@ -60,7 +60,7 @@ func TestFullThroughputLowQueueWithECN(t *testing.T) {
 	if f.Stats.AvgRTT() > 6*time.Millisecond {
 		t.Fatalf("DCTCP avg RTT %v: queue not held at threshold", f.Stats.AvgRTT())
 	}
-	if n.Link().MarkedPackets == 0 {
+	if n.Link().DropStats().Marked == 0 {
 		t.Fatal("no packets were CE-marked")
 	}
 }
@@ -74,7 +74,7 @@ func TestECNDisabledMeansNoMarks(t *testing.T) {
 	})
 	n.AddFlow(New(cc.Config{}), 0, 0)
 	n.Run(3 * time.Second)
-	if n.Link().MarkedPackets != 0 {
+	if n.Link().DropStats().Marked != 0 {
 		t.Fatal("marks without ECN threshold")
 	}
 }

@@ -1,0 +1,76 @@
+// Package cliutil holds the observability plumbing shared by the
+// cmd/ binaries: JSONL trace sinks, metrics-snapshot export, and the
+// pprof + /metrics debug server.
+package cliutil
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"strings"
+
+	"libra/internal/telemetry"
+)
+
+// OpenTracer opens a JSONL event sink at path. It returns a nil tracer
+// (and a no-op closer) when path is empty, so callers can pass the
+// result straight into configs. The closer flushes the tail and prints
+// the event count.
+func OpenTracer(path string) (telemetry.Tracer, func() error, error) {
+	if path == "" {
+		return nil, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := telemetry.NewRecorder(f)
+	return rec, func() error {
+		if err := rec.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events to %s\n", rec.Events(), path)
+		return nil
+	}, nil
+}
+
+// WriteMetrics exports a registry snapshot to path. Format "auto"
+// derives from the extension: .json → JSON, anything else → Prometheus
+// text exposition. Empty path is a no-op.
+func WriteMetrics(reg *telemetry.Registry, path, format string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case "json":
+		return reg.WriteJSON(f)
+	case "prom":
+		return reg.WritePrometheus(f)
+	case "auto":
+		if strings.HasSuffix(path, ".json") {
+			return reg.WriteJSON(f)
+		}
+		return reg.WritePrometheus(f)
+	}
+	return fmt.Errorf("unknown metrics format %q (want auto, json or prom)", format)
+}
+
+// StartPprof serves net/http/pprof plus reg at /metrics on addr in the
+// background. Empty addr is a no-op.
+func StartPprof(addr string, reg *telemetry.Registry) {
+	if addr == "" {
+		return
+	}
+	http.Handle("/metrics", reg.Handler())
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+		}
+	}()
+}

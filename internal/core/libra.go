@@ -9,6 +9,7 @@ import (
 	"libra/internal/cc/illinois"
 	"libra/internal/cc/westwood"
 	"libra/internal/rlcc"
+	"libra/internal/telemetry"
 	"libra/internal/utility"
 )
 
@@ -94,6 +95,13 @@ type Config struct {
 	HigherRateFirst bool
 	// RecordCycles retains a per-cycle log (Fig. 17 / Fig. 18).
 	RecordCycles bool
+	// Tracer receives control-cycle events (stage transitions, early
+	// exits, per-cycle candidate utilities and the argmax decision,
+	// no-ACK fallbacks). Nil or disabled costs one predictable branch
+	// on the hot path; SetTracer can rewire after construction.
+	Tracer telemetry.Tracer
+	// TraceID is the flow ID stamped on emitted events.
+	TraceID int
 	// Name overrides the reported controller name.
 	Name string
 }
@@ -208,6 +216,11 @@ type Libra struct {
 
 	tel    Telemetry
 	cycles []CycleRecord
+
+	tracer  telemetry.Tracer
+	traceID int
+	traceOn bool            // cached Enabled(); keeps the hot path branch-cheap
+	evBuf   telemetry.Event // reused so enabled-path emits stay alloc-free
 }
 
 // New constructs a Libra sender.
@@ -221,7 +234,18 @@ func New(cfg Config) *Libra {
 		xPrev:   cfg.CC.InitialRate,
 		rate:    cfg.CC.InitialRate,
 	}
+	l.SetTracer(cfg.Tracer, cfg.TraceID)
 	return l
+}
+
+// SetTracer wires (or rewires) the telemetry sink; id becomes the Flow
+// field of emitted events. The RL component shares the tracer.
+// Implements telemetry.Traceable.
+func (l *Libra) SetTracer(t telemetry.Tracer, id int) {
+	l.tracer = t
+	l.traceID = id
+	l.traceOn = telemetry.Enabled(t)
+	l.rl.SetTracer(t, id)
 }
 
 func init() {
@@ -294,6 +318,11 @@ func (l *Libra) OnAck(a *cc.Ack) {
 			xcl := l.classic.CurrentRate(l.srtt)
 			xrl := l.rl.Rate()
 			if math.Abs(xcl-xrl) >= l.cfg.ThresholdFrac*l.xPrev {
+				if l.traceOn {
+					l.evBuf = telemetry.Event{T: int64(a.Now), Type: telemetry.TypeEarlyExit,
+						Flow: l.traceID, XPrev: l.xPrev, XCl: xcl, XRl: xrl}
+					l.tracer.Emit(&l.evBuf)
+				}
 				l.advance(a.Now)
 			}
 		}
@@ -371,6 +400,16 @@ func (l *Libra) startCycle(now time.Duration) {
 	for i := range l.haveTag {
 		l.haveTag[i] = false
 	}
+	if l.traceOn {
+		l.emitStage(now)
+	}
+}
+
+// emitStage records entry into the current stage at the applied rate.
+func (l *Libra) emitStage(now time.Duration) {
+	l.evBuf = telemetry.Event{T: int64(now), Type: telemetry.TypeStage, Flow: l.traceID,
+		Stage: l.stage.String(), Rate: l.rate, XPrev: l.xPrev}
+	l.tracer.Emit(&l.evBuf)
 }
 
 // eiLen returns the evaluation-interval duration for a candidate rate:
@@ -408,6 +447,9 @@ func (l *Libra) advance(now time.Duration) {
 			l.evalLowIsCl = false
 			l.dm.Boundary(now, l.xRl, tagEvalSecond)
 			l.stageEnd = now + l.eiLen(l.rate)
+			if l.traceOn {
+				l.emitStage(now)
+			}
 			return
 		}
 		// Lower rate first (Sec. 4.1, Fig. 4).
@@ -423,6 +465,9 @@ func (l *Libra) advance(now time.Duration) {
 		}
 		l.dm.Boundary(now, l.rate, tagEvalFirst)
 		l.stageEnd = now + l.eiLen(l.rate)
+		if l.traceOn {
+			l.emitStage(now)
+		}
 	case StageEvalFirst:
 		l.stage = StageEvalSecond
 		if l.evalLowIsCl {
@@ -432,11 +477,17 @@ func (l *Libra) advance(now time.Duration) {
 		}
 		l.dm.Boundary(now, l.rate, tagEvalSecond)
 		l.stageEnd = now + l.eiLen(l.rate)
+		if l.traceOn {
+			l.emitStage(now)
+		}
 	case StageEvalSecond:
 		l.stage = StageExploit
 		l.rate = l.xPrev
 		l.dm.Boundary(now, l.xPrev, tagExploit)
 		l.stageEnd = now + time.Duration(l.cfg.ExploitRTTs)*rtt
+		if l.traceOn {
+			l.emitStage(now)
+		}
 	case StageExploit:
 		l.decide(now)
 		l.startCycle(now)
@@ -520,6 +571,11 @@ func (l *Libra) decide(now time.Duration) {
 		if l.cfg.RecordCycles {
 			l.cycles = append(l.cycles, rec)
 		}
+		if l.traceOn {
+			l.evBuf = telemetry.Event{T: int64(now), Type: telemetry.TypeNoAck,
+				Flow: l.traceID, XPrev: l.xPrev}
+			l.tracer.Emit(&l.evBuf)
+		}
 		return
 	}
 
@@ -562,6 +618,21 @@ func (l *Libra) decide(now time.Duration) {
 	rec.XPrev = l.xPrev
 	if l.cfg.RecordCycles {
 		l.cycles = append(l.cycles, rec)
+	}
+	if l.traceOn {
+		l.evBuf = telemetry.Event{T: int64(now), Type: telemetry.TypeDecision,
+			Flow: l.traceID, Winner: winner.String(),
+			XPrev: l.xPrev, XCl: l.xCl, XRl: l.xRl}
+		if havePrev {
+			l.evBuf.UPrev = uPrev
+		}
+		if haveCl {
+			l.evBuf.UCl = uCl
+		}
+		if haveRl {
+			l.evBuf.URl = uRl
+		}
+		l.tracer.Emit(&l.evBuf)
 	}
 }
 

@@ -34,7 +34,7 @@ func runAQM(cfg RunConfig) *Report {
 		})
 		f := n.AddFlow(MakerFor(name, ag, nil)(cfg.Seed), 0, 0)
 		n.Run(dur)
-		return n.Utilization(dur), float64(f.Stats.AvgRTT()) / float64(time.Millisecond), n.Link().DroppedAQM
+		return n.Utilization(dur), float64(f.Stats.AvgRTT()) / float64(time.Millisecond), n.Link().DropStats().AQM
 	}
 
 	tbl := Table{Name: "deep-buffered 24 Mbps / 40 ms path",

@@ -1,0 +1,8 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports whether the race detector is compiled in; the
+// minutes-long whole-harness smoke skips under it (10x slowdown blows
+// the default go test timeout) while every targeted test still runs.
+const raceEnabled = true

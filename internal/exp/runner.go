@@ -188,6 +188,8 @@ func MakerFor(name string, ag *AgentSet, util utility.Func) Maker {
 
 // RunFlow drives one controller over a scenario and returns its
 // metrics. When bucket > 0 the flow records time series at that width.
+// Results are also summarised into MetricsRegistry, and a tracer set
+// via SetTracer is wired through the network and controller.
 func RunFlow(s Scenario, mk Maker, seed int64, bucket time.Duration) Metrics {
 	n := netem.New(netem.Config{
 		Capacity:     s.Capacity,
@@ -197,24 +199,14 @@ func RunFlow(s Scenario, mk Maker, seed int64, bucket time.Duration) Metrics {
 		Seed:         seed,
 		RecordSeries: bucket > 0,
 		SeriesBucket: bucket,
+		Tracer:       runTracer,
 	})
 	ctrl := mk(seed)
+	attachTracer(ctrl, 0)
 	f := n.AddFlow(ctrl, 0, 0)
 	n.Run(s.Duration)
-	return flowMetrics(n, f, s.Duration)
-}
-
-func flowMetrics(n *netem.Network, f *netem.Flow, d time.Duration) Metrics {
-	return Metrics{
-		Util:     n.Utilization(d),
-		ThrMbps:  trace.ToMbps(f.Stats.AvgThroughput()),
-		DelayMs:  float64(f.Stats.AvgRTT()) / float64(time.Millisecond),
-		LossRate: f.Stats.LossRate(),
-		CPUFrac:  float64(f.Stats.ComputeNs) / float64(d.Nanoseconds()),
-		Flow:     f,
-		Net:      n,
-		Ctrl:     f.Controller(),
-	}
+	recordLink(n, s.Duration)
+	return Observe(n, f, s.Duration)
 }
 
 // RunFlows drives several controllers sharing one bottleneck; starts[i]
@@ -228,6 +220,7 @@ func RunFlows(s Scenario, mks []Maker, starts []time.Duration, seed int64, bucke
 		Seed:         seed,
 		RecordSeries: bucket > 0,
 		SeriesBucket: bucket,
+		Tracer:       runTracer,
 	})
 	flows := make([]*netem.Flow, len(mks))
 	for i, mk := range mks {
@@ -235,12 +228,15 @@ func RunFlows(s Scenario, mks []Maker, starts []time.Duration, seed int64, bucke
 		if i < len(starts) {
 			start = starts[i]
 		}
-		flows[i] = n.AddFlow(mk(seed+int64(i)*101), start, 0)
+		ctrl := mk(seed + int64(i)*101)
+		attachTracer(ctrl, i)
+		flows[i] = n.AddFlow(ctrl, start, 0)
 	}
 	n.Run(s.Duration)
+	recordLink(n, s.Duration)
 	out := make([]Metrics, len(flows))
 	for i, f := range flows {
-		out[i] = flowMetrics(n, f, s.Duration)
+		out[i] = Observe(n, f, s.Duration)
 	}
 	return out
 }

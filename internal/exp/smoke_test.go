@@ -14,6 +14,9 @@ func TestSmokeAllExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("quick experiments still take minutes; skipped with -short")
 	}
+	if raceEnabled {
+		t.Skip("whole-harness smoke exceeds the test timeout under -race; targeted tests keep race coverage")
+	}
 	agents := TrainAgentSet(TrainSpec{Seed: 1, Episodes: 6, EpisodeLen: 4 * time.Second,
 		Env: smokeEnv()})
 	for _, e := range All() {

@@ -1,0 +1,144 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"libra/internal/core"
+	"libra/internal/netem"
+	"libra/internal/telemetry"
+	"libra/internal/trace"
+)
+
+// The harness-wide metrics registry. Every flow the runner drives is
+// summarised here (histograms for RTT/throughput/utility/cycle length,
+// counters for drops and cycle outcomes), replacing the hand-rolled
+// per-experiment accumulators; the CLIs export it as JSON or
+// Prometheus text and serve it at /metrics next to pprof.
+var (
+	metricsReg = telemetry.NewRegistry()
+	runTracer  telemetry.Tracer
+)
+
+// MetricsRegistry returns the harness registry.
+func MetricsRegistry() *telemetry.Registry { return metricsReg }
+
+// SetMetricsRegistry swaps the harness registry (tests use a fresh one
+// to make assertions hermetic) and returns the previous registry.
+func SetMetricsRegistry(r *telemetry.Registry) *telemetry.Registry {
+	old := metricsReg
+	metricsReg = r
+	return old
+}
+
+// SetTracer wires a tracer into every network and traceable controller
+// the runner subsequently builds (libra-bench -trace-out). Nil disables.
+func SetTracer(t telemetry.Tracer) { runTracer = t }
+
+// cpuFracBuckets spans controller compute overhead from negligible to
+// pathological (fraction of simulated time).
+func cpuFracBuckets() []float64 {
+	return []float64{1e-6, 1e-5, 1e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1}
+}
+
+// Observe computes one flow's run metrics and records them in the
+// harness registry. It is the single summarisation path shared by the
+// runner and the CLIs.
+func Observe(n *netem.Network, f *netem.Flow, d time.Duration) Metrics {
+	m := Metrics{
+		Util:     n.Utilization(d),
+		ThrMbps:  trace.ToMbps(f.Stats.AvgThroughput()),
+		DelayMs:  float64(f.Stats.AvgRTT()) / float64(time.Millisecond),
+		LossRate: f.Stats.LossRate(),
+		CPUFrac:  float64(f.Stats.ComputeNs) / float64(d.Nanoseconds()),
+		Flow:     f,
+		Net:      n,
+		Ctrl:     f.Controller(),
+	}
+	recordFlow(f, m)
+	return m
+}
+
+// recordFlow pushes one flow's summary into the registry.
+func recordFlow(f *netem.Flow, m Metrics) {
+	name := m.Ctrl.Name()
+	metricsReg.Counter("libra_flows_total", "flows driven by the experiment harness").Inc()
+	metricsReg.Histogram("libra_flow_rtt_ms", "per-flow mean RTT", telemetry.RTTBucketsMs()).
+		Observe(m.DelayMs)
+	metricsReg.Histogram("libra_flow_throughput_mbps", "per-flow mean throughput", telemetry.ThroughputBucketsMbps()).
+		Observe(m.ThrMbps)
+	metricsReg.Histogram("libra_flow_cpu_frac", "controller compute time / simulated time", cpuFracBuckets()).
+		Observe(m.CPUFrac)
+	metricsReg.Counter(fmt.Sprintf("libra_flow_acked_bytes_total{cca=%q}", name), "acknowledged bytes by controller").
+		Add(f.Stats.AckedBytes)
+	metricsReg.Counter(fmt.Sprintf("libra_flow_lost_bytes_total{cca=%q}", name), "lost bytes by controller").
+		Add(f.Stats.LostBytes)
+
+	lb, ok := m.Ctrl.(*core.Libra)
+	if !ok {
+		return
+	}
+	tel := lb.Telemetry()
+	metricsReg.Counter("libra_cycles_total", "completed control cycles").Add(int64(tel.Cycles))
+	metricsReg.Counter("libra_cycles_skipped_total", "cycles repeated for lack of feedback").Add(int64(tel.Skipped))
+	for c := core.CandPrev; c <= core.CandRL; c++ {
+		metricsReg.Counter(fmt.Sprintf("libra_cycle_wins_total{cand=%q}", c.String()),
+			"cycles won per candidate (Fig. 17)").Add(int64(tel.Wins[c]))
+	}
+	cycleLen := metricsReg.Histogram("libra_cycle_len_ms", "control-cycle length", telemetry.CycleLenBucketsMs())
+	utility := metricsReg.Histogram("libra_cycle_utility", "winning candidate utility per cycle", telemetry.UtilityBuckets())
+	for _, rec := range lb.CycleLog() {
+		cycleLen.Observe(float64(rec.End-rec.Start) / float64(time.Millisecond))
+		if rec.Skipped {
+			continue
+		}
+		switch rec.Winner {
+		case core.CandClassic:
+			utility.Observe(rec.UCl)
+		case core.CandRL:
+			utility.Observe(rec.URl)
+		default:
+			if rec.HavePrev {
+				utility.Observe(rec.UPrev)
+			}
+		}
+	}
+}
+
+// ObserveLink records one network's bottleneck summary into the
+// harness registry; call once per completed run (the link's drop
+// counters are cumulative).
+func ObserveLink(n *netem.Network, d time.Duration) { recordLink(n, d) }
+
+// recordLink pushes one network's bottleneck summary into the registry;
+// call once per run (drop counters are cumulative per link).
+func recordLink(n *netem.Network, d time.Duration) {
+	ds := n.Link().DropStats()
+	for reason, v := range map[string]int64{
+		telemetry.ReasonTail:    ds.Tail,
+		telemetry.ReasonChannel: ds.Channel,
+		telemetry.ReasonAQM:     ds.AQM,
+	} {
+		metricsReg.Counter(fmt.Sprintf("libra_link_drops_total{reason=%q}", reason),
+			"bottleneck drops by reason").Add(v)
+	}
+	metricsReg.Counter("libra_link_dropped_bytes_total", "bytes dropped at the bottleneck").Add(ds.Bytes)
+	metricsReg.Counter("libra_link_marked_total", "packets CE-marked at the bottleneck").Add(ds.Marked)
+	metricsReg.Counter("libra_link_delivered_bytes_total", "bytes serialized through the bottleneck").
+		Add(n.Link().DeliveredBytes())
+	metricsReg.Gauge("libra_link_utilization", "delivered bytes / mean capacity of the last recorded run").
+		Set(n.Utilization(d))
+	metricsReg.Gauge("libra_link_mean_queue_bytes", "time-averaged bottleneck occupancy of the last recorded run").
+		Set(n.Link().MeanQueueBytes(n.Eng.Now()))
+}
+
+// attachTracer wires the harness tracer into a freshly built
+// controller, when one is configured and the controller supports it.
+func attachTracer(ctrl any, flowID int) {
+	if !telemetry.Enabled(runTracer) {
+		return
+	}
+	if tb, ok := ctrl.(telemetry.Traceable); ok {
+		tb.SetTracer(runTracer, flowID)
+	}
+}

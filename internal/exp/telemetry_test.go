@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"libra/internal/telemetry"
+	"libra/internal/trace"
+)
+
+// TestRunFlowRecordsMetrics: driving one flow through the runner must
+// populate the harness registry with flow histograms, link counters,
+// and — for Libra — cycle telemetry, and the snapshot must export as
+// both JSON and Prometheus text.
+func TestRunFlowRecordsMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	old := SetMetricsRegistry(reg)
+	defer SetMetricsRegistry(old)
+
+	s := Scenario{
+		Name:     "reg-smoke",
+		Capacity: trace.Constant(trace.Mbps(24)),
+		MinRTT:   30 * time.Millisecond,
+		Buffer:   150_000,
+		Duration: 5 * time.Second,
+	}
+	m := RunFlow(s, MakerFor("c-libra", nil, nil), 1, 0)
+	if m.ThrMbps <= 0 {
+		t.Fatalf("run produced no throughput: %+v", m)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["libra_flows_total"]; got != 1 {
+		t.Errorf("libra_flows_total = %d, want 1", got)
+	}
+	if snap.Counters["libra_cycles_total"] == 0 {
+		t.Error("libra_cycles_total not recorded for a c-libra run")
+	}
+	if snap.Counters["libra_link_delivered_bytes_total"] == 0 {
+		t.Error("libra_link_delivered_bytes_total not recorded")
+	}
+	rtt, ok := snap.Histograms["libra_flow_rtt_ms"]
+	if !ok || rtt.Count != 1 {
+		t.Errorf("libra_flow_rtt_ms histogram missing or wrong count: %+v", rtt)
+	}
+	if _, ok := snap.Gauges["libra_link_utilization"]; !ok {
+		t.Error("libra_link_utilization gauge missing")
+	}
+
+	var js, prom bytes.Buffer
+	if err := reg.WriteJSON(&js); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	for _, want := range []string{"libra_flows_total 1", "libra_cycle_wins_total{cand="} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}
+
+// TestRunnerWiresTracer: a tracer installed with SetTracer must see
+// both controller-side and link-side events from a runner-driven flow.
+func TestRunnerWiresTracer(t *testing.T) {
+	var buf bytes.Buffer
+	rec := telemetry.NewRecorder(&buf)
+	SetTracer(rec)
+	defer SetTracer(nil)
+	reg := telemetry.NewRegistry()
+	old := SetMetricsRegistry(reg)
+	defer SetMetricsRegistry(old)
+
+	s := Scenario{
+		Name:     "trace-smoke",
+		Capacity: trace.Constant(trace.Mbps(24)),
+		MinRTT:   30 * time.Millisecond,
+		Buffer:   150_000,
+		Duration: 3 * time.Second,
+	}
+	RunFlow(s, MakerFor("c-libra", nil, nil), 1, 0)
+	if err := rec.Close(); err != nil {
+		t.Fatalf("recorder close: %v", err)
+	}
+	evs, err := telemetry.ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	kinds := map[telemetry.Type]bool{}
+	for i := range evs {
+		kinds[evs[i].Type] = true
+	}
+	for _, want := range []telemetry.Type{telemetry.TypeStage, telemetry.TypeEnqueue, telemetry.TypeQueue} {
+		if !kinds[want] {
+			t.Errorf("runner trace missing %q events", want)
+		}
+	}
+}

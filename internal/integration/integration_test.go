@@ -67,7 +67,7 @@ func TestByteConservation(t *testing.T) {
 				t.Fatalf("conservation: sent=%d acked=%d lost=%d inflight=%d (slack %d)",
 					f.Stats.SentBytes, f.Stats.AckedBytes, f.Stats.LostBytes, f.InFlight(), slack)
 			}
-			if n.Link().DeliveredBytes > f.Stats.SentBytes {
+			if n.Link().DeliveredBytes() > f.Stats.SentBytes {
 				t.Fatal("link delivered more than was sent")
 			}
 		})

@@ -75,7 +75,7 @@ func TestCoDelTamesCubicBufferbloat(t *testing.T) {
 		})
 		f := n.AddFlow(cubic.New(cc.Config{Seed: 1}), 0, 0)
 		n.Run(20 * time.Second)
-		if codel && n.Link().DroppedAQM == 0 {
+		if codel && n.Link().DropStats().AQM == 0 {
 			t.Fatal("CoDel never dropped")
 		}
 		return f.Stats.AvgRTT()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"libra/internal/sim"
+	"libra/internal/telemetry"
 	"libra/internal/trace"
 )
 
@@ -31,15 +32,52 @@ type Link struct {
 	qByte int
 	busy  bool
 
-	// Statistics.
-	DeliveredBytes int64
-	DroppedBytes   int64
-	DroppedTail    int64
-	DroppedChannel int64
-	DroppedAQM     int64
-	MarkedPackets  int64
-	qIntegral      float64 // byte-seconds, for mean queue occupancy
-	lastQSample    time.Duration
+	// Statistics; read through DeliveredBytes()/DropStats().
+	delivered   int64
+	drops       DropStats
+	qIntegral   float64 // byte-seconds, for mean queue occupancy
+	lastQSample time.Duration
+
+	tracer  telemetry.Tracer
+	traceOn bool            // cached Enabled(); keeps the per-packet path branch-cheap
+	evBuf   telemetry.Event // reused so enabled-path emits stay alloc-free
+}
+
+// DropStats is a point-in-time snapshot of the link's loss and marking
+// counters, keyed by reason. Telemetry and tests consume this snapshot
+// rather than reaching into individual counters.
+type DropStats struct {
+	// Tail/Channel/AQM count dropped packets by cause: buffer
+	// overflow, the iid stochastic loss process, and CoDel head drops.
+	Tail, Channel, AQM int64
+	// Bytes is the payload total across all dropped packets.
+	Bytes int64
+	// Marked counts packets CE-marked (delivered, not dropped).
+	Marked int64
+}
+
+// Total returns the dropped-packet count across all reasons.
+func (d DropStats) Total() int64 { return d.Tail + d.Channel + d.AQM }
+
+// DropStats returns the current drop/mark counters.
+func (l *Link) DropStats() DropStats { return l.drops }
+
+// DeliveredBytes returns the bytes serialized through the bottleneck.
+func (l *Link) DeliveredBytes() int64 { return l.delivered }
+
+// SetTracer wires the telemetry sink for enqueue/drop/queue events.
+// Link-level events carry Flow = the owning flow's ID (or -1 for
+// queue-occupancy samples emitted by the Network's sampler).
+func (l *Link) SetTracer(t telemetry.Tracer) {
+	l.tracer = t
+	l.traceOn = telemetry.Enabled(t)
+}
+
+// emitDrop records a packet drop with its reason.
+func (l *Link) emitDrop(p *Packet, reason string) {
+	l.evBuf = telemetry.Event{T: int64(l.eng.Now()), Type: telemetry.TypeDrop,
+		Flow: p.Flow.ID, Seq: p.Seq, Bytes: int64(p.Size), Queue: int64(l.qByte), Reason: reason}
+	l.tracer.Emit(&l.evBuf)
 }
 
 // LinkConfig parameterises a Link.
@@ -98,23 +136,34 @@ func (l *Link) sampleQueue(now time.Duration) {
 func (l *Link) Enqueue(p *Packet) {
 	now := l.eng.Now()
 	if l.loss > 0 && l.rng.Float64() < l.loss {
-		l.DroppedBytes += int64(p.Size)
-		l.DroppedChannel++
+		l.drops.Bytes += int64(p.Size)
+		l.drops.Channel++
+		if l.traceOn {
+			l.emitDrop(p, telemetry.ReasonChannel)
+		}
 		l.drop(p, true)
 		return
 	}
 	if l.qByte+p.Size > l.buf {
-		l.DroppedBytes += int64(p.Size)
-		l.DroppedTail++
+		l.drops.Bytes += int64(p.Size)
+		l.drops.Tail++
+		if l.traceOn {
+			l.emitDrop(p, telemetry.ReasonTail)
+		}
 		l.drop(p, false)
 		return
 	}
 	l.sampleQueue(now)
 	if l.ecn > 0 && l.qByte > l.ecn {
 		p.CE = true
-		l.MarkedPackets++
+		l.drops.Marked++
 	}
 	l.qByte += p.Size
+	if l.traceOn {
+		l.evBuf = telemetry.Event{T: int64(now), Type: telemetry.TypeEnqueue,
+			Flow: p.Flow.ID, Seq: p.Seq, Bytes: int64(p.Size), Queue: int64(l.qByte)}
+		l.tracer.Emit(&l.evBuf)
+	}
 	if l.qhead > 0 && l.qhead*2 >= len(l.queue) {
 		// Compact the deque.
 		n := copy(l.queue, l.queue[l.qhead:])
@@ -145,8 +194,11 @@ func (l *Link) serveNext() {
 		l.queue[l.qhead] = nil
 		l.qhead++
 		l.qByte -= p.Size
-		l.DroppedBytes += int64(p.Size)
-		l.DroppedAQM++
+		l.drops.Bytes += int64(p.Size)
+		l.drops.AQM++
+		if l.traceOn {
+			l.emitDrop(p, telemetry.ReasonAQM)
+		}
 		l.drop(p, false)
 	}
 	if l.qhead >= len(l.queue) {
@@ -164,7 +216,7 @@ func (l *Link) serveNext() {
 		l.queue[l.qhead] = nil
 		l.qhead++
 		l.qByte -= p.Size
-		l.DeliveredBytes += int64(p.Size)
+		l.delivered += int64(p.Size)
 		pkt := p
 		l.eng.After(l.prop, func() { l.sink(pkt) })
 		l.serveNext()

@@ -27,7 +27,7 @@ func TestQuickLinkNeverExceedsCapacity(t *testing.T) {
 		const d = 3 * time.Second
 		n.Run(d)
 		limit := trace.Mbps(capMbps)*d.Seconds() + 1500
-		return float64(n.Link().DeliveredBytes) <= limit
+		return float64(n.Link().DeliveredBytes()) <= limit
 	}
 	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(21))}
 	if err := quick.Check(f, cfg); err != nil {

@@ -303,7 +303,7 @@ func TestECNMarkingAboveThreshold(t *testing.T) {
 	})
 	n.AddFlow(cc.FixedRate{R: mbps(20)}, 0, 0) // overdrive to build queue
 	n.Run(5 * time.Second)
-	if n.Link().MarkedPackets == 0 {
+	if n.Link().DropStats().Marked == 0 {
 		t.Fatal("overdriven ECN link should mark packets")
 	}
 }

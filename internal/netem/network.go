@@ -5,6 +5,7 @@ import (
 
 	"libra/internal/cc"
 	"libra/internal/sim"
+	"libra/internal/telemetry"
 	"libra/internal/trace"
 )
 
@@ -35,6 +36,13 @@ type Config struct {
 	// SeriesBucket is zero).
 	RecordSeries bool
 	SeriesBucket time.Duration
+	// Tracer, when enabled, receives bottleneck telemetry: per-packet
+	// enqueue/drop events (drops tagged tail/channel/aqm) and periodic
+	// queue-occupancy samples.
+	Tracer telemetry.Tracer
+	// QueueSampleInterval is the spacing of queue-occupancy samples
+	// (default 100 ms; only used when Tracer is enabled).
+	QueueSampleInterval time.Duration
 }
 
 // Network is a single-bottleneck emulated topology.
@@ -45,6 +53,7 @@ type Network struct {
 	flows    []*Flow
 	pool     packetPool
 	ackDelay time.Duration
+	qEvBuf   telemetry.Event // reused queue-sample event buffer
 }
 
 // New builds a network. The engine is created internally and owned by
@@ -71,7 +80,29 @@ func New(cfg Config) *Network {
 		ECNThreshold: cfg.ECNThreshold,
 		Seed:         cfg.Seed,
 	}, n.deliver, n.dropped)
+	if telemetry.Enabled(cfg.Tracer) {
+		n.link.SetTracer(cfg.Tracer)
+		every := cfg.QueueSampleInterval
+		if every <= 0 {
+			every = 100 * time.Millisecond
+		}
+		n.sampleQueue(cfg.Tracer, every)
+	}
 	return n
+}
+
+// sampleQueue emits one queue-occupancy event and reschedules itself;
+// the engine stops dispatching past the run horizon.
+func (n *Network) sampleQueue(t telemetry.Tracer, every time.Duration) {
+	now := n.Eng.Now()
+	rate := 0.0
+	if n.cfg.Capacity != nil {
+		rate = n.cfg.Capacity.RateAt(now)
+	}
+	n.qEvBuf = telemetry.Event{T: int64(now), Type: telemetry.TypeQueue, Flow: -1,
+		Queue: int64(n.link.QueuedBytes()), Rate: rate}
+	t.Emit(&n.qEvBuf)
+	n.Eng.After(every, func() { n.sampleQueue(t, every) })
 }
 
 // Link exposes the bottleneck for queue statistics.
@@ -135,5 +166,5 @@ func (n *Network) Utilization(d time.Duration) float64 {
 	if mean <= 0 || d <= 0 {
 		return 0
 	}
-	return float64(n.link.DeliveredBytes) / (mean * d.Seconds())
+	return float64(n.link.DeliveredBytes()) / (mean * d.Seconds())
 }

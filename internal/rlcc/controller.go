@@ -6,6 +6,7 @@ import (
 
 	"libra/internal/cc"
 	"libra/internal/rl"
+	"libra/internal/telemetry"
 )
 
 // ActionMode selects how the agent's scalar action maps to a rate
@@ -144,6 +145,11 @@ type Controller struct {
 	episodeReward float64
 	episodeRaw    float64 // sum of unshaped per-MI rewards
 	decisions     int
+
+	tracer  telemetry.Tracer
+	traceID int
+	traceOn bool            // cached Enabled(); keeps the hot path branch-cheap
+	evBuf   telemetry.Event // reused so enabled-path emits stay alloc-free
 }
 
 // New constructs the controller.
@@ -181,6 +187,14 @@ func init() {
 
 // Name implements cc.Controller.
 func (r *Controller) Name() string { return r.name }
+
+// SetTracer wires the telemetry sink; id becomes the Flow field of
+// emitted action events. Implements telemetry.Traceable.
+func (r *Controller) SetTracer(t telemetry.Tracer, id int) {
+	r.tracer = t
+	r.traceID = id
+	r.traceOn = telemetry.Enabled(t)
+}
 
 // Agent returns the underlying PPO agent (for training and persistence).
 func (r *Controller) Agent() *rl.PPO { return r.agent }
@@ -287,6 +301,9 @@ func (r *Controller) OnTick(now time.Duration) time.Duration {
 	a := clamp(act[0], -1, 1) * r.cfg.Scale
 	r.applyAction(a)
 	r.decisions++
+	if r.traceOn {
+		r.emitAction(now, a, rew)
+	}
 
 	if r.cfg.Train {
 		r.prevObs = append(r.prevObs[:0], r.stateBuf...)
@@ -296,6 +313,27 @@ func (r *Controller) OnTick(now time.Duration) time.Duration {
 		r.haveAction = true
 	}
 	return r.miLen()
+}
+
+// emitAction records one MI decision: the bounded action, the applied
+// rate, the shaped reward, and a min/mean/max summary of the raw
+// feature vector driving the policy.
+func (r *Controller) emitAction(now time.Duration, a, rew float64) {
+	fmin, fmax, fsum := math.Inf(1), math.Inf(-1), 0.0
+	for _, v := range r.featBuf {
+		fmin = math.Min(fmin, v)
+		fmax = math.Max(fmax, v)
+		fsum += v
+	}
+	fmean := 0.0
+	if len(r.featBuf) > 0 {
+		fmean = fsum / float64(len(r.featBuf))
+	} else {
+		fmin, fmax = 0, 0
+	}
+	r.evBuf = telemetry.Event{T: int64(now), Type: telemetry.TypeAction, Flow: r.traceID,
+		Action: a, Rate: r.rate, Reward: rew, FMin: fmin, FMean: fmean, FMax: fmax}
+	r.tracer.Emit(&r.evBuf)
 }
 
 func clamp(v, lo, hi float64) float64 {

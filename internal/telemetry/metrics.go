@@ -1,0 +1,379 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics. Metric names follow Prometheus
+// conventions and may carry a literal label suffix, e.g.
+//
+//	libra_link_drops_total{reason="tail"}
+//
+// The label block is emitted verbatim in the Prometheus exposition (and
+// merged with the "le" label for histogram buckets); the JSON snapshot
+// keys metrics by the full name. Lookup methods are idempotent: the
+// first call registers, later calls return the same metric. Registry is
+// goroutine-safe; metric updates are lock-free (counters, gauges) or
+// take a per-metric mutex (histograms).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	help     map[string]string // base name -> help text
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		help:     map[string]string{},
+	}
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (n must be >= 0).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float metric that may go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram: bounds are ascending upper
+// bounds, with an implicit final +Inf bucket. Counts are cumulative at
+// export time (Prometheus semantics) but stored per-bucket.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"` // per-bucket, last is +Inf
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+}
+
+// Mean returns the running mean of observed samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Counter returns (registering on first use) the named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+		r.setHelp(name, help)
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.setHelp(name, help)
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the named histogram with
+// the given ascending upper bounds. Bounds are fixed at registration;
+// later calls ignore the argument.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
+		r.hists[name] = h
+		r.setHelp(name, help)
+	}
+	return h
+}
+
+// setHelp records help for the metric's base name; first writer wins.
+// Callers hold r.mu.
+func (r *Registry) setHelp(name, help string) {
+	base := baseName(name)
+	if _, ok := r.help[base]; !ok && help != "" {
+		r.help[base] = help
+	}
+}
+
+// baseName strips a {label} suffix.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labels returns the inner label block of name, without braces ("" when
+// unlabelled).
+func labels(name string) string {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return ""
+	}
+	return strings.TrimSuffix(name[i+1:], "}")
+}
+
+// sanitizeName maps arbitrary strings onto the Prometheus metric-name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeName(s string) string {
+	var b []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			if b == nil {
+				b = []byte(s)
+			}
+			b[i] = '_'
+		}
+	}
+	if b != nil {
+		return string(b)
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		s.Histograms[n] = h.Snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE block per base metric name,
+// buckets as cumulative counts with an le label merged into any
+// existing label block.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	header := func(seen map[string]bool, name, typ string) string {
+		base := sanitizeName(baseName(name))
+		if !seen[base] {
+			seen[base] = true
+			if h := help[baseName(name)]; h != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", base, strings.ReplaceAll(h, "\n", " "))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", base, typ)
+		}
+		return base
+	}
+	withLabels := func(base, lbl, extra string) string {
+		switch {
+		case lbl == "" && extra == "":
+			return base
+		case lbl == "":
+			return base + "{" + extra + "}"
+		case extra == "":
+			return base + "{" + lbl + "}"
+		default:
+			return base + "{" + lbl + "," + extra + "}"
+		}
+	}
+
+	seen := map[string]bool{}
+	for _, name := range sortedKeys(s.Counters) {
+		base := header(seen, name, "counter")
+		fmt.Fprintf(&b, "%s %d\n", withLabels(base, labels(name), ""), s.Counters[name])
+	}
+	seen = map[string]bool{}
+	for _, name := range sortedKeys(s.Gauges) {
+		base := header(seen, name, "gauge")
+		fmt.Fprintf(&b, "%s %s\n", withLabels(base, labels(name), ""), formatFloat(s.Gauges[name]))
+	}
+	seen = map[string]bool{}
+	for _, name := range sortedKeys(s.Histograms) {
+		base := header(seen, name, "histogram")
+		h := s.Histograms[name]
+		lbl := labels(name)
+		var cum uint64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			le := fmt.Sprintf(`le="%s"`, formatFloat(bound))
+			fmt.Fprintf(&b, "%s %d\n", withLabels(base+"_bucket", lbl, le), cum)
+		}
+		fmt.Fprintf(&b, "%s %d\n", withLabels(base+"_bucket", lbl, `le="+Inf"`), h.Count)
+		fmt.Fprintf(&b, "%s %s\n", withLabels(base+"_sum", lbl, ""), formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s %d\n", withLabels(base+"_count", lbl, ""), h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatFloat renders a float the way Prometheus expects (Inf/NaN
+// spelled out, shortest round-trip otherwise).
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Handler returns an http.Handler serving the Prometheus exposition —
+// mount it at /metrics next to net/http/pprof.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Default bucket layouts for the quantities the framework measures.
+
+// RTTBucketsMs spans sub-millisecond LAN RTTs to multi-second bufferbloat.
+func RTTBucketsMs() []float64 {
+	return []float64{1, 2, 5, 10, 20, 30, 50, 75, 100, 150, 200, 300, 500, 750, 1000, 2000, 5000}
+}
+
+// ThroughputBucketsMbps spans the paper's 0.1–200 Mbps operating range
+// with headroom for faster links.
+func ThroughputBucketsMbps() []float64 {
+	return []float64{0.1, 0.5, 1, 2, 5, 10, 20, 30, 50, 75, 100, 150, 200, 500, 1000}
+}
+
+// UtilityBuckets covers Eq. 1 utilities, which go sharply negative
+// under loss and latency growth.
+func UtilityBuckets() []float64 {
+	return []float64{-100, -50, -20, -10, -5, -2, -1, -0.5, 0, 0.5, 1, 2, 5, 10, 20, 50, 100}
+}
+
+// CycleLenBucketsMs covers control-cycle lengths from a few ms to the
+// multi-second cycles of long-RTT paths.
+func CycleLenBucketsMs() []float64 {
+	return []float64{5, 10, 20, 50, 100, 200, 350, 500, 750, 1000, 1500, 2000, 3000, 5000, 10000}
+}

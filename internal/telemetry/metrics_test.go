@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("libra_cycles_total", "control cycles completed")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Fatalf("counter = %d, want 4", c.Value())
+	}
+	if r.Counter("libra_cycles_total", "") != c {
+		t.Fatal("counter lookup is not idempotent")
+	}
+
+	g := r.Gauge("libra_rate_bps", "current rate")
+	g.Set(10)
+	g.Add(-2.5)
+	if g.Value() != 7.5 {
+		t.Fatalf("gauge = %g, want 7.5", g.Value())
+	}
+
+	h := r.Histogram("libra_rtt_ms", "rtt", []float64{10, 100})
+	for _, v := range []float64{5, 50, 500, 50, math.NaN()} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.Counts[0] != 1 || s.Counts[1] != 2 || s.Counts[2] != 1 {
+		t.Fatalf("histogram snapshot %+v wrong", s)
+	}
+	if got := h.Mean(); math.Abs(got-(5+50+500+50)/4.0) > 1e-9 {
+		t.Fatalf("mean = %g", got)
+	}
+	// Boundary value lands in the bucket whose upper bound it equals.
+	h2 := r.Histogram("b", "", []float64{10})
+	h2.Observe(10)
+	if s2 := h2.Snapshot(); s2.Counts[0] != 1 {
+		t.Fatalf("boundary sample fell into %+v", s2)
+	}
+}
+
+func TestRegistryJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`drops_total{reason="tail"}`, "drops").Add(2)
+	r.Gauge("util", "").Set(0.93)
+	r.Histogram("rtt_ms", "", RTTBucketsMs()).Observe(42)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v", err)
+	}
+	if snap.Counters[`drops_total{reason="tail"}`] != 2 {
+		t.Fatalf("counters: %+v", snap.Counters)
+	}
+	if snap.Histograms["rtt_ms"].Count != 1 {
+		t.Fatalf("histograms: %+v", snap.Histograms)
+	}
+}
+
+// promLine matches a valid sample line of the text exposition format.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// TestPrometheusExposition validates the exposition text: comment
+// syntax, sample-line syntax, cumulative buckets, a +Inf bucket, and
+// label merging for labelled histograms.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`libra_link_drops_total{reason="tail"}`, "drops by reason").Add(5)
+	r.Counter(`libra_link_drops_total{reason="aqm"}`, "drops by reason").Add(1)
+	r.Gauge("libra_link_utilization", "fraction of capacity used").Set(0.875)
+	h := r.Histogram(`libra_flow_rtt_ms{flow="0"}`, "per-flow RTT", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.HasSuffix(text, "\n") {
+		t.Fatal("exposition must end with a newline")
+	}
+	var bucketCounts []int
+	types := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			if _, dup := types[f[2]]; dup {
+				t.Fatalf("duplicate TYPE for %s", f[2])
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment %q", line)
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("invalid sample line %q", line)
+		}
+		if strings.HasPrefix(line, "libra_flow_rtt_ms_bucket") {
+			if !strings.Contains(line, `flow="0"`) || !strings.Contains(line, `le="`) {
+				t.Fatalf("bucket line lost labels: %q", line)
+			}
+			v, _ := strconv.Atoi(line[strings.LastIndexByte(line, ' ')+1:])
+			bucketCounts = append(bucketCounts, v)
+		}
+	}
+	if types["libra_link_drops_total"] != "counter" || types["libra_link_utilization"] != "gauge" ||
+		types["libra_flow_rtt_ms"] != "histogram" {
+		t.Fatalf("TYPE map wrong: %v", types)
+	}
+	if len(bucketCounts) != 3 {
+		t.Fatalf("want 3 bucket lines (2 bounds + +Inf), got %d", len(bucketCounts))
+	}
+	for i := 1; i < len(bucketCounts); i++ {
+		if bucketCounts[i] < bucketCounts[i-1] {
+			t.Fatalf("bucket counts not cumulative: %v", bucketCounts)
+		}
+	}
+	if bucketCounts[len(bucketCounts)-1] != 3 {
+		t.Fatalf("+Inf bucket = %d, want total 3", bucketCounts[len(bucketCounts)-1])
+	}
+	if !strings.Contains(text, `libra_flow_rtt_ms_bucket{flow="0",le="+Inf"} 3`) {
+		t.Fatalf("missing +Inf bucket:\n%s", text)
+	}
+	if !strings.Contains(text, `libra_flow_rtt_ms_sum{flow="0"} 5055`) {
+		t.Fatalf("missing _sum:\n%s", text)
+	}
+	if !strings.Contains(text, `libra_flow_rtt_ms_count{flow="0"} 3`) {
+		t.Fatalf("missing _count:\n%s", text)
+	}
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(buf.String(), "x_total 1") {
+		t.Fatalf("handler output:\n%s", buf.String())
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"good_name":  "good_name",
+		"bad-name.x": "bad_name_x",
+		"0starts":    "_starts",
+	} {
+		if got := sanitizeName(in); got != want {
+			t.Fatalf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDefaultBucketsAscending(t *testing.T) {
+	for name, bs := range map[string][]float64{
+		"rtt": RTTBucketsMs(), "thr": ThroughputBucketsMbps(),
+		"util": UtilityBuckets(), "cycle": CycleLenBucketsMs(),
+	} {
+		for i := 1; i < len(bs); i++ {
+			if bs[i] <= bs[i-1] {
+				t.Fatalf("%s buckets not strictly ascending at %d: %v", name, i, bs)
+			}
+		}
+	}
+}

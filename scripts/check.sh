@@ -1,0 +1,12 @@
+#!/bin/sh
+# Full pre-merge gate: vet, build, race-detector test sweep, and the
+# no-op tracer overhead budget (<2 ns/op, 0 allocs/op). Equivalent to
+# `make check` for environments without make.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
+TELEMETRY_BENCH_GUARD=1 go test ./internal/telemetry/ -run TestNopTracerBudget -count=1 -v
