@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-guard check clean
+.PHONY: all build vet test race fuzz bench-guard check clean
 
 all: check
 
@@ -24,7 +24,13 @@ race:
 bench-guard:
 	TELEMETRY_BENCH_GUARD=1 $(GO) test ./internal/telemetry/ -run TestNopTracerBudget -count=1 -v
 
-check: vet build race bench-guard
+# Short fuzz pass over the two parsers that accept external input: the
+# Mahimahi trace reader and the FaultPlan JSON decoder.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzParseMahimahi -fuzztime=10s ./internal/trace/
+	$(GO) test -run=NONE -fuzz=FuzzParsePlan -fuzztime=10s ./internal/netem/faults/
+
+check: vet build race fuzz bench-guard
 
 clean:
 	$(GO) clean ./...

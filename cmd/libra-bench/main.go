@@ -20,6 +20,7 @@ import (
 
 	"libra/internal/cliutil"
 	"libra/internal/exp"
+	"libra/internal/netem/faults"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 		quick      = flag.Bool("quick", false, "reduced durations/repeats")
 		seed       = flag.Int64("seed", 1, "random seed")
 		models     = flag.String("models", "", "directory of trained models (from libra-train)")
+		faultSpec  = flag.String("fault", "", "apply a fault plan to every run: a preset name ("+strings.Join(faults.PresetNames(), "|")+") or a JSON plan file")
 		traceOut   = flag.String("trace-out", "", "write a JSONL telemetry event stream of every run to this file")
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file after the runs")
 		metricsFmt = flag.String("metrics-format", "auto", "metrics snapshot format: auto|json|prom")
@@ -56,6 +58,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nothing to do: pass -list, -all, or -run ids")
 		os.Exit(2)
 	}
+
+	plan, err := faults.Load(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	exp.SetFaultPlan(plan)
 
 	cliutil.StartPprof(*pprofAddr, exp.MetricsRegistry())
 	tracer, closeTracer, err := cliutil.OpenTracer(*traceOut)

@@ -19,6 +19,7 @@ import (
 	"libra/internal/cliutil"
 	"libra/internal/exp"
 	"libra/internal/netem"
+	"libra/internal/netem/faults"
 	"libra/internal/telemetry"
 	"libra/internal/trace"
 )
@@ -33,6 +34,7 @@ func main() {
 		loss       = flag.Float64("loss", 0, "iid stochastic loss probability")
 		dur        = flag.Duration("dur", 30*time.Second, "simulated duration")
 		seed       = flag.Int64("seed", 1, "random seed")
+		faultSpec  = flag.String("fault", "", "fault plan: a preset name ("+strings.Join(faults.PresetNames(), "|")+") or a JSON plan file")
 		traceOut   = flag.String("trace-out", "", "write a JSONL telemetry event stream to this file")
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file after the run")
 		metricsFmt = flag.String("metrics-format", "auto", "metrics snapshot format: auto|json|prom")
@@ -44,6 +46,21 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	plan, err := faults.Load(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var inj netem.FaultInjector
+	if !plan.Empty() {
+		fi, err := faults.New(plan, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		inj = fi
 	}
 
 	cliutil.StartPprof(*pprofAddr, exp.MetricsRegistry())
@@ -58,6 +75,7 @@ func main() {
 		MinRTT:       *rtt,
 		BufferBytes:  *buffer,
 		LossRate:     *loss,
+		Faults:       inj,
 		Seed:         *seed,
 		RecordSeries: true,
 		SeriesBucket: time.Second,
@@ -66,7 +84,11 @@ func main() {
 	names := strings.Split(*ccas, ",")
 	flows := make([]*netem.Flow, len(names))
 	for i, name := range names {
-		mk := exp.MakerFor(strings.TrimSpace(name), nil, nil)
+		mk, err := exp.MakerFor(strings.TrimSpace(name), nil, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		ctrl := mk(*seed + int64(i)*31)
 		if tb, ok := ctrl.(telemetry.Traceable); ok && telemetry.Enabled(tracer) {
 			tb.SetTracer(tracer, i)
@@ -98,8 +120,8 @@ func main() {
 	fmt.Printf("link utilisation: %.3f\n", n.Utilization(*dur))
 	ds := n.Link().DropStats()
 	if ds.Total() > 0 {
-		fmt.Printf("drops: %d tail, %d channel, %d aqm (%d bytes)\n",
-			ds.Tail, ds.Channel, ds.AQM, ds.Bytes)
+		fmt.Printf("drops: %d tail, %d channel, %d aqm, %d blackout, %d burst (%d bytes)\n",
+			ds.Tail, ds.Channel, ds.AQM, ds.Blackout, ds.Burst, ds.Bytes)
 	}
 
 	if err := closeTracer(); err != nil {
@@ -138,23 +160,7 @@ func buildTrace(spec string, capMbps float64, d time.Duration, seed int64) (trac
 		if len(parts) < 2 {
 			return nil, fmt.Errorf("step trace needs step:periodSec,L1,L2,...")
 		}
-		fields := strings.Split(parts[1], ",")
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("step trace needs a period and at least one level")
-		}
-		var period float64
-		if _, err := fmt.Sscanf(fields[0], "%g", &period); err != nil {
-			return nil, fmt.Errorf("bad step period %q", fields[0])
-		}
-		levels := make([]float64, 0, len(fields)-1)
-		for _, f := range fields[1:] {
-			var m float64
-			if _, err := fmt.Sscanf(f, "%g", &m); err != nil {
-				return nil, fmt.Errorf("bad step level %q", f)
-			}
-			levels = append(levels, trace.Mbps(m))
-		}
-		return &trace.Step{Period: time.Duration(period * float64(time.Second)), Levels: levels}, nil
+		return trace.ParseStep(parts[1])
 	}
 	return nil, fmt.Errorf("unknown trace spec %q", spec)
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"libra/internal/trace"
@@ -53,6 +54,14 @@ func main() {
 			var mbps float64
 			if n, _ := fmt.Sscanf(*gen, "const:%g", &mbps); n == 1 {
 				tr = trace.Constant(trace.Mbps(mbps))
+				break
+			}
+			if payload, ok := strings.CutPrefix(*gen, "step:"); ok {
+				st, err := trace.ParseStep(payload)
+				if err != nil {
+					fatal(err)
+				}
+				tr = st
 				break
 			}
 			fatal(fmt.Errorf("unknown generator %q", *gen))

@@ -75,6 +75,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "save: %v\n", err)
 		os.Exit(1)
 	}
+	// Round-trip check: a model directory that cannot be loaded back
+	// through the validated loader is worse than no directory at all,
+	// so fail loudly now rather than at the consumer's first -models run.
+	if _, err := exp.LoadAgentSet(*out, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "saved models fail to reload: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("saved models to %s (use: libra-bench -models %s)\n", *out, *out)
 
 	if err := cliutil.WriteMetrics(exp.MetricsRegistry(), *metricsOut, *metricsFmt); err != nil {

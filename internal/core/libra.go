@@ -214,6 +214,16 @@ type Libra struct {
 	baseGrad float64
 	baseLoss float64
 
+	// No-ACK watchdog (Sec. 3 hardening). lastAckAt timestamps the most
+	// recent ACK; noAckCycles counts consecutive cycles that ended
+	// without one. The first silent cycle repeats x_prev (the paper's
+	// rule); beyond that the link is presumed down: outage latches and
+	// every further silent cycle halves the probe rate so a restored
+	// path is not slammed at a stale base rate.
+	lastAckAt   time.Duration
+	noAckCycles int
+	outage      bool
+
 	tel    Telemetry
 	cycles []CycleRecord
 
@@ -297,6 +307,10 @@ func (l *Libra) CycleLog() []CycleRecord { return l.cycles }
 func (l *Libra) OnAck(a *cc.Ack) {
 	l.srtt = a.SRTT
 	l.minRTT = a.MinRTT
+	if l.outage {
+		l.recoverFromOutage(a.Now)
+	}
+	l.lastAckAt = a.Now
 	l.dm.OnAck(a)
 	l.rl.OnAck(a) // cheap running-signal updates; inference is gated
 	if l.classic != nil {
@@ -440,6 +454,16 @@ func (l *Libra) advance(now time.Duration) {
 			l.xCl = l.cfg.CC.ClampRate(l.classic.CurrentRate(rtt))
 		}
 		l.xRl = l.rl.Rate()
+		if math.IsNaN(l.xRl) || math.IsInf(l.xRl, 0) || l.xRl <= 0 {
+			// Inference guard: a poisoned RL rate falls back to the
+			// classic arm (or the base rate when there is none) instead
+			// of contaminating the candidate comparison.
+			if l.classic != nil {
+				l.xRl = l.xCl
+			} else {
+				l.xRl = l.xPrev
+			}
+		}
 		if l.cfg.NoClassic {
 			// CL-Libra: single candidate EI.
 			l.stage = StageEvalSecond
@@ -565,6 +589,20 @@ func (l *Libra) decide(now time.Duration) {
 
 	if !havePrev && !haveCl && !haveRl {
 		// No feedback anywhere: repeat the current base rate (Sec. 3).
+		var reason string
+		if l.lastAckAt < l.cycleStart {
+			// Not a single ACK all cycle: the watchdog arms. One silent
+			// cycle is the paper's fallback; from the second onwards the
+			// link is treated as down and the probe rate decays.
+			l.noAckCycles++
+			if l.noAckCycles >= 2 {
+				l.outage = true
+				l.xPrev = l.cfg.CC.ClampRate(l.xPrev / 2)
+				reason = "decay"
+			}
+		} else {
+			l.noAckCycles = 0
+		}
 		l.tel.Skipped++
 		rec.Skipped = true
 		rec.XPrev = l.xPrev
@@ -573,11 +611,12 @@ func (l *Libra) decide(now time.Duration) {
 		}
 		if l.traceOn {
 			l.evBuf = telemetry.Event{T: int64(now), Type: telemetry.TypeNoAck,
-				Flow: l.traceID, XPrev: l.xPrev}
+				Flow: l.traceID, XPrev: l.xPrev, Reason: reason}
 			l.tracer.Emit(&l.evBuf)
 		}
 		return
 	}
+	l.noAckCycles = 0
 
 	winner := CandPrev
 	best := math.Inf(-1)
@@ -635,6 +674,30 @@ func (l *Libra) decide(now time.Duration) {
 		l.tracer.Emit(&l.evBuf)
 	}
 }
+
+// recoverFromOutage re-enters the control cycle cleanly after a
+// blackout: the watchdog state clears, the stale steady-state baselines
+// (measured on the pre-outage path) are discarded, and a fresh
+// exploration stage starts from the decayed base rate. Forcing
+// lastWinner to CandPrev makes startCycle re-seed the classic CCA,
+// whose internal state still reflects the dead link.
+func (l *Libra) recoverFromOutage(now time.Duration) {
+	l.outage = false
+	l.noAckCycles = 0
+	l.baseGrad = 0
+	l.baseLoss = 0
+	l.lastWinner = CandPrev
+	if l.traceOn {
+		l.evBuf = telemetry.Event{T: int64(now), Type: telemetry.TypeNoAck,
+			Flow: l.traceID, XPrev: l.xPrev, Reason: "recover"}
+		l.tracer.Emit(&l.evBuf)
+	}
+	l.startCycle(now)
+}
+
+// Outage reports whether the no-ACK watchdog currently presumes the
+// path is down.
+func (l *Libra) Outage() bool { return l.outage }
 
 // Rate implements cc.Controller.
 func (l *Libra) Rate() float64 { return l.rate }

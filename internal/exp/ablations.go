@@ -100,7 +100,7 @@ func runAblClassics(cfg RunConfig) *Report {
 		name string
 		mk   Maker
 	}{
-		{"c-libra (CUBIC)", MakerFor("c-libra", ag, nil)},
+		{"c-libra (CUBIC)", mustMaker("c-libra", ag, nil)},
 		{"w-libra (Westwood)", libraVariant(ag, func(c *core.Config) {
 			c.Classic = core.NewWindowAdapter(westwood.New(c.CC))
 			c.Name = "w-libra"
@@ -109,7 +109,7 @@ func runAblClassics(cfg RunConfig) *Report {
 			c.Classic = core.NewWindowAdapter(illinois.New(c.CC))
 			c.Name = "i-libra"
 		})},
-		{"cubic alone", MakerFor("cubic", ag, nil)},
+		{"cubic alone", mustMaker("cubic", ag, nil)},
 		{"westwood alone", func(seed int64) cc.Controller { return westwood.New(cc.Config{Seed: seed}) }},
 		{"illinois alone", func(seed int64) cc.Controller { return illinois.New(cc.Config{Seed: seed}) }},
 	}
@@ -159,7 +159,7 @@ func runSec7(cfg RunConfig) *Report {
 	mkTable := func(s Scenario) Table {
 		tbl := Table{Name: s.Name, Cols: []string{"cca", "util", "avg delay(ms)", "loss"}}
 		for _, name := range ccas {
-			m := RunFlow(s, MakerFor(name, ag, nil), cfg.Seed, 0)
+			m := RunFlow(s, mustMaker(name, ag, nil), cfg.Seed, 0)
 			tbl.AddRow(name, fmtF(m.Util, 3), fmtF(m.DelayMs, 0), fmtF(m.LossRate, 4))
 		}
 		return tbl

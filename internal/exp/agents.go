@@ -149,7 +149,16 @@ func LoadAgentSet(dir string, seed int64) (*AgentSet, error) {
 		if err != nil {
 			return nil, fmt.Errorf("load %s: %w", stem, err)
 		}
-		(*slot.agent(set)).Policy.Actor = m
+		// The saved actor must fit the observation space the preset
+		// configuration implies; a stale or foreign model would
+		// otherwise panic at first inference.
+		agent := *slot.agent(set)
+		want := agent.Policy.Actor.Sizes
+		if m.Sizes[0] != want[0] || m.Sizes[len(m.Sizes)-1] != want[len(want)-1] {
+			return nil, fmt.Errorf("load %s: model shape %v does not fit expected %v->%v",
+				stem, m.Sizes, want[0], want[len(want)-1])
+		}
+		agent.Policy.Actor = m
 		nf, err := os.Open(filepath.Join(dir, stem+".norm"))
 		if err == nil {
 			norm, nerr := rl.LoadNorm(nf)

@@ -39,8 +39,8 @@ func runAppMix(cfg RunConfig) *Report {
 			BufferBytes: 300_000,
 			Seed:        cfg.Seed,
 		})
-		bulk := n.AddFlow(MakerFor(name, ag, nil)(cfg.Seed), 0, 0)
-		stream := n.AddFlow(MakerFor("vegas", ag, nil)(cfg.Seed+1), 0, 0)
+		bulk := n.AddFlow(mustMaker(name, ag, nil)(cfg.Seed), 0, 0)
+		stream := n.AddFlow(mustMaker("vegas", ag, nil)(cfg.Seed+1), 0, 0)
 		stream.SetAppRate(trace.Mbps(4))
 		n.Run(dur)
 		tbl.AddRow(name,

@@ -32,7 +32,7 @@ func runAQM(cfg RunConfig) *Report {
 			CoDel:       codel,
 			Seed:        cfg.Seed,
 		})
-		f := n.AddFlow(MakerFor(name, ag, nil)(cfg.Seed), 0, 0)
+		f := n.AddFlow(mustMaker(name, ag, nil)(cfg.Seed), 0, 0)
 		n.Run(dur)
 		return n.Utilization(dur), float64(f.Stats.AvgRTT()) / float64(time.Millisecond), n.Link().DropStats().AQM
 	}

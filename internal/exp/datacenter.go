@@ -34,7 +34,7 @@ func runSec7DC(cfg RunConfig) *Report {
 			ECNThreshold: 32_000,
 			Seed:         cfg.Seed,
 		})
-		mk := MakerFor(name, ag, nil)
+		mk := mustMaker(name, ag, nil)
 		flows := make([]*netem.Flow, nFlows)
 		for i := range flows {
 			flows[i] = n.AddFlow(mk(cfg.Seed+int64(i)*13), 0, 0)

@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig16", "fig17", "fig18", "fig19", "tab2", "tab3", "tab4",
 		"tab6", "tab7",
 		"abl-order", "abl-classics", "sec7-networks", "sec7-datacenter",
-		"app-mix", "aqm",
+		"app-mix", "aqm", "figa1",
 	}
 	for _, id := range want {
 		e, ok := Get(id)
@@ -78,7 +78,10 @@ func TestScenarioBuilders(t *testing.T) {
 
 func TestMakerForAllCCAs(t *testing.T) {
 	for _, name := range CCASet {
-		mk := MakerFor(name, nil, nil)
+		mk, err := MakerFor(name, nil, nil)
+		if err != nil {
+			t.Fatalf("maker for %s: %v", name, err)
+		}
 		c := mk(1)
 		if c == nil {
 			t.Fatalf("maker for %s returned nil", name)
@@ -86,13 +89,25 @@ func TestMakerForAllCCAs(t *testing.T) {
 	}
 }
 
+func TestMakerForUnknownName(t *testing.T) {
+	mk, err := MakerFor("no-such-cca", nil, nil)
+	if mk != nil || err == nil {
+		t.Fatalf("want nil maker + error, got %v, %v", mk, err)
+	}
+	for _, name := range []string{"cubic", "c-libra", "bbr"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list %s", err, name)
+		}
+	}
+}
+
 func TestRunFlowAndRepeat(t *testing.T) {
 	s := WiredScenarios(3*time.Second, 12)[0]
-	m := RunFlow(s, MakerFor("cubic", nil, nil), 1, 0)
+	m := RunFlow(s, mustMaker("cubic", nil, nil), 1, 0)
 	if m.ThrMbps <= 0 || m.Util <= 0 {
 		t.Fatalf("metrics %+v", m)
 	}
-	ms := Repeat(s, MakerFor("cubic", nil, nil), 2, 1)
+	ms := Repeat(s, mustMaker("cubic", nil, nil), 2, 1)
 	if len(ms) != 2 {
 		t.Fatal("repeat count")
 	}

@@ -30,7 +30,7 @@ func runFig1(cfg RunConfig) *Report {
 	}
 	ag := cfg.agents()
 	for _, name := range ccas {
-		mk := MakerFor(name, ag, nil)
+		mk := mustMaker(name, ag, nil)
 		row := []string{name}
 		for si, s := range scenarios {
 			ms := Repeat(s, mk, reps, cfg.Seed+int64(si)*7919)

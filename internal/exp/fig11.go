@@ -46,7 +46,7 @@ func runFig11(cfg RunConfig) *Report {
 		tbl := Table{Name: name, Cols: []string{"variant", "util", "avg delay(ms)"}}
 		for _, lname := range libras {
 			for _, v := range variants {
-				mk := MakerFor(lname, ag, v.U)
+				mk := mustMaker(lname, ag, v.U)
 				var u, d float64
 				for si, s := range ss {
 					m := RunFlow(s, mk, cfg.Seed+int64(si)*41, 0)
@@ -70,7 +70,7 @@ func runFig11(cfg RunConfig) *Report {
 		tbl := Table{Name: name, Cols: []string{"variant", "libra share", "avg delay(ms)"}}
 		for _, lname := range []string{"c-libra", "b-libra"} {
 			for _, v := range variants {
-				ms := RunFlows(s, []Maker{MakerFor(lname, ag, v.U), MakerFor("cubic", ag, nil)},
+				ms := RunFlows(s, []Maker{mustMaker(lname, ag, v.U), mustMaker("cubic", ag, nil)},
 					[]time.Duration{0, 0}, cfg.Seed, 0)
 				share := ms[0].ThrMbps / (ms[0].ThrMbps + ms[1].ThrMbps)
 				tbl.AddRow(lname+"-"+v.Name, fmtF(share, 3), fmtF(ms[0].DelayMs, 0))

@@ -46,7 +46,7 @@ func runFig12(cfg RunConfig) *Report {
 	var worst float64
 	rows := map[string][]string{}
 	for _, name := range ccas {
-		mk := MakerFor(name, ag, nil)
+		mk := mustMaker(name, ag, nil)
 		row := []string{name}
 		for ri, r := range rates {
 			s := Scenario{
@@ -103,7 +103,7 @@ func runFig13(cfg RunConfig) *Report {
 
 	tbl := Table{Name: "CCA-under-test vs CUBIC", Cols: []string{"cca", "test share", "cubic share", "jain"}}
 	for _, name := range ccas {
-		ms := RunFlows(s, []Maker{MakerFor(name, ag, nil), MakerFor("cubic", ag, nil)},
+		ms := RunFlows(s, []Maker{mustMaker(name, ag, nil), mustMaker("cubic", ag, nil)},
 			[]time.Duration{0, 0}, cfg.Seed, 0)
 		tot := ms[0].ThrMbps + ms[1].ThrMbps
 		j := stats.JainIndex([]float64{ms[0].ThrMbps, ms[1].ThrMbps})
@@ -124,7 +124,7 @@ func runFig14(cfg RunConfig) *Report {
 
 	tbl := Table{Name: "two same-CCA flows", Cols: []string{"cca", "flow1 share", "flow2 share", "jain"}}
 	for _, name := range ccas {
-		ms := RunFlows(s, []Maker{MakerFor(name, ag, nil), MakerFor(name, ag, nil)},
+		ms := RunFlows(s, []Maker{mustMaker(name, ag, nil), mustMaker(name, ag, nil)},
 			[]time.Duration{0, 0}, cfg.Seed, 0)
 		tot := ms[0].ThrMbps + ms[1].ThrMbps
 		j := stats.JainIndex([]float64{ms[0].ThrMbps, ms[1].ThrMbps})

@@ -36,7 +36,7 @@ func runFig15(cfg RunConfig) *Report {
 		Cols: []string{"cca", "conv time(s)", "thr stddev(Mbps)", "avg thr(Mbps)", "jain(all 3)"}}
 	var seriesTables []Table
 	for _, name := range ccas {
-		mk := MakerFor(name, ag, nil)
+		mk := mustMaker(name, ag, nil)
 		ms := RunFlows(s, []Maker{mk, mk, mk},
 			[]time.Duration{0, 5 * time.Second, 10 * time.Second}, cfg.Seed, time.Second)
 		third := ms[2].Flow
@@ -108,7 +108,7 @@ func runTab6(cfg RunConfig) *Report {
 		Cols: []string{"scenario", "cca", "mean", "range", "stddev"}}
 	for _, sc := range scens {
 		for _, name := range ccas {
-			mk := MakerFor(name, ag, nil)
+			mk := mustMaker(name, ag, nil)
 			utils := make([]float64, 0, trials)
 			for tr := 0; tr < trials; tr++ {
 				seed := cfg.Seed + int64(tr)*53

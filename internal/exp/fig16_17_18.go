@@ -74,7 +74,7 @@ func runFig16(cfg RunConfig) *Report {
 		var bestThr, minDelay float64
 		minDelay = math.Inf(1)
 		for _, name := range ccas {
-			ms := RunFlows(s, []Maker{MakerFor(name, ag, nil), func(seed int64) cc.Controller {
+			ms := RunFlows(s, []Maker{mustMaker(name, ag, nil), func(seed int64) cc.Controller {
 				return cc.FixedRate{R: cross}
 			}}, []time.Duration{0, 0}, cfg.Seed, 0)
 			res[name] = r{ms[0].ThrMbps, ms[0].DelayMs, ms[0].LossRate}
@@ -126,7 +126,7 @@ func runFig17(cfg RunConfig) *Report {
 			var frac [3]float64
 			for rp := 0; rp < reps; rp++ {
 				seed := cfg.Seed + int64(rp)*67
-				m := RunFlow(scens[sn](seed), MakerFor(lname, ag, nil), seed, 0)
+				m := RunFlow(scens[sn](seed), mustMaker(lname, ag, nil), seed, 0)
 				lb := m.Ctrl.(*core.Libra)
 				tel := lb.Telemetry()
 				for c := core.CandPrev; c <= core.CandRL; c++ {
@@ -155,7 +155,7 @@ func runFig18(cfg RunConfig) *Report {
 	utilSeries := func(name string) []float64 {
 		s := Scenario{Capacity: trace.NewLTE(trace.LTEWalking, dur, cfg.Seed+7),
 			MinRTT: 30 * time.Millisecond, Buffer: 150_000, Duration: dur}
-		m := RunFlow(s, MakerFor(name, ag, nil), cfg.Seed, time.Second)
+		m := RunFlow(s, mustMaker(name, ag, nil), cfg.Seed, time.Second)
 		n := int(dur / time.Second)
 		out := make([]float64, n)
 		for t := 0; t < n; t++ {

@@ -54,7 +54,7 @@ func runFig2a(cfg RunConfig) *Report {
 	tbl := Table{Name: "throughput (Mbps) per second", Cols: append([]string{"t(s)", "capacity"}, ccas...)}
 	series := make([][]float64, len(ccas))
 	for i, name := range ccas {
-		m := RunFlow(s, MakerFor(name, ag, nil), cfg.Seed, time.Second)
+		m := RunFlow(s, mustMaker(name, ag, nil), cfg.Seed, time.Second)
 		series[i] = m.Flow.Stats.Throughput.Rates(int(dur / time.Second))
 	}
 	for t := 0; t < int(dur/time.Second); t++ {
@@ -83,7 +83,7 @@ func runFig2b(cfg RunConfig) *Report {
 		Cols: append([]string{"cca"}, fmtPoints(points)...)}
 	summary := Table{Name: "utilisation summary", Cols: []string{"cca", "mean", "range", "stddev"}}
 	for _, name := range ccas {
-		mk := MakerFor(name, ag, nil)
+		mk := mustMaker(name, ag, nil)
 		utils := make([]float64, 0, reps)
 		for r := 0; r < reps; r++ {
 			seed := cfg.Seed + int64(r)*37
@@ -138,7 +138,7 @@ func runFig2c(cfg RunConfig) *Report {
 	rs := make([]res, len(ccas))
 	var maxCPU, maxMem float64
 	for i, name := range ccas {
-		m := RunFlow(s, MakerFor(name, ag, nil), cfg.Seed, 0)
+		m := RunFlow(s, mustMaker(name, ag, nil), cfg.Seed, 0)
 		rs[i].cpu = m.CPUFrac
 		rs[i].mem = float64(controllerMemBytes(m.Ctrl))
 		if rs[i].cpu > maxCPU {

@@ -32,7 +32,7 @@ func runFig7(cfg RunConfig) *Report {
 		res := map[string]agg{}
 		best := 0.0
 		for _, cca := range ccas {
-			mk := MakerFor(cca, ag, nil)
+			mk := mustMaker(cca, ag, nil)
 			var a agg
 			for si, s := range ss {
 				m := RunFlow(s, mk, cfg.Seed+int64(si)*131, 0)

@@ -31,7 +31,7 @@ func runFig8(cfg RunConfig) *Report {
 		Cols: append([]string{"t(s)", "capacity"}, ccas...)}
 	series := make([][]float64, len(ccas))
 	for i, name := range ccas {
-		m := RunFlow(s, MakerFor(name, ag, nil), cfg.Seed, time.Second)
+		m := RunFlow(s, mustMaker(name, ag, nil), cfg.Seed, time.Second)
 		series[i] = m.Flow.Stats.Throughput.Rates(int(dur / time.Second))
 	}
 	for t := 0; t < int(dur/time.Second); t++ {

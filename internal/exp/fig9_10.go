@@ -34,7 +34,7 @@ func runFig9(cfg RunConfig) *Report {
 	util := Table{Name: "link utilisation vs buffer", Cols: append([]string{"cca"}, bufNames(buffers)...)}
 	delay := Table{Name: "avg delay (ms) vs buffer", Cols: append([]string{"cca"}, bufNames(buffers)...)}
 	for _, name := range ccas {
-		mk := MakerFor(name, ag, nil)
+		mk := mustMaker(name, ag, nil)
 		ru := []string{name}
 		rd := []string{name}
 		for bi, b := range buffers {
@@ -75,7 +75,7 @@ func runFig10(cfg RunConfig) *Report {
 
 	tbl := Table{Name: "link utilisation vs stochastic loss", Cols: append([]string{"cca"}, lossNames(losses)...)}
 	for _, name := range ccas {
-		mk := MakerFor(name, ag, nil)
+		mk := mustMaker(name, ag, nil)
 		row := []string{name}
 		for li, l := range losses {
 			s := Scenario{

@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"libra/internal/core"
+	"libra/internal/netem/faults"
+	"libra/internal/trace"
+)
+
+func init() {
+	Register(Experiment{
+		ID:    "figa1",
+		Title: "Adversarial sweep: fault classes vs controllers",
+		Paper: "Robustness extension (not in the paper): Libra variants degrade gracefully and recover from blackouts without stalling, where a pure RL agent has no fallback",
+		Run:   runFigA1,
+	})
+}
+
+// runFigA1 drives each controller through every fault class on a fixed
+// wired path and reports throughput/delay/loss plus Libra's skipped
+// (no-feedback) cycle count — the visible footprint of the no-ACK
+// watchdog.
+func runFigA1(cfg RunConfig) *Report {
+	cfg = cfg.WithDefaults()
+	dur := 60 * time.Second
+	classes := []string{"none", "bursty", "blackout", "reorder", "jitter", "dup", "cap-flap", "hostile"}
+	if cfg.Quick {
+		dur = 12 * time.Second
+		classes = []string{"none", "bursty", "blackout", "cap-flap"}
+	}
+	ccas := []string{"cubic", "bbr", "mod-rl", "c-libra", "b-libra"}
+	ag := cfg.agents()
+
+	tbl := Table{Name: "per fault class: throughput (Mbps), delay (ms), loss (%), skipped cycles",
+		Cols: []string{"fault", "cca", "thr", "delay", "loss%", "skipped"}}
+	for _, class := range classes {
+		var plan *faults.Plan
+		if class != "none" {
+			p, ok := faults.Preset(class)
+			if !ok {
+				panic("figa1: missing preset " + class)
+			}
+			plan = p
+		}
+		s := Scenario{
+			Name:     "adversarial-" + class,
+			Capacity: trace.Constant(trace.Mbps(24)),
+			MinRTT:   40 * time.Millisecond,
+			Buffer:   150_000,
+			Duration: dur,
+			Faults:   plan,
+		}
+		for _, name := range ccas {
+			m := RunFlow(s, mustMaker(name, ag, nil), cfg.Seed, 0)
+			if m.Failed {
+				tbl.AddRow(class, name, "failed", "-", "-", "-")
+				continue
+			}
+			skipped := "-"
+			if lb, ok := m.Ctrl.(*core.Libra); ok {
+				skipped = fmt.Sprintf("%d", lb.Telemetry().Skipped)
+			}
+			tbl.AddRow(class, name, fmtF(m.ThrMbps, 2), fmtF(m.DelayMs, 0), fmtF(m.LossRate*100, 2), skipped)
+		}
+	}
+	return &Report{ID: "figa1", Title: "Behaviour under injected faults", Tables: []Table{tbl}}
+}

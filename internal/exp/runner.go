@@ -2,6 +2,8 @@ package exp
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"libra/internal/cc"
@@ -17,6 +19,7 @@ import (
 	"libra/internal/cc/vivace"
 	"libra/internal/core"
 	"libra/internal/netem"
+	"libra/internal/netem/faults"
 	"libra/internal/rlcc"
 	"libra/internal/trace"
 	"libra/internal/utility"
@@ -30,6 +33,10 @@ type Scenario struct {
 	Buffer   int
 	Loss     float64
 	Duration time.Duration
+	// Faults composes adversarial link dynamics onto the bottleneck.
+	// Nil falls back to the harness-wide plan set via SetFaultPlan
+	// (itself nil by default: no faults).
+	Faults *faults.Plan
 }
 
 // WiredScenarios returns the paper's wired trace set (Fig. 1 uses
@@ -78,6 +85,12 @@ type Metrics struct {
 	Flow    *netem.Flow
 	Net     *netem.Network
 	Ctrl    cc.Controller
+	// Failed marks a run aborted by a controller panic or an invalid
+	// configuration; Err carries the cause and every other field is
+	// zero. The harness records the failure and keeps going instead of
+	// taking the whole experiment down.
+	Failed bool
+	Err    error
 }
 
 // Maker constructs a fresh controller per flow.
@@ -90,10 +103,27 @@ var CCASet = []string{
 	"dctcp", "c-libra", "b-libra", "cl-libra", "w-libra", "i-libra", "d-libra",
 }
 
+// KnownCCAs returns every controller name MakerFor accepts: the
+// harness set plus everything registered with the cc package, sorted
+// and deduplicated.
+func KnownCCAs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range append(append([]string{}, CCASet...), cc.Names()...) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // MakerFor builds a controller factory for name, wiring in the trained
 // agents where the algorithm has a learning component. Libra variants
-// accept a utility override via util (nil = paper default).
-func MakerFor(name string, ag *AgentSet, util utility.Func) Maker {
+// accept a utility override via util (nil = paper default). Unknown
+// names return an error listing every registered controller.
+func MakerFor(name string, ag *AgentSet, util utility.Func) (Maker, error) {
 	libra := func(seed int64, classic func(cc.Config) core.Classic, noClassic bool, nm string) cc.Controller {
 		base := cc.Config{Seed: seed}.WithDefaults()
 		rlCfg := rlcc.LibraRLConfig(base)
@@ -116,25 +146,25 @@ func MakerFor(name string, ag *AgentSet, util utility.Func) Maker {
 	}
 	switch name {
 	case "cubic":
-		return func(seed int64) cc.Controller { return cubic.New(cc.Config{Seed: seed}) }
+		return func(seed int64) cc.Controller { return cubic.New(cc.Config{Seed: seed}) }, nil
 	case "bbr":
-		return func(seed int64) cc.Controller { return bbr.New(cc.Config{Seed: seed}) }
+		return func(seed int64) cc.Controller { return bbr.New(cc.Config{Seed: seed}) }, nil
 	case "reno":
-		return func(seed int64) cc.Controller { return reno.New(cc.Config{Seed: seed}) }
+		return func(seed int64) cc.Controller { return reno.New(cc.Config{Seed: seed}) }, nil
 	case "vegas":
-		return func(seed int64) cc.Controller { return vegas.New(cc.Config{Seed: seed}) }
+		return func(seed int64) cc.Controller { return vegas.New(cc.Config{Seed: seed}) }, nil
 	case "copa":
-		return func(seed int64) cc.Controller { return copa.New(cc.Config{Seed: seed}) }
+		return func(seed int64) cc.Controller { return copa.New(cc.Config{Seed: seed}) }, nil
 	case "sprout":
-		return func(seed int64) cc.Controller { return sprout.New(cc.Config{Seed: seed}) }
+		return func(seed int64) cc.Controller { return sprout.New(cc.Config{Seed: seed}) }, nil
 	case "vivace":
-		return func(seed int64) cc.Controller { return vivace.New(cc.Config{Seed: seed}) }
+		return func(seed int64) cc.Controller { return vivace.New(cc.Config{Seed: seed}) }, nil
 	case "proteus":
-		return func(seed int64) cc.Controller { return vivace.NewProteus(cc.Config{Seed: seed}) }
+		return func(seed int64) cc.Controller { return vivace.NewProteus(cc.Config{Seed: seed}) }, nil
 	case "remy":
-		return func(seed int64) cc.Controller { return remy.New(cc.Config{Seed: seed}) }
+		return func(seed int64) cc.Controller { return remy.New(cc.Config{Seed: seed}) }, nil
 	case "indigo":
-		return func(seed int64) cc.Controller { return indigo.New(cc.Config{Seed: seed}) }
+		return func(seed int64) cc.Controller { return indigo.New(cc.Config{Seed: seed}) }, nil
 	case "aurora":
 		return func(seed int64) cc.Controller {
 			cfg := rlcc.AuroraConfig(cc.Config{Seed: seed})
@@ -143,7 +173,7 @@ func MakerFor(name string, ag *AgentSet, util utility.Func) Maker {
 				cfg.Norm = ag.AuroraNorm
 			}
 			return rlcc.New("aurora", cfg)
-		}
+		}, nil
 	case "orca":
 		return func(seed int64) cc.Controller {
 			cfg := rlcc.OrcaRLConfig(cc.Config{Seed: seed})
@@ -152,7 +182,7 @@ func MakerFor(name string, ag *AgentSet, util utility.Func) Maker {
 				cfg.Norm = ag.OrcaNorm
 			}
 			return orca.New(cfg)
-		}
+		}, nil
 	case "mod-rl":
 		return func(seed int64) cc.Controller {
 			base := cc.Config{Seed: seed}
@@ -164,38 +194,94 @@ func MakerFor(name string, ag *AgentSet, util utility.Func) Maker {
 				cfg.Norm = ag.ModRLNorm
 			}
 			return rlcc.New("mod-rl", cfg)
-		}
+		}, nil
 	case "c-libra":
 		return func(seed int64) cc.Controller {
 			return libra(seed, func(b cc.Config) core.Classic { return core.NewCubicAdapter(b) }, false, "c-libra")
-		}
+		}, nil
 	case "b-libra":
 		return func(seed int64) cc.Controller {
 			return libra(seed, func(b cc.Config) core.Classic { return core.NewBBRAdapter(b) }, false, "b-libra")
-		}
+		}, nil
 	case "cl-libra":
-		return func(seed int64) cc.Controller { return libra(seed, nil, true, "cl-libra") }
+		return func(seed int64) cc.Controller { return libra(seed, nil, true, "cl-libra") }, nil
 	default:
+		registered := false
+		for _, n := range cc.Names() {
+			if n == name {
+				registered = true
+				break
+			}
+		}
+		if !registered {
+			return nil, fmt.Errorf("exp: unknown controller %q (known: %s)",
+				name, strings.Join(KnownCCAs(), ", "))
+		}
 		return func(seed int64) cc.Controller {
 			ctrl, err := cc.New(name, cc.Config{Seed: seed})
 			if err != nil {
-				panic(err)
+				panic(err) // unreachable: name validated against the registry above
 			}
 			return ctrl
-		}
+		}, nil
 	}
+}
+
+// mustMaker is MakerFor for statically known controller names (the
+// experiment definitions); it panics on a name the registry rejects.
+func mustMaker(name string, ag *AgentSet, util utility.Func) Maker {
+	mk, err := MakerFor(name, ag, util)
+	if err != nil {
+		panic(err)
+	}
+	return mk
+}
+
+// faultsFor resolves the scenario's fault plan (falling back to the
+// harness-wide default) into a bound-ready injector; nil means no
+// faults.
+func faultsFor(s Scenario, seed int64) (netem.FaultInjector, error) {
+	plan := s.Faults
+	if plan == nil {
+		plan = defaultFaultPlan
+	}
+	if plan.Empty() {
+		return nil, nil
+	}
+	return faults.New(plan, seed)
+}
+
+// failedRun records one aborted flow run and returns its marker
+// metrics.
+func failedRun(s Scenario, err error) Metrics {
+	metricsReg.Counter("libra_flow_failures_total",
+		"flow runs aborted by a controller panic or invalid configuration").Inc()
+	return Metrics{Failed: true, Err: fmt.Errorf("scenario %s: %w", s.Name, err)}
 }
 
 // RunFlow drives one controller over a scenario and returns its
 // metrics. When bucket > 0 the flow records time series at that width.
 // Results are also summarised into MetricsRegistry, and a tracer set
-// via SetTracer is wired through the network and controller.
-func RunFlow(s Scenario, mk Maker, seed int64, bucket time.Duration) Metrics {
+// via SetTracer is wired through the network and controller. A panic
+// out of the controller (or an invalid fault plan) is contained: the
+// run is recorded as failed (Metrics.Failed/Err) instead of unwinding
+// the whole experiment.
+func RunFlow(s Scenario, mk Maker, seed int64, bucket time.Duration) (m Metrics) {
+	defer func() {
+		if r := recover(); r != nil {
+			m = failedRun(s, fmt.Errorf("panic: %v", r))
+		}
+	}()
+	inj, err := faultsFor(s, seed)
+	if err != nil {
+		return failedRun(s, err)
+	}
 	n := netem.New(netem.Config{
 		Capacity:     s.Capacity,
 		MinRTT:       s.MinRTT,
 		BufferBytes:  s.Buffer,
 		LossRate:     s.Loss,
+		Faults:       inj,
 		Seed:         seed,
 		RecordSeries: bucket > 0,
 		SeriesBucket: bucket,
@@ -210,13 +296,33 @@ func RunFlow(s Scenario, mk Maker, seed int64, bucket time.Duration) Metrics {
 }
 
 // RunFlows drives several controllers sharing one bottleneck; starts[i]
-// delays flow i. Returns per-flow metrics.
-func RunFlows(s Scenario, mks []Maker, starts []time.Duration, seed int64, bucket time.Duration) []Metrics {
+// delays flow i. Returns per-flow metrics. Like RunFlow, a panic marks
+// every flow of the run failed rather than escaping.
+func RunFlows(s Scenario, mks []Maker, starts []time.Duration, seed int64, bucket time.Duration) (out []Metrics) {
+	defer func() {
+		if r := recover(); r != nil {
+			m := failedRun(s, fmt.Errorf("panic: %v", r))
+			out = make([]Metrics, len(mks))
+			for i := range out {
+				out[i] = m
+			}
+		}
+	}()
+	inj, err := faultsFor(s, seed)
+	if err != nil {
+		m := failedRun(s, err)
+		out = make([]Metrics, len(mks))
+		for i := range out {
+			out[i] = m
+		}
+		return out
+	}
 	n := netem.New(netem.Config{
 		Capacity:     s.Capacity,
 		MinRTT:       s.MinRTT,
 		BufferBytes:  s.Buffer,
 		LossRate:     s.Loss,
+		Faults:       inj,
 		Seed:         seed,
 		RecordSeries: bucket > 0,
 		SeriesBucket: bucket,
@@ -234,12 +340,19 @@ func RunFlows(s Scenario, mks []Maker, starts []time.Duration, seed int64, bucke
 	}
 	n.Run(s.Duration)
 	recordLink(n, s.Duration)
-	out := make([]Metrics, len(flows))
+	out = make([]Metrics, len(flows))
 	for i, f := range flows {
 		out[i] = Observe(n, f, s.Duration)
 	}
 	return out
 }
+
+// defaultFaultPlan is the harness-wide fault plan applied to scenarios
+// that don't carry their own (libra-bench -fault).
+var defaultFaultPlan *faults.Plan
+
+// SetFaultPlan sets (or, with nil, clears) the harness-wide fault plan.
+func SetFaultPlan(p *faults.Plan) { defaultFaultPlan = p }
 
 // Repeat runs the scenario rep times with distinct seeds and returns
 // the per-run metrics.

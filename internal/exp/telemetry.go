@@ -115,9 +115,11 @@ func ObserveLink(n *netem.Network, d time.Duration) { recordLink(n, d) }
 func recordLink(n *netem.Network, d time.Duration) {
 	ds := n.Link().DropStats()
 	for reason, v := range map[string]int64{
-		telemetry.ReasonTail:    ds.Tail,
-		telemetry.ReasonChannel: ds.Channel,
-		telemetry.ReasonAQM:     ds.AQM,
+		telemetry.ReasonTail:     ds.Tail,
+		telemetry.ReasonChannel:  ds.Channel,
+		telemetry.ReasonAQM:      ds.AQM,
+		telemetry.ReasonBlackout: ds.Blackout,
+		telemetry.ReasonBurst:    ds.Burst,
 	} {
 		metricsReg.Counter(fmt.Sprintf("libra_link_drops_total{reason=%q}", reason),
 			"bottleneck drops by reason").Add(v)

@@ -26,7 +26,7 @@ func TestRunFlowRecordsMetrics(t *testing.T) {
 		Buffer:   150_000,
 		Duration: 5 * time.Second,
 	}
-	m := RunFlow(s, MakerFor("c-libra", nil, nil), 1, 0)
+	m := RunFlow(s, mustMaker("c-libra", nil, nil), 1, 0)
 	if m.ThrMbps <= 0 {
 		t.Fatalf("run produced no throughput: %+v", m)
 	}
@@ -81,7 +81,7 @@ func TestRunnerWiresTracer(t *testing.T) {
 		Buffer:   150_000,
 		Duration: 3 * time.Second,
 	}
-	RunFlow(s, MakerFor("c-libra", nil, nil), 1, 0)
+	RunFlow(s, mustMaker("c-libra", nil, nil), 1, 0)
 	if err := rec.Close(); err != nil {
 		t.Fatalf("recorder close: %v", err)
 	}

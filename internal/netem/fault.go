@@ -1,0 +1,42 @@
+package netem
+
+import (
+	"time"
+
+	"libra/internal/sim"
+	"libra/internal/telemetry"
+)
+
+// Verdict is a fault injector's per-packet decision at link ingress.
+// The zero value passes the packet through untouched.
+type Verdict struct {
+	// Drop discards the packet; Reason tags the drop event and selects
+	// the DropStats counter (telemetry.ReasonBlackout or ReasonBurst).
+	Drop   bool
+	Reason string
+	// Duplicate enqueues an independent copy of the packet behind the
+	// original (the copy bypasses the injector).
+	Duplicate bool
+	// ExtraDelay is added to the packet's post-serialization delay,
+	// producing jitter, delay spikes, and — when applied selectively —
+	// reordering.
+	ExtraDelay time.Duration
+}
+
+// FaultInjector composes adversarial link dynamics onto a Link. The
+// implementation lives in netem/faults; the interface is defined here so
+// the emulator stays free of any dependency on the fault subsystem.
+//
+// Implementations are single-goroutine, like everything else driven by
+// the simulation engine.
+type FaultInjector interface {
+	// Bind attaches the injector to the simulation it runs in. The
+	// tracer is never nil (a no-op tracer is substituted); Bind is
+	// called once, before any packet is offered.
+	Bind(eng *sim.Engine, tracer telemetry.Tracer)
+	// Ingress rules on one packet arriving at the bottleneck.
+	Ingress(now time.Duration, seq int64, size int) Verdict
+	// RateScale returns the capacity multiplier in force at now
+	// (1 = nominal; capacity flaps return their configured factor).
+	RateScale(now time.Duration) float64
+}

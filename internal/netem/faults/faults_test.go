@@ -1,0 +1,354 @@
+package faults_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"libra/internal/cc"
+	"libra/internal/netem"
+	"libra/internal/netem/faults"
+	"libra/internal/telemetry"
+	"libra/internal/trace"
+)
+
+func sec(s float64) faults.Duration { return faults.Duration(s * float64(time.Second)) }
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestPresetsAllValid(t *testing.T) {
+	names := faults.PresetNames()
+	if len(names) < 5 {
+		t.Fatalf("suspiciously few presets: %v", names)
+	}
+	for _, n := range names {
+		p, ok := faults.Preset(n)
+		if !ok || p == nil {
+			t.Fatalf("preset %s missing", n)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", n, err)
+		}
+		if p.Empty() {
+			t.Errorf("preset %s injects nothing", n)
+		}
+		if _, err := faults.New(p, 1); err != nil {
+			t.Errorf("preset %s: New: %v", n, err)
+		}
+	}
+}
+
+func TestPresetReturnsCopy(t *testing.T) {
+	a, _ := faults.Preset("bursty")
+	a.GE.PGB = 0.99
+	b, _ := faults.Preset("bursty")
+	if b.GE.PGB == 0.99 {
+		t.Fatal("Preset must return a fresh copy")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	src := `{
+		"ge": {"p_gb": 0.01, "p_bg": 0.2, "loss_good": 0, "loss_bad": 0.5},
+		"blackouts": {"scheduled": [{"start": "2s", "dur": 0.5}]},
+		"reorder": {"prob": 0.1, "delay": "40ms"},
+		"jitter": {"max": "10ms"},
+		"cap_flaps": {"mean_every": "5s", "mean_dur": "1s", "factor": 0.25}
+	}`
+	p, err := faults.ParsePlan(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Blackouts.Scheduled[0].Start.D() != 2*time.Second {
+		t.Fatalf("duration string: got %v", p.Blackouts.Scheduled[0].Start.D())
+	}
+	if p.Blackouts.Scheduled[0].Dur.D() != 500*time.Millisecond {
+		t.Fatalf("numeric seconds: got %v", p.Blackouts.Scheduled[0].Dur.D())
+	}
+	if p.Reorder.Delay.D() != 40*time.Millisecond || p.CapFlaps.Factor != 0.25 {
+		t.Fatalf("parsed plan mismatch: %+v", p)
+	}
+}
+
+func TestParsePlanRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":     `{"bogus": 1}`,
+		"bad probability":   `{"ge": {"p_gb": 1.5, "p_bg": 0.1, "loss_bad": 0.5}}`,
+		"negative duration": `{"reorder": {"prob": 0.1, "delay": "-5ms"}}`,
+		"bad duration":      `{"reorder": {"prob": 0.1, "delay": "squid"}}`,
+		"factor >= 1":       `{"cap_flaps": {"mean_every": "5s", "mean_dur": "1s", "factor": 1.0}}`,
+		"half stochastic":   `{"blackouts": {"mean_every": "5s"}}`,
+		"empty section":     `{"blackouts": {}}`,
+		"zero-dur window":   `{"blackouts": {"scheduled": [{"start": "1s", "dur": "0s"}]}}`,
+	}
+	for name, src := range cases {
+		if _, err := faults.ParsePlan(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted %s", name, src)
+		}
+	}
+}
+
+func TestLoadSpec(t *testing.T) {
+	if p, err := faults.Load("bursty"); err != nil || p.GE == nil {
+		t.Fatalf("preset load: %v %+v", err, p)
+	}
+	if p, err := faults.Load(""); err != nil || p != nil {
+		t.Fatalf("empty spec should be a nil plan, got %v %v", p, err)
+	}
+	_, err := faults.Load("definitely-not-a-preset")
+	if err == nil {
+		t.Fatal("unknown preset must error")
+	}
+	if !strings.Contains(err.Error(), "bursty") {
+		t.Fatalf("error should list presets: %v", err)
+	}
+	dir := t.TempDir() + "/plan.json"
+	if err := writeFile(dir, `{"duplicate": {"prob": 0.5}}`); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := faults.Load(dir); err != nil || p.Duplicate == nil {
+		t.Fatalf("file load: %v %+v", err, p)
+	}
+}
+
+// scheduleLog replays a fixed synthetic packet sequence through an
+// injector and serialises every ruling — the byte-identical view of
+// the fault schedule.
+func scheduleLog(in *faults.Injector, packets int) []byte {
+	var buf bytes.Buffer
+	now := time.Duration(0)
+	for i := 0; i < packets; i++ {
+		now += 500 * time.Microsecond
+		v := in.Ingress(now, int64(i), 1500)
+		fmt.Fprintf(&buf, "%d %v %q %v %d\n", i, v.Drop, v.Reason, v.Duplicate, v.ExtraDelay)
+	}
+	for s := time.Duration(0); s < 30*time.Second; s += 10 * time.Millisecond {
+		fmt.Fprintf(&buf, "%v\n", in.RateScale(s))
+	}
+	return buf.Bytes()
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	plan, _ := faults.Preset("hostile")
+	a := faults.MustNew(plan, 42)
+	b := faults.MustNew(plan, 42)
+	la, lb := scheduleLog(a, 20000), scheduleLog(b, 20000)
+	if !bytes.Equal(la, lb) {
+		t.Fatal("identical (plan, seed) must yield byte-identical schedules")
+	}
+	c := faults.MustNew(plan, 43)
+	if bytes.Equal(la, scheduleLog(c, 20000)) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestDeterministicSimulation(t *testing.T) {
+	run := func() (int64, netem.DropStats) {
+		plan, _ := faults.Preset("hostile")
+		n := netem.New(netem.Config{
+			Capacity:    trace.Constant(trace.Mbps(24)),
+			MinRTT:      40 * time.Millisecond,
+			BufferBytes: 150_000,
+			Faults:      faults.MustNew(plan, 7),
+			Seed:        7,
+		})
+		n.AddFlow(&cc.FixedRate{R: trace.Mbps(12)}, 0, 0)
+		n.Run(20 * time.Second)
+		return n.Link().DeliveredBytes(), n.Link().DropStats()
+	}
+	d1, s1 := run()
+	d2, s2 := run()
+	if d1 != d2 || s1 != s2 {
+		t.Fatalf("whole-sim determinism: %d/%+v vs %d/%+v", d1, s1, d2, s2)
+	}
+}
+
+func TestGilbertElliottLoss(t *testing.T) {
+	plan := &faults.Plan{GE: &faults.GilbertElliott{PGB: 0.01, PBG: 0.125, LossGood: 0, LossBad: 0.5}}
+	in := faults.MustNew(plan, 9)
+	drops, runs, runLen := 0, 0, 0
+	inRun := false
+	const N = 50000
+	for i := 0; i < N; i++ {
+		v := in.Ingress(time.Duration(i)*time.Millisecond, int64(i), 1500)
+		if v.Drop {
+			if v.Reason != telemetry.ReasonBurst {
+				t.Fatalf("GE drop reason %q", v.Reason)
+			}
+			drops++
+			if !inRun {
+				runs++
+				inRun = true
+			}
+			runLen++
+		} else {
+			inRun = false
+		}
+	}
+	// Stationary bad-state probability is PGB/(PGB+PBG) ≈ 7.4%, so the
+	// long-run loss rate is ≈ 3.7%.
+	rate := float64(drops) / N
+	if rate < 0.015 || rate > 0.08 {
+		t.Fatalf("GE loss rate %.4f outside plausible band", rate)
+	}
+	// Burstiness: mean drop-run length must exceed the iid expectation
+	// (≈ 1/(1-rate) ≈ 1.04) by a clear margin.
+	if mean := float64(runLen) / float64(runs); mean < 1.3 {
+		t.Fatalf("GE drops not bursty: mean run %.2f", mean)
+	}
+}
+
+func TestBlackoutWindows(t *testing.T) {
+	plan := &faults.Plan{Blackouts: &faults.Blackouts{Scheduled: []faults.Window{
+		{Start: sec(1), Dur: sec(1)},
+		{Start: sec(4), Dur: sec(0.5)},
+	}}}
+	in := faults.MustNew(plan, 1)
+	cases := []struct {
+		at   time.Duration
+		drop bool
+	}{
+		{500 * time.Millisecond, false},
+		{1100 * time.Millisecond, true},
+		{1900 * time.Millisecond, true},
+		{2100 * time.Millisecond, false},
+		{4200 * time.Millisecond, true},
+		{4600 * time.Millisecond, false},
+	}
+	for i, c := range cases {
+		v := in.Ingress(c.at, int64(i), 1500)
+		if v.Drop != c.drop {
+			t.Errorf("at %v: drop=%v want %v", c.at, v.Drop, c.drop)
+		}
+		if v.Drop && v.Reason != telemetry.ReasonBlackout {
+			t.Errorf("at %v: reason %q", c.at, v.Reason)
+		}
+	}
+}
+
+func TestCapFlapRateScale(t *testing.T) {
+	plan := &faults.Plan{CapFlaps: &faults.CapFlaps{
+		Scheduled: []faults.Window{{Start: sec(2), Dur: sec(1)}}, Factor: 0.1}}
+	in := faults.MustNew(plan, 1)
+	if got := in.RateScale(1 * time.Second); got != 1 {
+		t.Fatalf("outside flap: scale %v", got)
+	}
+	if got := in.RateScale(2500 * time.Millisecond); got != 0.1 {
+		t.Fatalf("inside flap: scale %v", got)
+	}
+	if got := in.RateScale(3500 * time.Millisecond); got != 1 {
+		t.Fatalf("after flap: scale %v", got)
+	}
+}
+
+func TestReorderAndDuplicateVerdicts(t *testing.T) {
+	plan := &faults.Plan{
+		Reorder:   &faults.Reorder{Prob: 1, Delay: faults.Duration(40 * time.Millisecond)},
+		Duplicate: &faults.Duplicate{Prob: 1},
+	}
+	in := faults.MustNew(plan, 1)
+	v := in.Ingress(time.Second, 1, 1500)
+	if v.ExtraDelay != 40*time.Millisecond || !v.Duplicate || v.Drop {
+		t.Fatalf("verdict %+v", v)
+	}
+}
+
+// TestBlackoutDropsAtLink drives a real emulated path through a
+// scheduled outage and checks the link-level accounting plus the
+// fault.* telemetry stream.
+func TestBlackoutDropsAtLink(t *testing.T) {
+	plan := &faults.Plan{Blackouts: &faults.Blackouts{Scheduled: []faults.Window{
+		{Start: sec(2), Dur: sec(1)}}}}
+	var events bytes.Buffer
+	rec := telemetry.NewRecorder(&events)
+	n := netem.New(netem.Config{
+		Capacity:    trace.Constant(trace.Mbps(12)),
+		MinRTT:      40 * time.Millisecond,
+		BufferBytes: 150_000,
+		Faults:      faults.MustNew(plan, 3),
+		Seed:        3,
+		Tracer:      rec,
+	})
+	n.AddFlow(&cc.FixedRate{R: trace.Mbps(6)}, 0, 0)
+	n.Run(5 * time.Second)
+	ds := n.Link().DropStats()
+	if ds.Blackout == 0 {
+		t.Fatalf("no blackout drops recorded: %+v", ds)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := telemetry.ReadAll(&events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawStart, sawEnd, sawDrop bool
+	for _, e := range evs {
+		switch {
+		case e.Type == telemetry.TypeFault && e.Reason == telemetry.FaultBlackoutStart:
+			sawStart = true
+		case e.Type == telemetry.TypeFault && e.Reason == telemetry.FaultBlackoutEnd:
+			sawEnd = true
+		case e.Type == telemetry.TypeDrop && e.Reason == telemetry.ReasonBlackout:
+			sawDrop = true
+		}
+	}
+	if !sawStart || !sawEnd || !sawDrop {
+		t.Fatalf("missing fault telemetry: start=%v end=%v drop=%v", sawStart, sawEnd, sawDrop)
+	}
+}
+
+// TestDuplicationIsHarmless checks that injected duplicates reach the
+// receiver without wedging the flow (the ACK path dedups).
+func TestDuplicationIsHarmless(t *testing.T) {
+	plan := &faults.Plan{Duplicate: &faults.Duplicate{Prob: 1}}
+	n := netem.New(netem.Config{
+		Capacity:    trace.Constant(trace.Mbps(24)),
+		MinRTT:      40 * time.Millisecond,
+		BufferBytes: 150_000,
+		Faults:      faults.MustNew(plan, 4),
+		Seed:        4,
+	})
+	f := n.AddFlow(&cc.FixedRate{R: trace.Mbps(4)}, 0, 0)
+	n.Run(5 * time.Second)
+	if f.Stats.AckedBytes == 0 {
+		t.Fatal("flow made no progress under duplication")
+	}
+	// Every packet is duplicated, so the link serialises ~2x the
+	// goodput.
+	if ratio := float64(n.Link().DeliveredBytes()) / float64(f.Stats.AckedBytes); ratio < 1.5 {
+		t.Fatalf("expected ~2x link traffic under 100%% duplication, ratio %.2f", ratio)
+	}
+}
+
+// TestCapFlapCutsThroughput checks the capacity multiplier reaches the
+// serialisation path.
+func TestCapFlapCutsThroughput(t *testing.T) {
+	run := func(plan *faults.Plan) int64 {
+		var inj netem.FaultInjector
+		if plan != nil {
+			inj = faults.MustNew(plan, 5)
+		}
+		n := netem.New(netem.Config{
+			Capacity:    trace.Constant(trace.Mbps(24)),
+			MinRTT:      40 * time.Millisecond,
+			BufferBytes: 150_000,
+			Faults:      inj,
+			Seed:        5,
+		})
+		n.AddFlow(&cc.FixedRate{R: trace.Mbps(24)}, 0, 0)
+		n.Run(10 * time.Second)
+		return n.Link().DeliveredBytes()
+	}
+	flapped := run(&faults.Plan{CapFlaps: &faults.CapFlaps{
+		Scheduled: []faults.Window{{Start: sec(1), Dur: sec(8)}}, Factor: 0.1}})
+	clean := run(nil)
+	if float64(flapped) > 0.6*float64(clean) {
+		t.Fatalf("capacity flap had no bite: %d vs %d bytes", flapped, clean)
+	}
+}

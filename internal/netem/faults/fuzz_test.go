@@ -1,0 +1,45 @@
+package faults_test
+
+import (
+	"strings"
+	"testing"
+
+	"libra/internal/netem/faults"
+)
+
+// FuzzParsePlan checks the FaultPlan JSON decoder never panics on
+// arbitrary input and that every plan it accepts builds a working
+// injector.
+func FuzzParsePlan(f *testing.F) {
+	f.Add(`{"ge":{"p_gb":0.01,"p_bg":0.2,"loss_good":0.001,"loss_bad":0.5}}`)
+	f.Add(`{"blackouts":{"scheduled":[{"start":"8s","dur":"3s"}]}}`)
+	f.Add(`{"blackouts":{"mean_every":"10s","mean_dur":"600ms"}}`)
+	f.Add(`{"reorder":{"prob":0.05,"delay":"40ms"},"duplicate":{"prob":0.02}}`)
+	f.Add(`{"jitter":{"max":"15ms","spike_prob":0.002,"spike_dur":"200ms"}}`)
+	f.Add(`{"cap_flaps":{"mean_every":"6s","mean_dur":"2s","factor":0.1}}`)
+	f.Add(`{"ge":{"p_gb":2}}`)              // probability out of range
+	f.Add(`{"blackouts":{}}`)               // empty section
+	f.Add(`{"jitter":{"max":"-5ms"}}`)      // negative duration
+	f.Add(`{"unknown_field":1}`)            // rejected by DisallowUnknownFields
+	f.Add(`{"ge":{"p_gb":"not a number"}}`) // type mismatch
+	f.Add(`not json at all`)
+	f.Add(`{}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		plan, err := faults.ParsePlan(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// ParsePlan validates, so building an injector must succeed and
+		// its first verdicts must be callable without panicking.
+		inj, err := faults.New(plan, 1)
+		if err != nil {
+			t.Fatalf("validated plan rejected by New: %v", err)
+		}
+		for i := 0; i < 10; i++ {
+			inj.Ingress(0, int64(i), 1500)
+		}
+		if s := inj.RateScale(0); s < 0 || s > 1 {
+			t.Fatalf("rate scale out of range: %v", s)
+		}
+	})
+}

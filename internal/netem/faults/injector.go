@@ -1,0 +1,292 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"libra/internal/netem"
+	"libra/internal/sim"
+	"libra/internal/telemetry"
+)
+
+// Seed-mixing constants: each stochastic component draws from its own
+// sub-seeded source so adding or removing one fault class never
+// perturbs another class's schedule.
+const (
+	seedGE       int64 = 0x1e3779b97f4a7c15
+	seedPkt      int64 = 0x3f58476d1ce4e5b9
+	seedBlackout int64 = 0x14d049bb133111eb
+	seedFlap     int64 = 0x2545f4914f6cdd1d
+)
+
+// minStochWindow floors stochastically drawn window durations so a
+// degenerate exponential draw cannot produce a zero-length event.
+const minStochWindow = time.Millisecond
+
+// Injector realises a Plan as a netem.FaultInjector. Build one per
+// simulation run with New; identical (Plan, seed) pairs produce
+// byte-identical fault schedules.
+type Injector struct {
+	plan Plan
+
+	eng     *sim.Engine
+	tracer  telemetry.Tracer
+	traceOn bool
+	evBuf   telemetry.Event
+
+	geBad  bool
+	geRng  *rand.Rand
+	pktRng *rand.Rand
+
+	blackout *windowCheck
+	flap     *windowCheck
+	// Announcement streams replay the same window schedules for
+	// engine-clocked telemetry; consumed by Bind.
+	blackoutAnn *windowStream
+	flapAnn     *windowStream
+
+	spikeUntil time.Duration
+}
+
+// New validates plan and builds an injector whose stochastic behaviour
+// is fully determined by (plan, seed). A nil or empty plan yields an
+// injector that passes everything through.
+func New(plan *Plan, seed int64) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{}
+	if plan != nil {
+		in.plan = *plan
+	}
+	in.geRng = rand.New(rand.NewSource(seed ^ seedGE))
+	in.pktRng = rand.New(rand.NewSource(seed ^ seedPkt))
+	if b := in.plan.Blackouts; b != nil {
+		in.blackout = &windowCheck{ws: newWindowStream(b.Scheduled, b.MeanEvery.D(), b.MeanDur.D(),
+			rand.New(rand.NewSource(seed^seedBlackout)))}
+		in.blackoutAnn = newWindowStream(b.Scheduled, b.MeanEvery.D(), b.MeanDur.D(),
+			rand.New(rand.NewSource(seed^seedBlackout)))
+	}
+	if c := in.plan.CapFlaps; c != nil {
+		in.flap = &windowCheck{ws: newWindowStream(c.Scheduled, c.MeanEvery.D(), c.MeanDur.D(),
+			rand.New(rand.NewSource(seed^seedFlap)))}
+		in.flapAnn = newWindowStream(c.Scheduled, c.MeanEvery.D(), c.MeanDur.D(),
+			rand.New(rand.NewSource(seed^seedFlap)))
+	}
+	return in, nil
+}
+
+// MustNew is New for callers with a statically valid plan (presets,
+// tests).
+func MustNew(plan *Plan, seed int64) *Injector {
+	in, err := New(plan, seed)
+	if err != nil {
+		panic(fmt.Sprintf("faults: invalid plan: %v", err))
+	}
+	return in
+}
+
+// Bind implements netem.FaultInjector. When the tracer is live, the
+// injector schedules fault.* window-boundary events on the engine; the
+// lazy event chain stops at the run horizon.
+func (in *Injector) Bind(eng *sim.Engine, tracer telemetry.Tracer) {
+	in.eng = eng
+	in.tracer = tracer
+	in.traceOn = telemetry.Enabled(tracer)
+	if !in.traceOn {
+		return
+	}
+	if in.blackoutAnn != nil {
+		in.announce(in.blackoutAnn, telemetry.FaultBlackoutStart, telemetry.FaultBlackoutEnd, 0)
+	}
+	if in.flapAnn != nil {
+		in.announce(in.flapAnn, telemetry.FaultFlapStart, telemetry.FaultFlapEnd, in.plan.CapFlaps.Factor)
+	}
+}
+
+// announce emits the start/end boundary events for one window, then
+// reschedules itself for the next window in the stream.
+func (in *Injector) announce(ws *windowStream, startReason, endReason string, rate float64) {
+	start, end, ok := ws.next()
+	if !ok {
+		return
+	}
+	in.eng.At(start, func() {
+		in.emitWindow(startReason, rate)
+		in.eng.At(end, func() {
+			in.emitWindow(endReason, 0)
+			in.announce(ws, startReason, endReason, rate)
+		})
+	})
+}
+
+func (in *Injector) emitWindow(reason string, rate float64) {
+	in.evBuf = telemetry.Event{T: int64(in.eng.Now()), Type: telemetry.TypeFault,
+		Flow: -1, Reason: reason, Rate: rate}
+	in.tracer.Emit(&in.evBuf)
+}
+
+func (in *Injector) emitPacket(reason string, seq int64, extra time.Duration) {
+	in.evBuf = telemetry.Event{T: int64(in.eng.Now()), Type: telemetry.TypeFault,
+		Flow: -1, Reason: reason, Seq: seq, Queue: int64(extra)}
+	in.tracer.Emit(&in.evBuf)
+}
+
+// Ingress implements netem.FaultInjector: the per-packet ruling at the
+// bottleneck's ingress. Stages run in a fixed order — blackout, bursty
+// loss, jitter, delay spike, reorder, duplicate — and each stage's
+// random draws come from dedicated sources, so the composite schedule
+// is reproducible.
+func (in *Injector) Ingress(now time.Duration, seq int64, size int) netem.Verdict {
+	if in.blackout != nil && in.blackout.active(now) {
+		return netem.Verdict{Drop: true, Reason: telemetry.ReasonBlackout}
+	}
+	if ge := in.plan.GE; ge != nil {
+		if in.geBad {
+			if in.geRng.Float64() < ge.PBG {
+				in.geBad = false
+			}
+		} else if in.geRng.Float64() < ge.PGB {
+			in.geBad = true
+		}
+		loss := ge.LossGood
+		if in.geBad {
+			loss = ge.LossBad
+		}
+		if loss > 0 && in.geRng.Float64() < loss {
+			return netem.Verdict{Drop: true, Reason: telemetry.ReasonBurst}
+		}
+	}
+	var extra time.Duration
+	if j := in.plan.Jitter; j != nil {
+		if j.Max > 0 {
+			extra += time.Duration(in.pktRng.Float64() * float64(j.Max))
+		}
+		if j.SpikeProb > 0 && in.pktRng.Float64() < j.SpikeProb {
+			in.spikeUntil = now + j.SpikeDur.D()
+			if in.traceOn {
+				in.emitPacket(telemetry.FaultSpike, seq, j.SpikeDur.D())
+			}
+		}
+		if now < in.spikeUntil {
+			// The path is frozen: hold the packet until the spike ends,
+			// emulating the burst release after a stall.
+			extra += in.spikeUntil - now
+		}
+	}
+	if r := in.plan.Reorder; r != nil && r.Prob > 0 && in.pktRng.Float64() < r.Prob {
+		extra += r.Delay.D()
+		if in.traceOn {
+			in.emitPacket(telemetry.FaultReorder, seq, r.Delay.D())
+		}
+	}
+	v := netem.Verdict{ExtraDelay: extra}
+	if d := in.plan.Duplicate; d != nil && d.Prob > 0 && in.pktRng.Float64() < d.Prob {
+		v.Duplicate = true
+		if in.traceOn {
+			in.emitPacket(telemetry.FaultDup, seq, 0)
+		}
+	}
+	return v
+}
+
+// RateScale implements netem.FaultInjector: the capacity multiplier in
+// force at now (Factor during flap windows, 1 otherwise).
+func (in *Injector) RateScale(now time.Duration) float64 {
+	if in.flap != nil && in.flap.active(now) {
+		return in.plan.CapFlaps.Factor
+	}
+	return 1
+}
+
+// windowStream generates the merged, start-ordered sequence of fault
+// windows from a scheduled list plus an optional stochastic renewal
+// process (exponential inter-arrival with mean meanEvery, exponential
+// duration with mean meanDur).
+type windowStream struct {
+	sched []Window // sorted copy
+	si    int
+
+	rng       *rand.Rand
+	meanEvery time.Duration
+	meanDur   time.Duration
+	cursor    time.Duration // end of the last stochastic window drawn
+	pending   bool
+	pStart    time.Duration
+	pEnd      time.Duration
+}
+
+func newWindowStream(sched []Window, meanEvery, meanDur time.Duration, rng *rand.Rand) *windowStream {
+	s := make([]Window, len(sched))
+	copy(s, sched)
+	sort.Slice(s, func(i, j int) bool { return s[i].Start < s[j].Start })
+	return &windowStream{sched: s, rng: rng, meanEvery: meanEvery, meanDur: meanDur}
+}
+
+// expDraw samples an exponential with the given mean.
+func expDraw(rng *rand.Rand, mean time.Duration) time.Duration {
+	u := rng.Float64()
+	return time.Duration(-float64(mean) * math.Log(1-u))
+}
+
+// next returns the next window by start time; ok is false once the
+// stream is exhausted (only possible without a stochastic process).
+func (ws *windowStream) next() (start, end time.Duration, ok bool) {
+	if ws.meanEvery > 0 && !ws.pending {
+		gap := expDraw(ws.rng, ws.meanEvery)
+		dur := expDraw(ws.rng, ws.meanDur)
+		if dur < minStochWindow {
+			dur = minStochWindow
+		}
+		ws.pStart = ws.cursor + gap
+		ws.pEnd = ws.pStart + dur
+		ws.cursor = ws.pEnd
+		ws.pending = true
+	}
+	haveSched := ws.si < len(ws.sched)
+	switch {
+	case haveSched && (!ws.pending || ws.sched[ws.si].Start.D() <= ws.pStart):
+		w := ws.sched[ws.si]
+		ws.si++
+		return w.Start.D(), w.Start.D() + w.Dur.D(), true
+	case ws.pending:
+		ws.pending = false
+		return ws.pStart, ws.pEnd, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// windowCheck answers "is a window active at now" for a monotonically
+// advancing clock, pulling windows from its stream as time passes.
+type windowCheck struct {
+	ws         *windowStream
+	start, end time.Duration
+	have       bool
+	done       bool
+}
+
+func (wc *windowCheck) active(now time.Duration) bool {
+	for {
+		if !wc.have {
+			if wc.done {
+				return false
+			}
+			s, e, ok := wc.ws.next()
+			if !ok {
+				wc.done = true
+				return false
+			}
+			wc.start, wc.end = s, e
+			wc.have = true
+		}
+		if now >= wc.end {
+			wc.have = false
+			continue
+		}
+		return now >= wc.start
+	}
+}

@@ -1,0 +1,357 @@
+// Package faults implements the fault-injection subsystem for netem:
+// a seeded, deterministic composition of adversarial link dynamics —
+// Gilbert-Elliott bursty loss, link blackouts, packet reordering and
+// duplication, delay jitter and spikes, and capacity flaps — described
+// by a declarative Plan and realised by an Injector bound to a
+// simulation. Identical (Plan, seed) pairs reproduce byte-identical
+// fault schedules.
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Duration is a time.Duration that decodes from either a Go duration
+// string ("250ms", "3s") or a bare JSON number of seconds.
+type Duration time.Duration
+
+// D returns the underlying time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON encodes as a Go duration string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "250ms"-style strings or numeric seconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	switch x := v.(type) {
+	case string:
+		dd, err := time.ParseDuration(x)
+		if err != nil {
+			return fmt.Errorf("faults: bad duration %q: %w", x, err)
+		}
+		*d = Duration(dd)
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("faults: non-finite duration %v", x)
+		}
+		*d = Duration(x * float64(time.Second))
+	default:
+		return fmt.Errorf("faults: duration must be a string or seconds, got %T", v)
+	}
+	return nil
+}
+
+// Window is one scheduled fault interval [Start, Start+Dur).
+type Window struct {
+	Start Duration `json:"start"`
+	Dur   Duration `json:"dur"`
+}
+
+// GilbertElliott parameterises the classic 2-state bursty-loss chain:
+// the channel flips between a Good and a Bad state with per-packet
+// transition probabilities, and each state drops packets iid at its own
+// rate. High LossBad with small PBG produces loss bursts whose mean
+// length is 1/PBG packets.
+type GilbertElliott struct {
+	// PGB and PBG are the per-packet Good→Bad and Bad→Good transition
+	// probabilities.
+	PGB float64 `json:"p_gb"`
+	PBG float64 `json:"p_bg"`
+	// LossGood and LossBad are the per-packet drop probabilities inside
+	// each state (typically LossGood ≈ 0, LossBad ≫ 0).
+	LossGood float64 `json:"loss_good"`
+	LossBad  float64 `json:"loss_bad"`
+}
+
+// Blackouts describes total link outages: every packet offered during
+// an active window is dropped. Windows come from the explicit Scheduled
+// list, from a stochastic renewal process (exponential gaps with mean
+// MeanEvery, exponential durations with mean MeanDur), or both.
+type Blackouts struct {
+	Scheduled []Window `json:"scheduled,omitempty"`
+	MeanEvery Duration `json:"mean_every,omitempty"`
+	MeanDur   Duration `json:"mean_dur,omitempty"`
+}
+
+// Reorder delays a random subset of packets by a fixed extra Delay,
+// letting later packets overtake them on the wire.
+type Reorder struct {
+	Prob  float64  `json:"prob"`
+	Delay Duration `json:"delay"`
+}
+
+// Duplicate re-enqueues an independent copy of a random subset of
+// packets behind the original.
+type Duplicate struct {
+	Prob float64 `json:"prob"`
+}
+
+// Jitter adds uniform random egress delay in [0, Max] to every packet,
+// plus optional delay spikes: with probability SpikeProb a packet
+// stalls the path for SpikeDur, and packets arriving during the stall
+// are held until it ends (emulating a burst release after a freeze).
+type Jitter struct {
+	Max       Duration `json:"max"`
+	SpikeProb float64  `json:"spike_prob,omitempty"`
+	SpikeDur  Duration `json:"spike_dur,omitempty"`
+}
+
+// CapFlaps scales the bottleneck capacity by Factor during flap
+// windows (scheduled and/or stochastic, like Blackouts).
+type CapFlaps struct {
+	Scheduled []Window `json:"scheduled,omitempty"`
+	MeanEvery Duration `json:"mean_every,omitempty"`
+	MeanDur   Duration `json:"mean_dur,omitempty"`
+	// Factor multiplies the link capacity while a flap is active
+	// (0.1 = the link decimates to 10% of nominal).
+	Factor float64 `json:"factor"`
+}
+
+// Plan is a declarative fault-injection configuration. Every field is
+// optional; nil sections inject nothing. A Plan plus a seed fully
+// determines the fault schedule.
+type Plan struct {
+	GE        *GilbertElliott `json:"ge,omitempty"`
+	Blackouts *Blackouts      `json:"blackouts,omitempty"`
+	Reorder   *Reorder        `json:"reorder,omitempty"`
+	Duplicate *Duplicate      `json:"duplicate,omitempty"`
+	Jitter    *Jitter         `json:"jitter,omitempty"`
+	CapFlaps  *CapFlaps       `json:"cap_flaps,omitempty"`
+}
+
+func probErr(name string, p float64) error {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return fmt.Errorf("faults: %s must be in [0,1], got %v", name, p)
+	}
+	return nil
+}
+
+func durErr(name string, d Duration) error {
+	if d < 0 {
+		return fmt.Errorf("faults: %s must be non-negative, got %v", name, d.D())
+	}
+	return nil
+}
+
+func windowsErr(name string, ws []Window) error {
+	for i, w := range ws {
+		if w.Start < 0 || w.Dur <= 0 {
+			return fmt.Errorf("faults: %s.scheduled[%d] needs start >= 0 and dur > 0", name, i)
+		}
+	}
+	return nil
+}
+
+func stochasticErr(name string, every, dur Duration) error {
+	if (every > 0) != (dur > 0) {
+		return fmt.Errorf("faults: %s needs both mean_every and mean_dur set (or neither)", name)
+	}
+	if err := durErr(name+".mean_every", every); err != nil {
+		return err
+	}
+	return durErr(name+".mean_dur", dur)
+}
+
+// Validate checks the plan's parameters; a nil or empty plan is valid.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if ge := p.GE; ge != nil {
+		for _, c := range []struct {
+			n string
+			v float64
+		}{{"ge.p_gb", ge.PGB}, {"ge.p_bg", ge.PBG}, {"ge.loss_good", ge.LossGood}, {"ge.loss_bad", ge.LossBad}} {
+			if err := probErr(c.n, c.v); err != nil {
+				return err
+			}
+		}
+	}
+	if b := p.Blackouts; b != nil {
+		if err := windowsErr("blackouts", b.Scheduled); err != nil {
+			return err
+		}
+		if err := stochasticErr("blackouts", b.MeanEvery, b.MeanDur); err != nil {
+			return err
+		}
+		if len(b.Scheduled) == 0 && b.MeanEvery == 0 {
+			return fmt.Errorf("faults: blackouts section is empty")
+		}
+	}
+	if r := p.Reorder; r != nil {
+		if err := probErr("reorder.prob", r.Prob); err != nil {
+			return err
+		}
+		if err := durErr("reorder.delay", r.Delay); err != nil {
+			return err
+		}
+	}
+	if d := p.Duplicate; d != nil {
+		if err := probErr("duplicate.prob", d.Prob); err != nil {
+			return err
+		}
+	}
+	if j := p.Jitter; j != nil {
+		if err := durErr("jitter.max", j.Max); err != nil {
+			return err
+		}
+		if err := probErr("jitter.spike_prob", j.SpikeProb); err != nil {
+			return err
+		}
+		if err := durErr("jitter.spike_dur", j.SpikeDur); err != nil {
+			return err
+		}
+		if (j.SpikeProb > 0) != (j.SpikeDur > 0) {
+			return fmt.Errorf("faults: jitter needs both spike_prob and spike_dur set (or neither)")
+		}
+	}
+	if c := p.CapFlaps; c != nil {
+		if err := windowsErr("cap_flaps", c.Scheduled); err != nil {
+			return err
+		}
+		if err := stochasticErr("cap_flaps", c.MeanEvery, c.MeanDur); err != nil {
+			return err
+		}
+		if len(c.Scheduled) == 0 && c.MeanEvery == 0 {
+			return fmt.Errorf("faults: cap_flaps section is empty")
+		}
+		if math.IsNaN(c.Factor) || c.Factor < 0 || c.Factor >= 1 {
+			return fmt.Errorf("faults: cap_flaps.factor must be in [0,1), got %v", c.Factor)
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool {
+	return p == nil || (p.GE == nil && p.Blackouts == nil && p.Reorder == nil &&
+		p.Duplicate == nil && p.Jitter == nil && p.CapFlaps == nil)
+}
+
+// ParsePlan decodes a JSON plan from r, rejecting unknown fields, and
+// validates it.
+func ParsePlan(r io.Reader) (*Plan, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("faults: parse plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ParsePlanFile reads and parses a JSON plan file.
+func ParsePlanFile(path string) (*Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := ParsePlan(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// presets are the named fault classes used by the CLIs and the
+// adversarial sweep (figa1). Each returns a fresh Plan so callers can
+// mutate their copy.
+var presets = map[string]func() *Plan{
+	// Bursty wireless-style loss: ~1% of packets start an 8-packet
+	// (mean) burst dropping half the packets inside it.
+	"bursty": func() *Plan {
+		return &Plan{GE: &GilbertElliott{PGB: 0.01, PBG: 0.125, LossGood: 0.0001, LossBad: 0.5}}
+	},
+	// One hard 3-second outage mid-run (tunnel / handover failure).
+	"blackout": func() *Plan {
+		return &Plan{Blackouts: &Blackouts{Scheduled: []Window{
+			{Start: Duration(8 * time.Second), Dur: Duration(3 * time.Second)}}}}
+	},
+	// Repeated stochastic outages: ~600 ms every ~10 s on average.
+	"flaky": func() *Plan {
+		return &Plan{Blackouts: &Blackouts{
+			MeanEvery: Duration(10 * time.Second), MeanDur: Duration(600 * time.Millisecond)}}
+	},
+	// 5% of packets delayed an extra 40 ms, overtaken by later ones.
+	"reorder": func() *Plan {
+		return &Plan{Reorder: &Reorder{Prob: 0.05, Delay: Duration(40 * time.Millisecond)}}
+	},
+	// Uniform jitter up to 15 ms plus occasional 200 ms freeze-and-burst.
+	"jitter": func() *Plan {
+		return &Plan{Jitter: &Jitter{Max: Duration(15 * time.Millisecond),
+			SpikeProb: 0.002, SpikeDur: Duration(200 * time.Millisecond)}}
+	},
+	// 2% packet duplication.
+	"dup": func() *Plan {
+		return &Plan{Duplicate: &Duplicate{Prob: 0.02}}
+	},
+	// Capacity decimates to 10% for ~2 s every ~6 s on average.
+	"cap-flap": func() *Plan {
+		return &Plan{CapFlaps: &CapFlaps{
+			MeanEvery: Duration(6 * time.Second), MeanDur: Duration(2 * time.Second), Factor: 0.1}}
+	},
+	// Everything at once: the kitchen-sink adversary.
+	"hostile": func() *Plan {
+		return &Plan{
+			GE:        &GilbertElliott{PGB: 0.005, PBG: 0.125, LossGood: 0.0001, LossBad: 0.5},
+			Blackouts: &Blackouts{MeanEvery: Duration(15 * time.Second), MeanDur: Duration(800 * time.Millisecond)},
+			Reorder:   &Reorder{Prob: 0.02, Delay: Duration(30 * time.Millisecond)},
+			Duplicate: &Duplicate{Prob: 0.01},
+			Jitter:    &Jitter{Max: Duration(10 * time.Millisecond), SpikeProb: 0.001, SpikeDur: Duration(150 * time.Millisecond)},
+			CapFlaps:  &CapFlaps{MeanEvery: Duration(12 * time.Second), MeanDur: Duration(1500 * time.Millisecond), Factor: 0.2},
+		}
+	},
+}
+
+// Preset returns a fresh copy of a named fault plan.
+func Preset(name string) (*Plan, bool) {
+	f, ok := presets[name]
+	if !ok {
+		return nil, false
+	}
+	return f(), true
+}
+
+// PresetNames lists the registered presets, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Load resolves spec as either a preset name or a path to a JSON plan
+// file (anything containing a path separator or ending in .json). This
+// is the CLI entry point behind the -fault flags.
+func Load(spec string) (*Plan, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if p, ok := Preset(spec); ok {
+		return p, nil
+	}
+	if strings.ContainsAny(spec, "/\\") || strings.HasSuffix(spec, ".json") {
+		return ParsePlanFile(spec)
+	}
+	return nil, fmt.Errorf("faults: unknown preset %q (have %s; or pass a .json plan file)",
+		spec, strings.Join(PresetNames(), ", "))
+}

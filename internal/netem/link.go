@@ -17,20 +17,22 @@ const minLinkRate = 125.0
 // optional iid stochastic loss process at ingress, and a fixed one-way
 // propagation delay applied after serialization.
 type Link struct {
-	eng   *sim.Engine
-	cap   trace.Trace
-	prop  time.Duration
-	buf   int // queue limit in bytes (excluding the packet in service)
-	ecn   int
-	codel *CoDel
-	loss  float64
-	rng   *rand.Rand
-	sink  func(*Packet)
-	drop  func(*Packet, bool) // stochastic=true when channel loss, false when tail drop
-	queue []*Packet
-	qhead int
-	qByte int
-	busy  bool
+	eng    *sim.Engine
+	cap    trace.Trace
+	prop   time.Duration
+	buf    int // queue limit in bytes (excluding the packet in service)
+	ecn    int
+	codel  *CoDel
+	loss   float64
+	rng    *rand.Rand
+	faults FaultInjector
+	sink   func(*Packet)
+	drop   func(*Packet, bool) // stochastic=true when channel loss, false when tail drop
+	dup    func(*Packet) *Packet
+	queue  []*Packet
+	qhead  int
+	qByte  int
+	busy   bool
 
 	// Statistics; read through DeliveredBytes()/DropStats().
 	delivered   int64
@@ -50,6 +52,9 @@ type DropStats struct {
 	// Tail/Channel/AQM count dropped packets by cause: buffer
 	// overflow, the iid stochastic loss process, and CoDel head drops.
 	Tail, Channel, AQM int64
+	// Blackout and Burst count drops inflicted by the fault injector:
+	// link outages and Gilbert-Elliott bursty loss respectively.
+	Blackout, Burst int64
 	// Bytes is the payload total across all dropped packets.
 	Bytes int64
 	// Marked counts packets CE-marked (delivered, not dropped).
@@ -57,7 +62,7 @@ type DropStats struct {
 }
 
 // Total returns the dropped-packet count across all reasons.
-func (d DropStats) Total() int64 { return d.Tail + d.Channel + d.AQM }
+func (d DropStats) Total() int64 { return d.Tail + d.Channel + d.AQM + d.Blackout + d.Burst }
 
 // DropStats returns the current drop/mark counters.
 func (l *Link) DropStats() DropStats { return l.drops }
@@ -91,23 +96,29 @@ type LinkConfig struct {
 	ECNThreshold int
 	// CoDel, when non-nil, applies Controlled-Delay AQM at dequeue.
 	CoDel *CoDel
-	Seed  int64
+	// Faults, when non-nil, is consulted at ingress (drop/duplicate/
+	// extra delay) and at service time (capacity scaling).
+	Faults FaultInjector
+	Seed   int64
 }
 
 // newLink wires a link into the engine. sink receives packets after
-// serialization + propagation; drop is informed of every dropped packet.
-func newLink(eng *sim.Engine, cfg LinkConfig, sink func(*Packet), drop func(*Packet, bool)) *Link {
+// serialization + propagation; drop is informed of every dropped packet;
+// dup clones a packet for fault-injected duplication.
+func newLink(eng *sim.Engine, cfg LinkConfig, sink func(*Packet), drop func(*Packet, bool), dup func(*Packet) *Packet) *Link {
 	return &Link{
-		eng:   eng,
-		cap:   cfg.Capacity,
-		prop:  cfg.PropDelay,
-		buf:   cfg.BufferBytes,
-		ecn:   cfg.ECNThreshold,
-		codel: cfg.CoDel,
-		loss:  cfg.LossRate,
-		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x5f3759df)),
-		sink:  sink,
-		drop:  drop,
+		eng:    eng,
+		cap:    cfg.Capacity,
+		prop:   cfg.PropDelay,
+		buf:    cfg.BufferBytes,
+		ecn:    cfg.ECNThreshold,
+		codel:  cfg.CoDel,
+		loss:   cfg.LossRate,
+		faults: cfg.Faults,
+		rng:    rand.New(rand.NewSource(cfg.Seed ^ 0x5f3759df)),
+		sink:   sink,
+		drop:   drop,
+		dup:    dup,
 	}
 }
 
@@ -135,6 +146,28 @@ func (l *Link) sampleQueue(now time.Duration) {
 // Enqueue offers a packet to the link at the current virtual time.
 func (l *Link) Enqueue(p *Packet) {
 	now := l.eng.Now()
+	if l.faults != nil && !p.injected {
+		v := l.faults.Ingress(now, p.Seq, p.Size)
+		if v.Drop {
+			l.drops.Bytes += int64(p.Size)
+			if v.Reason == telemetry.ReasonBlackout {
+				l.drops.Blackout++
+			} else {
+				l.drops.Burst++
+			}
+			if l.traceOn {
+				l.emitDrop(p, v.Reason)
+			}
+			l.drop(p, true)
+			return
+		}
+		p.ExtraDelay = v.ExtraDelay
+		if v.Duplicate && l.dup != nil {
+			// Enqueue an independent copy behind the original; the
+			// injected flag stops it from re-entering the injector.
+			defer l.Enqueue(l.dup(p))
+		}
+	}
 	if l.loss > 0 && l.rng.Float64() < l.loss {
 		l.drops.Bytes += int64(p.Size)
 		l.drops.Channel++
@@ -207,6 +240,9 @@ func (l *Link) serveNext() {
 	}
 	p := l.queue[l.qhead]
 	rate := l.cap.RateAt(now)
+	if l.faults != nil {
+		rate *= l.faults.RateScale(now)
+	}
 	if rate < minLinkRate {
 		rate = minLinkRate
 	}
@@ -218,7 +254,7 @@ func (l *Link) serveNext() {
 		l.qByte -= p.Size
 		l.delivered += int64(p.Size)
 		pkt := p
-		l.eng.After(l.prop, func() { l.sink(pkt) })
+		l.eng.After(l.prop+pkt.ExtraDelay, func() { l.sink(pkt) })
 		l.serveNext()
 	})
 }

@@ -27,6 +27,11 @@ type Config struct {
 	// CoDel enables Controlled-Delay AQM at the bottleneck (RFC 8289
 	// defaults: 5 ms target, 100 ms interval).
 	CoDel bool
+	// Faults, when non-nil, composes adversarial link dynamics onto the
+	// bottleneck (see netem/faults): bursty loss, blackouts, reordering,
+	// duplication, delay jitter, and capacity flaps. The injector is
+	// bound to the network's engine and tracer at construction.
+	Faults FaultInjector
 	// MSS is the packet size (default 1500).
 	MSS int
 	// Seed drives all stochastic behaviour.
@@ -71,6 +76,13 @@ func New(cfg Config) *Network {
 	if cfg.CoDel {
 		cd = NewCoDel()
 	}
+	if cfg.Faults != nil {
+		t := cfg.Tracer
+		if !telemetry.Enabled(t) {
+			t = telemetry.Nop{}
+		}
+		cfg.Faults.Bind(eng, t)
+	}
 	n.link = newLink(eng, LinkConfig{
 		CoDel:        cd,
 		Capacity:     cfg.Capacity,
@@ -78,8 +90,9 @@ func New(cfg Config) *Network {
 		BufferBytes:  cfg.BufferBytes,
 		LossRate:     cfg.LossRate,
 		ECNThreshold: cfg.ECNThreshold,
+		Faults:       cfg.Faults,
 		Seed:         cfg.Seed,
-	}, n.deliver, n.dropped)
+	}, n.deliver, n.dropped, n.clonePacket)
 	if telemetry.Enabled(cfg.Tracer) {
 		n.link.SetTracer(cfg.Tracer)
 		every := cfg.QueueSampleInterval
@@ -117,6 +130,15 @@ func (n *Network) deliver(p *Packet) {
 
 func (n *Network) dropped(p *Packet, _ bool) {
 	n.pool.put(p)
+}
+
+// clonePacket duplicates a packet for fault-injected duplication; the
+// copy is marked injected so it bypasses the injector.
+func (n *Network) clonePacket(p *Packet) *Packet {
+	c := n.pool.get()
+	*c = *p
+	c.injected = true
+	return c
 }
 
 // AddFlow attaches a sender driven by ctrl, active on [start, stop).

@@ -26,6 +26,13 @@ type Packet struct {
 	// CE is set when the bottleneck marked the packet (ECN congestion
 	// experienced); the receiver echoes it on the ACK.
 	CE bool
+	// ExtraDelay is additional egress delay a fault injector imposed on
+	// this packet (jitter, reordering, delay spikes); it is applied on
+	// top of the propagation delay after serialization.
+	ExtraDelay time.Duration
+	// injected marks a duplicate created by a fault injector; injected
+	// copies bypass the injector so duplication cannot cascade.
+	injected bool
 }
 
 type packetPool struct {

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 )
 
@@ -23,22 +24,74 @@ func (m *MLP) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&s)
 }
 
-// Load reconstructs a network saved with Save.
+// maxLoadUnits bounds the total parameter count Load will accept
+// (1M weights ≈ 8 MB), so a corrupted size header cannot trigger an
+// absurd allocation.
+const maxLoadUnits = 1 << 20
+
+// Load reconstructs a network saved with Save. The snapshot is fully
+// validated before any network is built: the architecture must be a
+// sane MLP (≥ 2 layers, positive widths, bounded total size, known
+// activation), every weight block must match the shape the architecture
+// implies, and every weight must be finite.
 func Load(r io.Reader) (*MLP, error) {
 	var s snapshot
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("nn: load: %w", err)
 	}
+	if err := s.validate(); err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
 	m := NewMLP(rand.New(rand.NewSource(0)), s.Act, s.Sizes...)
 	params := m.Params()
-	if len(params) != len(s.Weights) {
-		return nil, fmt.Errorf("nn: load: %d weight blocks for %d params", len(s.Weights), len(params))
-	}
 	for i, p := range params {
-		if len(p.Data) != len(s.Weights[i]) {
-			return nil, fmt.Errorf("nn: load: block %d has %d values, want %d", i, len(s.Weights[i]), len(p.Data))
-		}
 		copy(p.Data, s.Weights[i])
 	}
 	return m, nil
+}
+
+// validate rejects snapshots that would panic NewMLP, mismatch the
+// declared architecture, or carry non-finite weights.
+func (s *snapshot) validate() error {
+	if len(s.Sizes) < 2 {
+		return fmt.Errorf("architecture needs at least 2 layers, got %d", len(s.Sizes))
+	}
+	total := 0
+	for i, n := range s.Sizes {
+		if n <= 0 {
+			return fmt.Errorf("layer %d has non-positive width %d", i, n)
+		}
+		if total += n; total > maxLoadUnits {
+			return fmt.Errorf("architecture %v exceeds the size bound", s.Sizes)
+		}
+	}
+	if s.Act != Tanh && s.Act != ReLU {
+		return fmt.Errorf("unknown activation %d", s.Act)
+	}
+	// Params order is W1,b1,W2,b2,...: layer i carries a
+	// sizes[i+1]×sizes[i] weight matrix and a sizes[i+1] bias vector.
+	nLayers := len(s.Sizes) - 1
+	if len(s.Weights) != 2*nLayers {
+		return fmt.Errorf("%d weight blocks for %d layers (want %d)", len(s.Weights), nLayers, 2*nLayers)
+	}
+	for i := 0; i < nLayers; i++ {
+		wantW := s.Sizes[i+1] * s.Sizes[i]
+		if wantW > maxLoadUnits {
+			return fmt.Errorf("layer %d weight matrix %dx%d exceeds the size bound", i, s.Sizes[i+1], s.Sizes[i])
+		}
+		if got := len(s.Weights[2*i]); got != wantW {
+			return fmt.Errorf("layer %d weights have %d values, want %dx%d=%d", i, got, s.Sizes[i+1], s.Sizes[i], wantW)
+		}
+		if got := len(s.Weights[2*i+1]); got != s.Sizes[i+1] {
+			return fmt.Errorf("layer %d biases have %d values, want %d", i, got, s.Sizes[i+1])
+		}
+	}
+	for bi, block := range s.Weights {
+		for vi, v := range block {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("block %d value %d is non-finite (%v)", bi, vi, v)
+			}
+		}
+	}
+	return nil
 }

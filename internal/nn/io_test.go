@@ -1,0 +1,123 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// encodeSnapshot builds a gob payload straight from the wire struct so
+// tests can craft snapshots Save would never produce.
+func encodeSnapshot(t *testing.T, s snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func validSnapshot() snapshot {
+	return snapshot{
+		Sizes: []int{2, 3, 1},
+		Act:   Tanh,
+		Weights: [][]float64{
+			make([]float64, 6), make([]float64, 3), // W1 (3x2), b1
+			make([]float64, 3), make([]float64, 1), // W2 (1x3), b2
+		},
+	}
+}
+
+func TestLoadValidSnapshot(t *testing.T) {
+	m, err := Load(bytes.NewReader(encodeSnapshot(t, validSnapshot())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Forward([]float64{1, 2}); len(got) != 1 {
+		t.Fatalf("forward returned %d outputs", len(got))
+	}
+}
+
+// TestLoadRejectsCorruptSnapshots covers every class of corruption the
+// validator must catch: each case must return a descriptive error —
+// never panic, never hand back a half-built network.
+func TestLoadRejectsCorruptSnapshots(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*snapshot)
+		errPart string
+	}{
+		{"too few layers", func(s *snapshot) { s.Sizes = []int{4} }, "at least 2 layers"},
+		{"zero width", func(s *snapshot) { s.Sizes[1] = 0 }, "non-positive width"},
+		{"negative width", func(s *snapshot) { s.Sizes[0] = -2 }, "non-positive width"},
+		{"absurd architecture", func(s *snapshot) { s.Sizes = []int{1 << 20, 1 << 20} }, "size bound"},
+		{"unknown activation", func(s *snapshot) { s.Act = Activation(99) }, "unknown activation"},
+		{"missing weight block", func(s *snapshot) { s.Weights = s.Weights[:3] }, "weight blocks"},
+		{"extra weight block", func(s *snapshot) { s.Weights = append(s.Weights, []float64{1}) }, "weight blocks"},
+		{"weight matrix shape", func(s *snapshot) { s.Weights[0] = make([]float64, 5) }, "weights have 5 values"},
+		{"bias shape", func(s *snapshot) { s.Weights[1] = make([]float64, 4) }, "biases have 4 values"},
+		{"NaN weight", func(s *snapshot) { s.Weights[2][1] = math.NaN() }, "non-finite"},
+		{"Inf weight", func(s *snapshot) { s.Weights[0][0] = math.Inf(-1) }, "non-finite"},
+		{"oversized weight matrix", func(s *snapshot) {
+			s.Sizes = []int{1 << 12, 1 << 12, 1}
+			// total widths pass the bound; the 2^24-entry W1 must not.
+		}, "size bound"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSnapshot()
+			tc.mutate(&s)
+			m, err := Load(bytes.NewReader(encodeSnapshot(t, s)))
+			if err == nil {
+				t.Fatalf("corrupted snapshot loaded: %+v", m.Sizes)
+			}
+			if !strings.Contains(err.Error(), tc.errPart) {
+				t.Fatalf("error %q does not mention %q", err, tc.errPart)
+			}
+		})
+	}
+}
+
+// TestLoadShippedModels regression-checks every model the repo ships:
+// each must load cleanly, and truncated or bit-flipped copies must fail
+// with an error rather than a panic or a silently wrong network.
+func TestLoadShippedModels(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "models", "*.model"))
+	if err != nil || len(paths) == 0 {
+		t.Skipf("no shipped models found: %v", err)
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := Load(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("shipped model fails to load: %v", err)
+			}
+			if len(m.Sizes) < 2 {
+				t.Fatalf("degenerate architecture %v", m.Sizes)
+			}
+			// Truncation at several depths must be detected.
+			for _, frac := range []int{2, 4, 10} {
+				cut := raw[:len(raw)/frac]
+				if _, err := Load(bytes.NewReader(cut)); err == nil {
+					t.Fatalf("truncated to 1/%d loaded without error", frac)
+				}
+			}
+			// Bit flips anywhere must never panic (errors are fine, and
+			// gob's self-describing framing catches nearly all of them).
+			for _, pos := range []int{0, len(raw) / 3, len(raw) / 2, len(raw) - 1} {
+				flipped := append([]byte(nil), raw...)
+				flipped[pos] ^= 0xff
+				Load(bytes.NewReader(flipped)) // must not panic
+			}
+		})
+	}
+}

@@ -139,6 +139,8 @@ type Controller struct {
 	xMax float64 // max throughput seen, bytes/sec
 	dMin float64 // min delay seen, seconds
 
+	sanitized int64 // non-finite features/actions replaced (see Sanitized)
+
 	prevReward    float64
 	haveReward    bool
 	lastReward    float64 // exported for telemetry
@@ -285,10 +287,16 @@ func (r *Controller) OnTick(now time.Duration) time.Duration {
 	}
 
 	// Build the next state: shift history, append normalised features.
+	// Non-finite features are zeroed before they can poison the running
+	// normaliser or the policy (degenerate intervals under injected
+	// faults can produce them).
 	r.featBuf = r.ext.Extract(iv, r.rate, r.cfg.CC.MSS, r.featBuf[:0])
+	r.sanitized += int64(sanitize(r.featBuf))
 	r.norm.Observe(r.featBuf)
 	copy(r.stateBuf, r.stateBuf[r.width:])
-	r.norm.Normalize(r.featBuf, r.stateBuf[len(r.stateBuf)-r.width:])
+	tail := r.stateBuf[len(r.stateBuf)-r.width:]
+	r.norm.Normalize(r.featBuf, tail)
+	r.sanitized += int64(sanitize(tail))
 
 	// Act.
 	var act []float64
@@ -298,7 +306,14 @@ func (r *Controller) OnTick(now time.Duration) time.Duration {
 	} else {
 		act, logp, val = r.agent.Act(r.stateBuf)
 	}
-	a := clamp(act[0], -1, 1) * r.cfg.Scale
+	// A non-finite action holds the current rate instead of corrupting
+	// it through applyAction's multiplicative update.
+	a := 0.0
+	if len(act) > 0 && !math.IsNaN(act[0]) && !math.IsInf(act[0], 0) {
+		a = clamp(act[0], -1, 1) * r.cfg.Scale
+	} else {
+		r.sanitized++
+	}
 	r.applyAction(a)
 	r.decisions++
 	if r.traceOn {
@@ -335,6 +350,23 @@ func (r *Controller) emitAction(now time.Duration, a, rew float64) {
 		Action: a, Rate: r.rate, Reward: rew, FMin: fmin, FMean: fmean, FMax: fmax}
 	r.tracer.Emit(&r.evBuf)
 }
+
+// sanitize zeroes non-finite entries in buf and returns how many were
+// replaced.
+func sanitize(buf []float64) int {
+	n := 0
+	for i, v := range buf {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			buf[i] = 0
+			n++
+		}
+	}
+	return n
+}
+
+// Sanitized returns how many non-finite features and actions the
+// inference guards have replaced so far (0 in healthy operation).
+func (r *Controller) Sanitized() int64 { return r.sanitized }
 
 func clamp(v, lo, hi float64) float64 {
 	if v < lo {

@@ -48,6 +48,12 @@ const (
 	// TypeAction is one RL monitor-interval decision (Action, the new
 	// Rate, the per-MI Reward, and a min/mean/max feature summary).
 	TypeAction Type = "action"
+	// TypeFault is a fault-injection event at the bottleneck: window
+	// boundaries (Reason "blackout_start"/"blackout_end",
+	// "flap_start"/"flap_end", with Rate carrying the flap's capacity
+	// factor) and per-packet mutations (Reason "reorder", "dup",
+	// "spike", with Queue carrying the extra delay in nanoseconds).
+	TypeFault Type = "fault"
 )
 
 // Drop reasons carried by TypeDrop events.
@@ -55,6 +61,21 @@ const (
 	ReasonTail    = "tail"
 	ReasonChannel = "channel"
 	ReasonAQM     = "aqm"
+	// ReasonBlackout tags drops inflicted by an injected link outage;
+	// ReasonBurst tags drops from the Gilbert-Elliott bursty-loss chain.
+	ReasonBlackout = "blackout"
+	ReasonBurst    = "burst"
+)
+
+// Fault-window reasons carried by TypeFault events.
+const (
+	FaultBlackoutStart = "blackout_start"
+	FaultBlackoutEnd   = "blackout_end"
+	FaultFlapStart     = "flap_start"
+	FaultFlapEnd       = "flap_end"
+	FaultReorder       = "reorder"
+	FaultDup           = "dup"
+	FaultSpike         = "spike"
 )
 
 // Event is one timestamped telemetry record. It is a flat union: every

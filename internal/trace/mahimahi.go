@@ -14,6 +14,11 @@ import (
 // represents (one full-size Ethernet frame).
 const mahimahiMTU = 1500
 
+// maxTraceMs bounds the horizon a Mahimahi trace may cover (24 simulated
+// hours). A single absurd timestamp would otherwise size the bin array
+// from attacker-controlled input.
+const maxTraceMs = 24 * 60 * 60 * 1000
+
 // ParseMahimahi reads a Mahimahi link trace: one integer per line, each
 // the millisecond timestamp of a delivery opportunity for one 1500-byte
 // packet. The result is a Sampled trace binned at 100 ms granularity.
@@ -34,6 +39,9 @@ func ParseMahimahi(r io.Reader) (*Sampled, error) {
 		}
 		if ms < 0 {
 			return nil, fmt.Errorf("mahimahi trace line %d: negative timestamp %d", line, ms)
+		}
+		if ms > maxTraceMs {
+			return nil, fmt.Errorf("mahimahi trace line %d: timestamp %d ms beyond the %d ms horizon", line, ms, int64(maxTraceMs))
 		}
 		stamps = append(stamps, ms)
 	}

@@ -9,6 +9,7 @@ package trace
 
 import (
 	"fmt"
+	"strings"
 	"time"
 )
 
@@ -62,6 +63,35 @@ func (s *Step) RateAt(t time.Duration) float64 {
 // Duration implements Trace.
 func (s *Step) Duration() time.Duration {
 	return s.Period * time.Duration(len(s.Levels))
+}
+
+// ParseStep builds a Step trace from the CLI payload
+// "periodSec,MbpsL1,MbpsL2,...". Both libra-sim (-trace step:...) and
+// libra-trace (-gen step:...) accept this form.
+func ParseStep(payload string) (*Step, error) {
+	fields := strings.Split(payload, ",")
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("step trace needs periodSec,L1,L2,...")
+	}
+	var period float64
+	if _, err := fmt.Sscanf(fields[0], "%g", &period); err != nil {
+		return nil, fmt.Errorf("bad step period %q", fields[0])
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("step period must be positive, got %g", period)
+	}
+	levels := make([]float64, 0, len(fields)-1)
+	for _, f := range fields[1:] {
+		var m float64
+		if _, err := fmt.Sscanf(f, "%g", &m); err != nil {
+			return nil, fmt.Errorf("bad step level %q", f)
+		}
+		if m < 0 {
+			return nil, fmt.Errorf("step level must be non-negative, got %g", m)
+		}
+		levels = append(levels, Mbps(m))
+	}
+	return &Step{Period: time.Duration(period * float64(time.Second)), Levels: levels}, nil
 }
 
 // Piecewise holds capacity constant between breakpoints. Points must be

@@ -246,3 +246,21 @@ func TestSampledScale(t *testing.T) {
 		t.Fatal("scale should copy, not mutate")
 	}
 }
+
+func TestParseStep(t *testing.T) {
+	st, err := ParseStep("10,24,48")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Period != 10*time.Second || len(st.Levels) != 2 {
+		t.Fatalf("parsed %+v", st)
+	}
+	if st.RateAt(15*time.Second) != Mbps(48) {
+		t.Fatalf("second level not honoured: %v", st.RateAt(15*time.Second))
+	}
+	for _, bad := range []string{"", "10", "0,24", "-5,24", "10,-3", "x,24", "10,y"} {
+		if _, err := ParseStep(bad); err == nil {
+			t.Errorf("ParseStep(%q) accepted invalid input", bad)
+		}
+	}
+}

@@ -169,9 +169,13 @@ func ToMbps(v float64) float64 { return trace.ToMbps(v) }
 // reno, vegas, copa, sprout, vivace, proteus, remy, indigo, aurora,
 // orca, mod-rl, westwood, illinois, dctcp, or the Libra variants
 // c-libra, b-libra, cl-libra, w-libra, i-libra, d-libra (see
-// Baselines for the authoritative list).
+// Baselines for the authoritative list). Unknown names return nil.
 func Baseline(name string, seed int64) Controller {
-	return exp.MakerFor(name, nil, nil)(seed)
+	mk, err := exp.MakerFor(name, nil, nil)
+	if err != nil {
+		return nil
+	}
+	return mk(seed)
 }
 
 // Baselines lists the available comparison CCAs.

@@ -9,4 +9,10 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+# Fault-injection paths again under the race detector with full (non
+# -short) sweeps, then a short fuzz pass over the two external-input
+# parsers (the Mahimahi trace reader and the FaultPlan JSON decoder).
+go test -race -count=1 ./internal/netem/faults/ ./internal/integration/
+go test -run=NONE -fuzz=FuzzParseMahimahi -fuzztime=10s ./internal/trace/
+go test -run=NONE -fuzz=FuzzParsePlan -fuzztime=10s ./internal/netem/faults/
 TELEMETRY_BENCH_GUARD=1 go test ./internal/telemetry/ -run TestNopTracerBudget -count=1 -v
