@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench-guard check clean
+.PHONY: all build vet test race fuzz bench-guard bench-sweep check clean
 
 all: check
 
@@ -24,13 +24,20 @@ race:
 bench-guard:
 	TELEMETRY_BENCH_GUARD=1 $(GO) test ./internal/telemetry/ -run TestNopTracerBudget -count=1 -v
 
+# Sweep-engine wall-clock: times a fixed classic-CCA suite at
+# workers=1 vs workers=GOMAXPROCS and records serial/parallel seconds
+# (and the core count) into BENCH_sweep.json. Run in isolation for the
+# same reason as bench-guard.
+bench-sweep:
+	BENCH_SWEEP=1 $(GO) test ./internal/exp/ -run TestBenchSweep -count=1 -v
+
 # Short fuzz pass over the two parsers that accept external input: the
 # Mahimahi trace reader and the FaultPlan JSON decoder.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParseMahimahi -fuzztime=10s ./internal/trace/
 	$(GO) test -run=NONE -fuzz=FuzzParsePlan -fuzztime=10s ./internal/netem/faults/
 
-check: vet build race fuzz bench-guard
+check: vet build race fuzz bench-guard bench-sweep
 
 clean:
 	$(GO) clean ./...

@@ -35,7 +35,10 @@ func runExp(b *testing.B, id string) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep := e.Run(exp.RunConfig{Quick: true, Seed: int64(i + 1), Agents: benchAgents})
+		rc := exp.NewRunContext(int64(i + 1))
+		rc.Quick = true
+		rc.Agents = benchAgents
+		rep := e.Run(rc)
 		if len(rep.Tables) == 0 {
 			b.Fatalf("%s produced no tables", id)
 		}

@@ -3,12 +3,12 @@
 // Usage:
 //
 //	libra-bench -list
-//	libra-bench -run fig1,fig7 [-quick] [-seed 1] [-models dir]
+//	libra-bench -run fig1,fig7 [-quick] [-seed 1] [-models dir] [-parallel 8]
 //	libra-bench -all -quick
 //
 // Each experiment prints the rows/series the corresponding paper
 // artifact plots; EXPERIMENTS.md records the paper-vs-measured
-// comparison.
+// comparison. Reports are byte-identical at any -parallel setting.
 package main
 
 import (
@@ -36,6 +36,7 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file after the runs")
 		metricsFmt = flag.String("metrics-format", "auto", "metrics snapshot format: auto|json|prom")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address")
+		parallel   = cliutil.ParallelFlag()
 	)
 	flag.Parse()
 
@@ -64,25 +65,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	exp.SetFaultPlan(plan)
 
-	cliutil.StartPprof(*pprofAddr, exp.MetricsRegistry())
 	tracer, closeTracer, err := cliutil.OpenTracer(*traceOut)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	exp.SetTracer(tracer)
 
-	cfg := exp.RunConfig{Quick: *quick, Seed: *seed}
+	rc := exp.NewRunContext(*seed)
+	rc.Quick = *quick
+	rc.Workers = *parallel
+	rc.FaultPlan = plan
+	rc.Tracer = tracer
 	if *models != "" {
 		set, err := exp.LoadAgentSet(*models, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "load models: %v\n", err)
 			os.Exit(1)
 		}
-		cfg.Agents = set
+		rc.Agents = set
 	}
+	rc.WithDefaults()
+
+	cliutil.StartPprof(*pprofAddr, rc.Metrics)
 
 	for _, id := range ids {
 		e, ok := exp.Get(strings.TrimSpace(id))
@@ -91,7 +96,7 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
-		rep := e.Run(cfg)
+		rep := e.Run(rc)
 		fmt.Print(rep.String())
 		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 	}
@@ -100,7 +105,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
 		os.Exit(1)
 	}
-	if err := cliutil.WriteMetrics(exp.MetricsRegistry(), *metricsOut, *metricsFmt); err != nil {
+	if err := cliutil.WriteMetrics(rc.Metrics, *metricsOut, *metricsFmt); err != nil {
 		fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
 		os.Exit(1)
 	}

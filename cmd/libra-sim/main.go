@@ -7,6 +7,7 @@
 //	libra-sim -cca b-libra -trace lte:driving -loss 0.01
 //	libra-sim -cca c-libra -trace lte:walking -trace-out events.jsonl \
 //	          -metrics-out metrics.prom -pprof localhost:6060
+//	libra-sim -cca c-libra -reps 8 -parallel 4   # seed sweep
 package main
 
 import (
@@ -20,7 +21,6 @@ import (
 	"libra/internal/exp"
 	"libra/internal/netem"
 	"libra/internal/netem/faults"
-	"libra/internal/telemetry"
 	"libra/internal/trace"
 )
 
@@ -34,101 +34,152 @@ func main() {
 		loss       = flag.Float64("loss", 0, "iid stochastic loss probability")
 		dur        = flag.Duration("dur", 30*time.Second, "simulated duration")
 		seed       = flag.Int64("seed", 1, "random seed")
+		reps       = flag.Int("reps", 1, "repeat the run this many times with derived seeds")
 		faultSpec  = flag.String("fault", "", "fault plan: a preset name ("+strings.Join(faults.PresetNames(), "|")+") or a JSON plan file")
 		traceOut   = flag.String("trace-out", "", "write a JSONL telemetry event stream to this file")
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file after the run")
 		metricsFmt = flag.String("metrics-format", "auto", "metrics snapshot format: auto|json|prom")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address")
+		parallel   = cliutil.ParallelFlag()
 	)
 	flag.Parse()
-
-	capacity, err := buildTrace(*traceSpec, *capMbps, *dur, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
 
 	plan, err := faults.Load(*faultSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	var inj netem.FaultInjector
-	if !plan.Empty() {
-		fi, err := faults.New(plan, *seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		inj = fi
-	}
 
-	cliutil.StartPprof(*pprofAddr, exp.MetricsRegistry())
 	tracer, closeTracer, err := cliutil.OpenTracer(*traceOut)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	n := netem.New(netem.Config{
-		Capacity:     capacity,
-		MinRTT:       *rtt,
-		BufferBytes:  *buffer,
-		LossRate:     *loss,
-		Faults:       inj,
-		Seed:         *seed,
-		RecordSeries: true,
-		SeriesBucket: time.Second,
-		Tracer:       tracer,
-	})
+	rc := exp.NewRunContext(*seed)
+	rc.Workers = *parallel
+	rc.Tracer = tracer
+	rc.WithDefaults()
+	cliutil.StartPprof(*pprofAddr, rc.Metrics)
+
 	names := strings.Split(*ccas, ",")
-	flows := make([]*netem.Flow, len(names))
 	for i, name := range names {
-		mk, err := exp.MakerFor(strings.TrimSpace(name), nil, nil)
+		names[i] = strings.TrimSpace(name)
+		if _, err := exp.MakerFor(names[i], nil, nil); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	// One rep = one emulated run; its capacity trace, fault schedule and
+	// controllers all derive from the rep's seed so a -reps sweep explores
+	// genuinely different channels.
+	type flowSummary struct {
+		thrMbps, lossRate float64
+		rtt               time.Duration
+	}
+	type repResult struct {
+		flows []flowSummary
+		util  float64
+		drops netem.DropStats
+	}
+	runOnce := func(jc *exp.RunContext, verbose bool) repResult {
+		capacity, err := buildTrace(*traceSpec, *capMbps, *dur, jc.Seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		ctrl := mk(*seed + int64(i)*31)
-		if tb, ok := ctrl.(telemetry.Traceable); ok && telemetry.Enabled(tracer) {
-			tb.SetTracer(tracer, i)
+		var inj netem.FaultInjector
+		if !plan.Empty() {
+			fi, err := faults.New(plan, jc.Seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			inj = fi
 		}
-		flows[i] = n.AddFlow(ctrl, 0, 0)
-	}
-	n.Run(*dur)
-	exp.ObserveLink(n, *dur)
+		n := netem.New(netem.Config{
+			Capacity:     capacity,
+			MinRTT:       *rtt,
+			BufferBytes:  *buffer,
+			LossRate:     *loss,
+			Faults:       inj,
+			Seed:         jc.Seed,
+			RecordSeries: true,
+			SeriesBucket: time.Second,
+			Tracer:       jc.Tracer,
+		})
+		flows := make([]*netem.Flow, len(names))
+		for i, name := range names {
+			mk, _ := exp.MakerFor(name, nil, nil)
+			ctrl := mk(jc.Seed + int64(i)*31)
+			jc.AttachTracer(ctrl, i)
+			flows[i] = n.AddFlow(ctrl, 0, 0)
+		}
+		n.Run(*dur)
+		jc.ObserveLink(n, *dur)
 
-	fmt.Printf("%-6s %-9s", "t(s)", "cap(Mbps)")
-	for _, name := range names {
-		fmt.Printf("  %-18s", name+" thr/delay")
-	}
-	fmt.Println()
-	for t := 0; t < int(*dur/time.Second); t++ {
-		at := time.Duration(t) * time.Second
-		fmt.Printf("%-6d %-9.1f", t, trace.ToMbps(capacity.RateAt(at)))
+		if verbose {
+			fmt.Printf("%-6s %-9s", "t(s)", "cap(Mbps)")
+			for _, name := range names {
+				fmt.Printf("  %-18s", name+" thr/delay")
+			}
+			fmt.Println()
+			for t := 0; t < int(*dur/time.Second); t++ {
+				at := time.Duration(t) * time.Second
+				fmt.Printf("%-6d %-9.1f", t, trace.ToMbps(capacity.RateAt(at)))
+				for _, f := range flows {
+					fmt.Printf("  %6.2f / %-6.0fms ", trace.ToMbps(f.Stats.Throughput.Rate(t)), f.Stats.Delay.Mean(t))
+				}
+				fmt.Println()
+			}
+			fmt.Println()
+		}
+
+		res := repResult{util: n.Utilization(*dur), drops: n.Link().DropStats()}
 		for _, f := range flows {
-			fmt.Printf("  %6.2f / %-6.0fms ", trace.ToMbps(f.Stats.Throughput.Rate(t)), f.Stats.Delay.Mean(t))
+			m := jc.Observe(n, f, *dur)
+			res.flows = append(res.flows, flowSummary{
+				thrMbps: m.ThrMbps, lossRate: m.LossRate, rtt: f.Stats.AvgRTT(),
+			})
+		}
+		return res
+	}
+
+	if *reps <= 1 {
+		res := runOnce(rc, true)
+		for i, fs := range res.flows {
+			fmt.Printf("%-10s avg %.2f Mbps, avg RTT %v, loss %.3f%%\n",
+				names[i], fs.thrMbps, fs.rtt.Round(time.Millisecond), fs.lossRate*100)
+		}
+		fmt.Printf("link utilisation: %.3f\n", res.util)
+		if ds := res.drops; ds.Total() > 0 {
+			fmt.Printf("drops: %d tail, %d channel, %d aqm, %d blackout, %d burst (%d bytes)\n",
+				ds.Tail, ds.Channel, ds.AQM, ds.Blackout, ds.Burst, ds.Bytes)
+		}
+	} else {
+		results := exp.Sweep(rc, *reps, func(jc *exp.RunContext, _ int) repResult {
+			return runOnce(jc, false)
+		})
+		fmt.Printf("%-6s %-9s", "rep", "util")
+		for _, name := range names {
+			fmt.Printf("  %-22s", name+" thr/rtt/loss")
 		}
 		fmt.Println()
-	}
-	fmt.Println()
-	for i, f := range flows {
-		m := exp.Observe(n, f, *dur)
-		fmt.Printf("%-10s avg %.2f Mbps, avg RTT %v, loss %.3f%%\n",
-			names[i], m.ThrMbps, f.Stats.AvgRTT().Round(time.Millisecond), m.LossRate*100)
-	}
-	fmt.Printf("link utilisation: %.3f\n", n.Utilization(*dur))
-	ds := n.Link().DropStats()
-	if ds.Total() > 0 {
-		fmt.Printf("drops: %d tail, %d channel, %d aqm, %d blackout, %d burst (%d bytes)\n",
-			ds.Tail, ds.Channel, ds.AQM, ds.Blackout, ds.Burst, ds.Bytes)
+		for r, res := range results {
+			fmt.Printf("%-6d %-9.3f", r, res.util)
+			for _, fs := range res.flows {
+				fmt.Printf("  %6.2f / %5v / %.3f%%", fs.thrMbps, fs.rtt.Round(time.Millisecond), fs.lossRate*100)
+			}
+			fmt.Println()
+		}
 	}
 
 	if err := closeTracer(); err != nil {
 		fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
 		os.Exit(1)
 	}
-	if err := cliutil.WriteMetrics(exp.MetricsRegistry(), *metricsOut, *metricsFmt); err != nil {
+	if err := cliutil.WriteMetrics(rc.Metrics, *metricsOut, *metricsFmt); err != nil {
 		fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
 		os.Exit(1)
 	}

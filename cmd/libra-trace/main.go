@@ -6,9 +6,11 @@
 //
 //	libra-trace -gen lte:driving -dur 60s -o driving.mahi
 //	libra-trace -inspect driving.mahi
+//	libra-trace -inspect 'a.mahi,b.mahi,c.mahi' -parallel 4
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -16,28 +18,53 @@ import (
 	"strings"
 	"time"
 
+	"libra/internal/cliutil"
+	"libra/internal/sweep"
 	"libra/internal/trace"
 )
 
 func main() {
 	var (
-		gen     = flag.String("gen", "", "generate: lte:stationary|walking|driving|tour, const:<Mbps>, step:<P,L1,L2,..>")
-		dur     = flag.Duration("dur", 60*time.Second, "trace duration")
-		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("o", "", "output file (Mahimahi format; default stdout)")
-		inspect = flag.String("inspect", "", "parse a Mahimahi trace and print statistics")
+		gen      = flag.String("gen", "", "generate: lte:stationary|walking|driving|tour, const:<Mbps>, step:<P,L1,L2,..>")
+		dur      = flag.Duration("dur", 60*time.Second, "trace duration")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("o", "", "output file (Mahimahi format; default stdout)")
+		inspect  = flag.String("inspect", "", "parse Mahimahi traces (comma-separated) and print statistics")
+		parallel = cliutil.ParallelFlag()
 	)
 	flag.Parse()
 
 	switch {
 	case *inspect != "":
-		f, err := os.Open(*inspect)
-		if err != nil {
-			fatal(err)
+		// Inspect every file concurrently; outputs are buffered per file
+		// and printed in argument order, so the report is identical at
+		// any -parallel setting.
+		paths := strings.Split(*inspect, ",")
+		type result struct {
+			out []byte
+			err error
 		}
-		defer f.Close()
-		if err := inspectTrace(f, *inspect, os.Stdout); err != nil {
-			fatal(err)
+		results := sweep.Map(sweep.Workers(*parallel), len(paths), func(i int) result {
+			path := strings.TrimSpace(paths[i])
+			f, err := os.Open(path)
+			if err != nil {
+				return result{err: err}
+			}
+			defer f.Close()
+			var buf bytes.Buffer
+			if len(paths) > 1 {
+				fmt.Fprintf(&buf, "%s:\n", path)
+			}
+			if err := inspectTrace(f, path, &buf); err != nil {
+				return result{err: err}
+			}
+			return result{out: buf.Bytes()}
+		})
+		for _, r := range results {
+			if r.err != nil {
+				fatal(r.err)
+			}
+			os.Stdout.Write(r.out)
 		}
 	case *gen != "":
 		var tr trace.Trace

@@ -30,15 +30,20 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file after training")
 		metricsFmt = flag.String("metrics-format", "auto", "metrics snapshot format: auto|json|prom")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address")
+		parallel   = cliutil.ParallelFlag()
 	)
 	flag.Parse()
 
-	cliutil.StartPprof(*pprofAddr, exp.MetricsRegistry())
+	rc := exp.NewRunContext(*seed)
+	rc.Workers = *parallel
+	rc.WithDefaults()
+	cliutil.StartPprof(*pprofAddr, rc.Metrics)
 
 	spec := exp.QuickTrainSpec(*seed)
 	if *paper {
 		spec = exp.FullTrainSpec(*seed)
 	}
+	spec.Workers = rc.Workers
 	if *episodes > 0 {
 		spec.Episodes = *episodes
 	}
@@ -84,7 +89,7 @@ func main() {
 	}
 	fmt.Printf("saved models to %s (use: libra-bench -models %s)\n", *out, *out)
 
-	if err := cliutil.WriteMetrics(exp.MetricsRegistry(), *metricsOut, *metricsFmt); err != nil {
+	if err := cliutil.WriteMetrics(rc.Metrics, *metricsOut, *metricsFmt); err != nil {
 		fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
 		os.Exit(1)
 	}

@@ -4,6 +4,7 @@
 package cliutil
 
 import (
+	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
@@ -73,4 +74,10 @@ func StartPprof(addr string, reg *telemetry.Registry) {
 			fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
 		}
 	}()
+}
+
+// ParallelFlag registers the shared -parallel flag: the worker count
+// for sweep-based execution. 0 (the default) means GOMAXPROCS.
+func ParallelFlag() *int {
+	return flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS)")
 }

@@ -54,71 +54,88 @@ func libraVariant(ag *AgentSet, mutate func(*core.Config)) Maker {
 	}
 }
 
-func runAblOrder(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runAblOrder(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 40 * time.Second
 	reps := 3
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 12 * time.Second
 		reps = 1
 	}
-	ag := cfg.agents()
-	scens := append(WiredScenarios(dur, 24, 48), LTEScenarios(dur, cfg.Seed)[:2]...)
-
-	tbl := Table{Name: "evaluation ordering", Cols: []string{"order", "avg util", "avg delay(ms)", "avg loss"}}
-	for _, ord := range []struct {
+	scens := append(WiredScenarios(dur, 24, 48), LTEScenarios(dur, rc.Seed)[:2]...)
+	orders := []struct {
 		name   string
 		higher bool
-	}{{"lower-rate-first (paper)", false}, {"higher-rate-first (ablated)", true}} {
-		mk := libraVariant(ag, func(c *core.Config) { c.HigherRateFirst = ord.higher })
+	}{{"lower-rate-first (paper)", false}, {"higher-rate-first (ablated)", true}}
+
+	ms := Sweep(rc, len(orders)*len(scens)*reps, func(jc *RunContext, i int) Metrics {
+		oi := i / (len(scens) * reps)
+		si := i / reps % len(scens)
+		mk := libraVariant(jc.agents(), func(c *core.Config) { c.HigherRateFirst = orders[oi].higher })
+		return jc.RunFlow(scens[si], mk, 0)
+	})
+
+	tbl := Table{Name: "evaluation ordering", Cols: []string{"order", "avg util", "avg delay(ms)", "avg loss"}}
+	for oi, ord := range orders {
 		var u, d, lo float64
-		n := 0
-		for si, s := range scens {
-			for r := 0; r < reps; r++ {
-				m := RunFlow(s, mk, cfg.Seed+int64(si*reps+r)*59, 0)
-				u += m.Util
-				d += m.DelayMs
-				lo += m.LossRate
-				n++
-			}
+		n := len(scens) * reps
+		for k := 0; k < n; k++ {
+			m := ms[oi*n+k]
+			u += m.Util
+			d += m.DelayMs
+			lo += m.LossRate
 		}
 		tbl.AddRow(ord.name, fmtF(u/float64(n), 3), fmtF(d/float64(n), 0), fmtF(lo/float64(n), 4))
 	}
 	return &Report{ID: "abl-order", Title: "Evaluation-order ablation", Tables: []Table{tbl}}
 }
 
-func runAblClassics(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runAblClassics(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 40 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 12 * time.Second
 	}
-	ag := cfg.agents()
-	scens := append(WiredScenarios(dur, 24, 48), LTEScenarios(dur, cfg.Seed)[:2]...)
+	scens := append(WiredScenarios(dur, 24, 48), LTEScenarios(dur, rc.Seed)[:2]...)
 
+	// Makers are built inside jobs, so each variant is a factory over the
+	// job's agent set.
 	variants := []struct {
 		name string
-		mk   Maker
+		mk   func(ag *AgentSet) Maker
 	}{
-		{"c-libra (CUBIC)", mustMaker("c-libra", ag, nil)},
-		{"w-libra (Westwood)", libraVariant(ag, func(c *core.Config) {
-			c.Classic = core.NewWindowAdapter(westwood.New(c.CC))
-			c.Name = "w-libra"
-		})},
-		{"i-libra (Illinois)", libraVariant(ag, func(c *core.Config) {
-			c.Classic = core.NewWindowAdapter(illinois.New(c.CC))
-			c.Name = "i-libra"
-		})},
-		{"cubic alone", mustMaker("cubic", ag, nil)},
-		{"westwood alone", func(seed int64) cc.Controller { return westwood.New(cc.Config{Seed: seed}) }},
-		{"illinois alone", func(seed int64) cc.Controller { return illinois.New(cc.Config{Seed: seed}) }},
+		{"c-libra (CUBIC)", func(ag *AgentSet) Maker { return mustMaker("c-libra", ag, nil) }},
+		{"w-libra (Westwood)", func(ag *AgentSet) Maker {
+			return libraVariant(ag, func(c *core.Config) {
+				c.Classic = core.NewWindowAdapter(westwood.New(c.CC))
+				c.Name = "w-libra"
+			})
+		}},
+		{"i-libra (Illinois)", func(ag *AgentSet) Maker {
+			return libraVariant(ag, func(c *core.Config) {
+				c.Classic = core.NewWindowAdapter(illinois.New(c.CC))
+				c.Name = "i-libra"
+			})
+		}},
+		{"cubic alone", func(ag *AgentSet) Maker { return mustMaker("cubic", ag, nil) }},
+		{"westwood alone", func(ag *AgentSet) Maker {
+			return func(seed int64) cc.Controller { return westwood.New(cc.Config{Seed: seed}) }
+		}},
+		{"illinois alone", func(ag *AgentSet) Maker {
+			return func(seed int64) cc.Controller { return illinois.New(cc.Config{Seed: seed}) }
+		}},
 	}
+
+	ms := Sweep(rc, len(variants)*len(scens), func(jc *RunContext, i int) Metrics {
+		return jc.RunFlow(scens[i%len(scens)], variants[i/len(scens)].mk(jc.agents()), 0)
+	})
+
 	tbl := Table{Name: "Libra over different classic CCAs (avg of 4 scenarios)",
 		Cols: []string{"variant", "util", "avg delay(ms)", "loss"}}
-	for _, v := range variants {
+	for vi, v := range variants {
 		var u, d, lo float64
-		for si, s := range scens {
-			m := RunFlow(s, v.mk, cfg.Seed+int64(si)*61, 0)
+		for si := range scens {
+			m := ms[vi*len(scens)+si]
 			u += m.Util
 			d += m.DelayMs
 			lo += m.LossRate
@@ -129,13 +146,12 @@ func runAblClassics(cfg RunConfig) *Report {
 	return &Report{ID: "abl-classics", Title: "Classic-CCA generality", Tables: []Table{tbl}}
 }
 
-func runSec7(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runSec7(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 40 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 15 * time.Second
 	}
-	ag := cfg.agents()
 	ccas := []string{"c-libra", "b-libra", "cubic", "bbr", "proteus", "orca"}
 
 	// Satellite: geostationary-class RTT with stochastic loss.
@@ -156,14 +172,20 @@ func runSec7(cfg RunConfig) *Report {
 		Buffer:   2_000_000,
 		Duration: dur,
 	}
-	mkTable := func(s Scenario) Table {
+	scens := []Scenario{sat, fiveG}
+
+	ms := Sweep(rc, len(scens)*len(ccas), func(jc *RunContext, i int) Metrics {
+		return jc.RunFlow(scens[i/len(ccas)], mustMaker(ccas[i%len(ccas)], jc.agents(), nil), 0)
+	})
+
+	var tables []Table
+	for si, s := range scens {
 		tbl := Table{Name: s.Name, Cols: []string{"cca", "util", "avg delay(ms)", "loss"}}
-		for _, name := range ccas {
-			m := RunFlow(s, mustMaker(name, ag, nil), cfg.Seed, 0)
+		for ci, name := range ccas {
+			m := ms[si*len(ccas)+ci]
 			tbl.AddRow(name, fmtF(m.Util, 3), fmtF(m.DelayMs, 0), fmtF(m.LossRate, 4))
 		}
-		return tbl
+		tables = append(tables, tbl)
 	}
-	return &Report{ID: "sec7-networks", Title: "Satellite and 5G scenarios",
-		Tables: []Table{mkTable(sat), mkTable(fiveG)}}
+	return &Report{ID: "sec7-networks", Title: "Satellite and 5G scenarios", Tables: tables}
 }

@@ -11,6 +11,7 @@ import (
 	"libra/internal/nn"
 	"libra/internal/rl"
 	"libra/internal/rlcc"
+	"libra/internal/sweep"
 )
 
 // AgentSet bundles the trained PPO policies the learning-based CCAs
@@ -30,12 +31,49 @@ type AgentSet struct {
 	LibraNorm, OrcaNorm, AuroraNorm, ModRLNorm *rl.RunningNorm
 }
 
+// Clone deep-copies the set for concurrent use: policy/critic weights
+// and normaliser statistics are copied, and each agent's sampling RNG
+// is reseeded from a sub-seed of seed. Learning CCAs mutate their
+// normaliser and draw from the policy RNG at inference time, so sweep
+// jobs must never share one set; a nil set clones to nil.
+func (a *AgentSet) Clone(seed int64) *AgentSet {
+	if a == nil {
+		return nil
+	}
+	cp := func(p *rl.PPO, off int) *rl.PPO {
+		if p == nil {
+			return nil
+		}
+		return p.Clone(sweep.SubSeed(seed, off))
+	}
+	cn := func(n *rl.RunningNorm) *rl.RunningNorm {
+		if n == nil {
+			return nil
+		}
+		return n.Clone()
+	}
+	return &AgentSet{
+		LibraRL:    cp(a.LibraRL, 1),
+		Orca:       cp(a.Orca, 2),
+		Aurora:     cp(a.Aurora, 3),
+		ModRL:      cp(a.ModRL, 4),
+		LibraNorm:  cn(a.LibraNorm),
+		OrcaNorm:   cn(a.OrcaNorm),
+		AuroraNorm: cn(a.AuroraNorm),
+		ModRLNorm:  cn(a.ModRLNorm),
+	}
+}
+
 // TrainSpec parameterises TrainAgentSet.
 type TrainSpec struct {
 	Seed       int64
 	Episodes   int
 	EpisodeLen time.Duration
 	Env        rlcc.EnvRange
+	// Workers bounds how many of the four policies train concurrently;
+	// 0 means GOMAXPROCS. Each policy trains from its own sub-seed, so
+	// the trained set is identical at any worker count.
+	Workers int
 }
 
 // QuickTrainSpec is the laptop-scale spec used when experiments train
@@ -49,25 +87,42 @@ func FullTrainSpec(seed int64) TrainSpec {
 	return TrainSpec{Seed: seed, Episodes: 400, EpisodeLen: 15 * time.Second, Env: rlcc.PaperEnvRange()}
 }
 
-// TrainAgentSet trains all four policies with the given spec.
+// TrainAgentSet trains all four policies with the given spec. The
+// policies are independent and individually seeded, so they train in
+// parallel (bounded by spec.Workers) with results identical to a
+// serial run.
 func TrainAgentSet(spec TrainSpec) *AgentSet {
-	train := func(ctrl rlcc.Config, seedOff int64) (*rl.PPO, *rl.RunningNorm) {
-		res := rlcc.Train(rlcc.TrainConfig{
+	base := cc.Config{Seed: spec.Seed}
+	jobs := []struct {
+		ctrl    rlcc.Config
+		seedOff int64
+	}{
+		{rlcc.LibraRLConfig(base), 1},
+		{rlcc.OrcaRLConfig(base), 2},
+		{rlcc.AuroraConfig(base), 3},
+		{rlcc.LibraRLConfig(base), 4},
+	}
+	type trained struct {
+		agent *rl.PPO
+		norm  *rl.RunningNorm
+	}
+	res := sweep.Map(spec.Workers, len(jobs), func(i int) trained {
+		env := spec.Env // private copy per concurrent trainer
+		r := rlcc.Train(rlcc.TrainConfig{
 			Episodes:   spec.Episodes,
 			EpisodeLen: spec.EpisodeLen,
-			Env:        &spec.Env,
-			Ctrl:       ctrl,
-			Seed:       spec.Seed + seedOff,
+			Env:        &env,
+			Ctrl:       jobs[i].ctrl,
+			Seed:       spec.Seed + jobs[i].seedOff,
 		})
-		return res.Agent, res.Norm
+		return trained{agent: r.Agent, norm: r.Norm}
+	})
+	return &AgentSet{
+		LibraRL: res[0].agent, LibraNorm: res[0].norm,
+		Orca: res[1].agent, OrcaNorm: res[1].norm,
+		Aurora: res[2].agent, AuroraNorm: res[2].norm,
+		ModRL: res[3].agent, ModRLNorm: res[3].norm,
 	}
-	base := cc.Config{Seed: spec.Seed}
-	set := &AgentSet{}
-	set.LibraRL, set.LibraNorm = train(rlcc.LibraRLConfig(base), 1)
-	set.Orca, set.OrcaNorm = train(rlcc.OrcaRLConfig(base), 2)
-	set.Aurora, set.AuroraNorm = train(rlcc.AuroraConfig(base), 3)
-	set.ModRL, set.ModRLNorm = train(rlcc.LibraRLConfig(base), 4)
-	return set
 }
 
 // agentFiles maps file stems to the agent and normaliser slots they

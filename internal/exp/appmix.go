@@ -21,33 +21,41 @@ func init() {
 // client running a plain conservative controller). It reports the
 // stream's delay and loss under each bulk neighbour: a delay-aware bulk
 // CCA leaves the stream usable, a buffer-filler does not.
-func runAppMix(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runAppMix(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 30 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 10 * time.Second
 	}
-	ag := cfg.agents()
 	bulkCCAs := []string{"c-libra", "b-libra", "cubic", "bbr", "copa", "proteus"}
 
-	tbl := Table{Name: "bulk neighbour's effect on a 4 Mbps stream (24 Mbps / 40 ms / 300 KB buffer)",
-		Cols: []string{"bulk cca", "bulk thr(Mbps)", "stream thr(Mbps)", "stream delay(ms)", "stream loss"}}
-	for _, name := range bulkCCAs {
+	type res struct{ bulkThr, streamThr, streamDelay, streamLoss float64 }
+	rs := Sweep(rc, len(bulkCCAs), func(jc *RunContext, i int) res {
+		ag := jc.agents()
 		n := netem.New(netem.Config{
 			Capacity:    trace.Constant(trace.Mbps(24)),
 			MinRTT:      40 * time.Millisecond,
 			BufferBytes: 300_000,
-			Seed:        cfg.Seed,
+			Seed:        jc.Seed,
 		})
-		bulk := n.AddFlow(mustMaker(name, ag, nil)(cfg.Seed), 0, 0)
-		stream := n.AddFlow(mustMaker("vegas", ag, nil)(cfg.Seed+1), 0, 0)
+		bulk := n.AddFlow(mustMaker(bulkCCAs[i], ag, nil)(jc.Seed), 0, 0)
+		stream := n.AddFlow(mustMaker("vegas", ag, nil)(jc.Seed+1), 0, 0)
 		stream.SetAppRate(trace.Mbps(4))
 		n.Run(dur)
-		tbl.AddRow(name,
-			fmtF(trace.ToMbps(bulk.Stats.AvgThroughput()), 1),
-			fmtF(trace.ToMbps(stream.Stats.AvgThroughput()), 2),
-			fmtF(float64(stream.Stats.AvgRTT())/float64(time.Millisecond), 0),
-			fmtF(stream.Stats.LossRate(), 4))
+		jc.ObserveLink(n, dur)
+		return res{
+			bulkThr:     trace.ToMbps(bulk.Stats.AvgThroughput()),
+			streamThr:   trace.ToMbps(stream.Stats.AvgThroughput()),
+			streamDelay: float64(stream.Stats.AvgRTT()) / float64(time.Millisecond),
+			streamLoss:  stream.Stats.LossRate(),
+		}
+	})
+
+	tbl := Table{Name: "bulk neighbour's effect on a 4 Mbps stream (24 Mbps / 40 ms / 300 KB buffer)",
+		Cols: []string{"bulk cca", "bulk thr(Mbps)", "stream thr(Mbps)", "stream delay(ms)", "stream loss"}}
+	for i, name := range bulkCCAs {
+		r := rs[i]
+		tbl.AddRow(name, fmtF(r.bulkThr, 1), fmtF(r.streamThr, 2), fmtF(r.streamDelay, 0), fmtF(r.streamLoss, 4))
 	}
 	return &Report{ID: "app-mix", Title: "Application-mix coexistence", Tables: []Table{tbl},
 		Notes: []string{"the stream is a 4 Mbps app-limited Vegas client; its delay is set by the queue the bulk flow maintains"}}

@@ -16,30 +16,13 @@ func init() {
 	})
 }
 
-func runAQM(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runAQM(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 30 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 12 * time.Second
 	}
-	ag := cfg.agents()
-
-	run := func(name string, codel bool) (float64, float64, int64) {
-		n := netem.New(netem.Config{
-			Capacity:    trace.Constant(trace.Mbps(24)),
-			MinRTT:      40 * time.Millisecond,
-			BufferBytes: 600_000, // deep buffer: 200 ms when filled
-			CoDel:       codel,
-			Seed:        cfg.Seed,
-		})
-		f := n.AddFlow(mustMaker(name, ag, nil)(cfg.Seed), 0, 0)
-		n.Run(dur)
-		return n.Utilization(dur), float64(f.Stats.AvgRTT()) / float64(time.Millisecond), n.Link().DropStats().AQM
-	}
-
-	tbl := Table{Name: "deep-buffered 24 Mbps / 40 ms path",
-		Cols: []string{"setup", "util", "avg delay(ms)", "aqm drops"}}
-	for _, c := range []struct {
+	cases := []struct {
 		label string
 		cca   string
 		codel bool
@@ -49,9 +32,36 @@ func runAQM(cfg RunConfig) *Report {
 		{"bbr / droptail", "bbr", false},
 		{"c-libra / droptail", "c-libra", false},
 		{"b-libra / droptail", "b-libra", false},
-	} {
-		u, d, drops := run(c.cca, c.codel)
-		tbl.AddRow(c.label, fmtF(u, 3), fmtF(d, 0), fmtF(float64(drops), 0))
+	}
+
+	type res struct {
+		util, delay float64
+		drops       int64
+	}
+	rs := Sweep(rc, len(cases), func(jc *RunContext, i int) res {
+		c := cases[i]
+		n := netem.New(netem.Config{
+			Capacity:    trace.Constant(trace.Mbps(24)),
+			MinRTT:      40 * time.Millisecond,
+			BufferBytes: 600_000, // deep buffer: 200 ms when filled
+			CoDel:       c.codel,
+			Seed:        jc.Seed,
+		})
+		f := n.AddFlow(mustMaker(c.cca, jc.agents(), nil)(jc.Seed), 0, 0)
+		n.Run(dur)
+		jc.ObserveLink(n, dur)
+		return res{
+			util:  n.Utilization(dur),
+			delay: float64(f.Stats.AvgRTT()) / float64(time.Millisecond),
+			drops: n.Link().DropStats().AQM,
+		}
+	})
+
+	tbl := Table{Name: "deep-buffered 24 Mbps / 40 ms path",
+		Cols: []string{"setup", "util", "avg delay(ms)", "aqm drops"}}
+	for i, c := range cases {
+		r := rs[i]
+		tbl.AddRow(c.label, fmtF(r.util, 3), fmtF(r.delay, 0), fmtF(float64(r.drops), 0))
 	}
 	return &Report{ID: "aqm", Title: "AQM contrast", Tables: []Table{tbl},
 		Notes: []string{"the paper's flexibility argument: matching CoDel-grade delay without touching network devices"}}

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestBenchSweep measures the wall-clock of a fixed classic-CCA sweep
+// serially (workers=1) and in parallel (workers=GOMAXPROCS) and
+// records both into BENCH_sweep.json for the perf trajectory. It only
+// arms when BENCH_SWEEP is set (make bench-sweep), because timing
+// under a parallel `go test ./...` run measures contention, not the
+// sweep engine. On a single-core machine the speedup is honestly ~1.0;
+// the cores field says so.
+func TestBenchSweep(t *testing.T) {
+	if os.Getenv("BENCH_SWEEP") == "" {
+		t.Skip("set BENCH_SWEEP=1 (make bench-sweep) to measure and record sweep wall-clock")
+	}
+
+	suite := func(workers int) time.Duration {
+		start := time.Now()
+		rc := NewRunContext(1)
+		rc.Workers = workers
+		ccas := []string{"cubic", "bbr", "reno", "vegas", "copa", "westwood", "illinois", "proteus"}
+		s := WiredScenarios(4*time.Second, 24)[0]
+		const reps = 2
+		Sweep(rc, len(ccas)*reps, func(jc *RunContext, i int) Metrics {
+			return jc.RunFlow(s, mustMaker(ccas[i/reps], nil, nil), 0)
+		})
+		return time.Since(start)
+	}
+
+	suite(runtime.GOMAXPROCS(0)) // warm-up: page in code, steady-state the heap
+	serial := suite(1)
+	parallel := suite(runtime.GOMAXPROCS(0))
+
+	out := struct {
+		Cores     int     `json:"cores"`
+		Jobs      int     `json:"jobs"`
+		SerialS   float64 `json:"serial_s"`
+		ParallelS float64 `json:"parallel_s"`
+		Speedup   float64 `json:"speedup"`
+	}{
+		Cores:     runtime.GOMAXPROCS(0),
+		Jobs:      16,
+		SerialS:   serial.Seconds(),
+		ParallelS: parallel.Seconds(),
+		Speedup:   serial.Seconds() / parallel.Seconds(),
+	}
+
+	path := os.Getenv("BENCH_SWEEP_OUT")
+	if path == "" {
+		path = "../../BENCH_sweep.json"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cores=%d serial=%.2fs parallel=%.2fs speedup=%.2fx -> %s",
+		out.Cores, out.SerialS, out.ParallelS, out.Speedup, path)
+}

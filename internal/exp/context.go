@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"sync"
+
+	"libra/internal/netem/faults"
+	"libra/internal/sweep"
+	"libra/internal/telemetry"
+	"libra/internal/utility"
+)
+
+// RunContext carries everything one experiment run owns: the seed, the
+// quick/full switch, the worker budget, the metrics registry, the
+// tracer, the fault plan, and the trained agent set. It replaces the
+// package-level harness globals (metrics registry, tracer, fault plan,
+// lazily-trained agents) so concurrent runs cannot observe each other
+// and a sweep can give every job a private context.
+//
+// Contexts form a two-level tree: experiments receive a top-level
+// context and fan independent jobs out via Sweep, which hands each job
+// a derived child context (sub-derived seed, fresh registry, buffered
+// tracer, cloned agents). All fields are set before the run starts and
+// never mutated during one, so concurrent jobs may read their parent
+// freely.
+type RunContext struct {
+	// Quick reduces durations and repeat counts so the whole suite runs
+	// in benchmark/CI budgets; the full version matches the paper's
+	// setup more closely.
+	Quick bool
+	// Seed drives all stochastic choices. Jobs spawned via Sweep get
+	// sweep.SubSeed-derived seeds, so results are independent of worker
+	// count and of how many jobs ran before.
+	Seed int64
+	// Workers bounds Sweep's concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// Tracer receives telemetry events from every network and traceable
+	// controller the runner builds. Sweep jobs record into private
+	// buffers that replay into this sink in job order, so the event
+	// stream is byte-identical at any worker count. Nil disables.
+	Tracer telemetry.Tracer
+	// Metrics is the run's registry. Sweep jobs record into private
+	// registries merged here in job order.
+	Metrics *telemetry.Registry
+	// FaultPlan applies to scenarios that don't carry their own
+	// (libra-bench -fault). Nil means no faults.
+	FaultPlan *faults.Plan
+	// Agents supplies pre-trained policies; a small quick-trained set is
+	// built lazily (cached per seed) when nil and an experiment needs
+	// one. Sweep jobs always work on a private clone, because the
+	// learning CCAs mutate their normaliser and sample from the policy
+	// RNG at inference time.
+	Agents *AgentSet
+
+	// parent links a Sweep job back to the context that spawned it.
+	parent *RunContext
+	// jobAgents caches this job's private agent clone.
+	jobAgents *AgentSet
+	// cache shares lazily-trained agent sets (per seed) across the
+	// whole context tree.
+	cache *agentCache
+	// train builds the lazy agent set for a seed; a seam for tests that
+	// must observe training calls without paying for real training.
+	train func(seed int64) *AgentSet
+}
+
+// NewRunContext returns a ready-to-use context for the given seed with
+// every other knob at its default.
+func NewRunContext(seed int64) *RunContext {
+	rc := &RunContext{Seed: seed}
+	return rc.WithDefaults()
+}
+
+// WithDefaults fills zero fields in place (idempotent) and returns rc
+// for chaining. Every harness entry point calls it, so a literal
+// &RunContext{Quick: true} is a valid argument anywhere.
+func (rc *RunContext) WithDefaults() *RunContext {
+	if rc.Seed == 0 {
+		rc.Seed = 1
+	}
+	if rc.Metrics == nil {
+		rc.Metrics = telemetry.NewRegistry()
+	}
+	if rc.cache == nil {
+		rc.cache = &agentCache{bySeed: map[int64]*AgentSet{}}
+	}
+	if rc.train == nil {
+		rc.train = func(seed int64) *AgentSet {
+			spec := QuickTrainSpec(seed)
+			spec.Workers = rc.Workers
+			return TrainAgentSet(spec)
+		}
+	}
+	return rc
+}
+
+// agentCache shares lazily-trained agent sets keyed by seed, fixing
+// the old sync.Once bug where the first caller's seed trained the set
+// every later run silently reused.
+type agentCache struct {
+	mu     sync.Mutex
+	bySeed map[int64]*AgentSet
+}
+
+func (c *agentCache) get(seed int64, train func(int64) *AgentSet) *AgentSet {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a, ok := c.bySeed[seed]; ok {
+		return a
+	}
+	a := train(seed)
+	c.bySeed[seed] = a
+	return a
+}
+
+// agents returns the agent set this context should run with. A
+// top-level context uses its explicit set or trains one lazily per
+// seed; a Sweep job clones its parent's set, because inference mutates
+// normaliser statistics and policy RNG state and a shared set across
+// concurrent jobs would race (and order results by scheduling).
+func (rc *RunContext) agents() *AgentSet {
+	rc.WithDefaults()
+	if rc.parent != nil {
+		if rc.jobAgents == nil {
+			rc.jobAgents = rc.parent.agents().Clone(rc.Seed)
+		}
+		return rc.jobAgents
+	}
+	if rc.Agents != nil {
+		return rc.Agents
+	}
+	return rc.cache.get(rc.Seed, rc.train)
+}
+
+// child builds the context for Sweep job i: sub-derived seed, private
+// registry, buffered tracer (when the parent traces), shared fault
+// plan and agent cache, serial workers (nested Sweeps inside a job run
+// inline rather than oversubscribing the pool).
+func (rc *RunContext) child(i int) *RunContext {
+	jc := &RunContext{
+		Quick:     rc.Quick,
+		Seed:      sweep.SubSeed(rc.Seed, i),
+		Workers:   1,
+		Metrics:   telemetry.NewRegistry(),
+		FaultPlan: rc.FaultPlan,
+		parent:    rc,
+		cache:     rc.cache,
+		train:     rc.train,
+	}
+	if telemetry.Enabled(rc.Tracer) {
+		jc.Tracer = &telemetry.Buffer{}
+	}
+	return jc
+}
+
+// Sweep runs n independent jobs on rc.Workers workers and returns
+// their results in job order. Each job gets a child context (see
+// child); after all jobs finish, their registries merge into
+// rc.Metrics and their trace buffers replay into rc.Tracer in job
+// order. The merge path is identical at every worker count — including
+// 1 — so a sweep's report, metrics snapshot, and event stream are
+// byte-identical regardless of parallelism.
+func Sweep[T any](rc *RunContext, n int, job func(jc *RunContext, i int) T) []T {
+	rc.WithDefaults()
+	kids := make([]*RunContext, n)
+	out := sweep.Map(rc.Workers, n, func(i int) T {
+		jc := rc.child(i)
+		kids[i] = jc
+		return job(jc, i)
+	})
+	for _, jc := range kids {
+		if jc == nil {
+			continue
+		}
+		rc.Metrics.Merge(jc.Metrics)
+		if b, ok := jc.Tracer.(*telemetry.Buffer); ok {
+			b.ReplayTo(rc.Tracer)
+		}
+	}
+	return out
+}
+
+// CCAMaker returns a job-scoped controller factory for the named CCA:
+// called with a job context, it resolves the job's (cloned) agent set
+// and builds the maker there, keeping agent state private to the job.
+// It is the standard argument to Repeat and the common body of Sweep
+// jobs; the name must be known (it panics like mustMaker otherwise).
+func CCAMaker(name string, util utility.Func) func(*RunContext) Maker {
+	return func(jc *RunContext) Maker {
+		var ag *AgentSet
+		if ccaUsesAgents(name) {
+			ag = jc.agents()
+		}
+		return mustMaker(name, ag, util)
+	}
+}

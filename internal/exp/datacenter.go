@@ -5,6 +5,7 @@ import (
 
 	"libra/internal/netem"
 	"libra/internal/stats"
+	"libra/internal/sweep"
 	"libra/internal/trace"
 )
 
@@ -17,43 +18,44 @@ func init() {
 	})
 }
 
-func runSec7DC(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runSec7DC(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 5 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 2 * time.Second
 	}
-	ag := cfg.agents()
 	const nFlows = 4
+	ccas := []string{"dctcp", "d-libra", "c-libra", "cubic", "reno"}
 
-	run := func(name string) (util, delayMs, jain float64) {
+	type res struct{ util, delayMs, jain float64 }
+	rs := Sweep(rc, len(ccas), func(jc *RunContext, i int) res {
 		n := netem.New(netem.Config{
 			Capacity:     trace.Constant(trace.Mbps(100)),
 			MinRTT:       time.Millisecond,
 			BufferBytes:  500_000,
 			ECNThreshold: 32_000,
-			Seed:         cfg.Seed,
+			Seed:         jc.Seed,
 		})
-		mk := mustMaker(name, ag, nil)
+		mk := mustMaker(ccas[i], jc.agents(), nil)
 		flows := make([]*netem.Flow, nFlows)
-		for i := range flows {
-			flows[i] = n.AddFlow(mk(cfg.Seed+int64(i)*13), 0, 0)
+		for fi := range flows {
+			flows[fi] = n.AddFlow(mk(sweep.SubSeed(jc.Seed, fi)), 0, 0)
 		}
 		n.Run(dur)
+		jc.ObserveLink(n, dur)
 		thr := make([]float64, nFlows)
 		var dsum float64
-		for i, f := range flows {
-			thr[i] = f.Stats.AvgThroughput()
+		for fi, f := range flows {
+			thr[fi] = f.Stats.AvgThroughput()
 			dsum += float64(f.Stats.AvgRTT()) / float64(time.Millisecond)
 		}
-		return n.Utilization(dur), dsum / nFlows, stats.JainIndex(thr)
-	}
+		return res{util: n.Utilization(dur), delayMs: dsum / nFlows, jain: stats.JainIndex(thr)}
+	})
 
 	tbl := Table{Name: "4 flows, 100 Mbps / 1 ms RTT fabric, ECN mark at 32 KB",
 		Cols: []string{"cca", "util", "avg delay(ms)", "jain"}}
-	for _, name := range []string{"dctcp", "d-libra", "c-libra", "cubic", "reno"} {
-		u, d, j := run(name)
-		tbl.AddRow(name, fmtF(u, 3), fmtF(d, 2), fmtF(j, 3))
+	for i, name := range ccas {
+		tbl.AddRow(name, fmtF(rs[i].util, 3), fmtF(rs[i].delayMs, 2), fmtF(rs[i].jain, 3))
 	}
 	return &Report{ID: "sec7-datacenter", Title: "Datacenter ECN scenario",
 		Tables: []Table{tbl},

@@ -21,45 +21,10 @@ type Experiment struct {
 	// Paper summarises what the paper reports, for EXPERIMENTS.md
 	// comparisons.
 	Paper string
-	// Run produces the report.
-	Run func(cfg RunConfig) *Report
-}
-
-// RunConfig tunes an experiment run.
-type RunConfig struct {
-	// Quick reduces durations and repeat counts so the whole suite runs
-	// in benchmark/CI budgets; the full version matches the paper's
-	// setup more closely.
-	Quick bool
-	// Seed drives all stochastic choices.
-	Seed int64
-	// Agents supplies pre-trained policies; a small freshly-trained set
-	// is built lazily when nil and an experiment needs one.
-	Agents *AgentSet
-}
-
-// WithDefaults fills zero fields.
-func (c RunConfig) WithDefaults() RunConfig {
-	if c.Seed == 0 {
-		c.Seed = 1
-	}
-	return c
-}
-
-// agents returns the configured agent set, training a quick one lazily.
-var (
-	lazyAgentsOnce sync.Once
-	lazyAgents     *AgentSet
-)
-
-func (c *RunConfig) agents() *AgentSet {
-	if c.Agents == nil {
-		lazyAgentsOnce.Do(func() {
-			lazyAgents = TrainAgentSet(QuickTrainSpec(c.Seed))
-		})
-		c.Agents = lazyAgents
-	}
-	return c.Agents
+	// Run produces the report. The context supplies the seed, the
+	// quick/full switch, the worker budget, and the telemetry sinks;
+	// experiments fan their independent jobs out via Sweep.
+	Run func(rc *RunContext) *Report
 }
 
 // Report is the output of one experiment.

@@ -103,11 +103,12 @@ func TestMakerForUnknownName(t *testing.T) {
 
 func TestRunFlowAndRepeat(t *testing.T) {
 	s := WiredScenarios(3*time.Second, 12)[0]
-	m := RunFlow(s, mustMaker("cubic", nil, nil), 1, 0)
+	rc := NewRunContext(1)
+	m := rc.RunFlow(s, mustMaker("cubic", nil, nil), 0)
 	if m.ThrMbps <= 0 || m.Util <= 0 {
 		t.Fatalf("metrics %+v", m)
 	}
-	ms := Repeat(s, mustMaker("cubic", nil, nil), 2, 1)
+	ms := rc.Repeat(s, func(*RunContext) Maker { return mustMaker("cubic", nil, nil) }, 2)
 	if len(ms) != 2 {
 		t.Fatal("repeat count")
 	}

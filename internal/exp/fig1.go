@@ -13,34 +13,39 @@ func init() {
 	})
 }
 
-func runFig1(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runFig1(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 60 * time.Second
 	reps := 3
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 15 * time.Second
 		reps = 1
 	}
-	scenarios := append(WiredScenarios(dur, 24, 48, 96), LTEScenarios(dur, cfg.Seed)[:3]...)
+	scenarios := append(WiredScenarios(dur, 24, 48, 96), LTEScenarios(dur, rc.Seed)[:3]...)
 	ccas := []string{"cubic", "bbr", "orca", "proteus", "c-libra"}
+
+	// One sweep job per (cca, scenario, repetition) flow.
+	ms := Sweep(rc, len(ccas)*len(scenarios)*reps, func(jc *RunContext, i int) Metrics {
+		ci := i / (len(scenarios) * reps)
+		si := i / reps % len(scenarios)
+		return jc.RunFlow(scenarios[si], mustMaker(ccas[ci], jc.agents(), nil), 0)
+	})
 
 	tbl := Table{
 		Name: "link utilisation / avg delay (ms) per scenario",
 		Cols: append([]string{"cca"}, scenarioNames(scenarios)...),
 	}
-	ag := cfg.agents()
-	for _, name := range ccas {
-		mk := mustMaker(name, ag, nil)
+	for ci, name := range ccas {
 		row := []string{name}
-		for si, s := range scenarios {
-			ms := Repeat(s, mk, reps, cfg.Seed+int64(si)*7919)
+		for si := range scenarios {
 			var u, d float64
-			for _, m := range ms {
+			for r := 0; r < reps; r++ {
+				m := ms[(ci*len(scenarios)+si)*reps+r]
 				u += m.Util
 				d += m.DelayMs
 			}
-			u /= float64(len(ms))
-			d /= float64(len(ms))
+			u /= float64(reps)
+			d /= float64(reps)
 			row = append(row, fmtF(u, 2)+" / "+fmtF(d, 0))
 		}
 		tbl.AddRow(row...)

@@ -33,23 +33,28 @@ func utilityVariants() []struct {
 	}
 }
 
-func runFig11(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runFig11(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 40 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 12 * time.Second
 	}
-	ag := cfg.agents()
 	variants := utilityVariants()
+	libras := []string{"c-libra", "b-libra"}
 
-	single := func(name string, libras []string, ss []Scenario) Table {
+	single := func(name string, ss []Scenario) Table {
 		tbl := Table{Name: name, Cols: []string{"variant", "util", "avg delay(ms)"}}
-		for _, lname := range libras {
-			for _, v := range variants {
-				mk := mustMaker(lname, ag, v.U)
+		// One job per (libra variant, utility, scenario) flow.
+		ms := Sweep(rc, len(libras)*len(variants)*len(ss), func(jc *RunContext, i int) Metrics {
+			li := i / (len(variants) * len(ss))
+			vi := i / len(ss) % len(variants)
+			return jc.RunFlow(ss[i%len(ss)], mustMaker(libras[li], jc.agents(), variants[vi].U), 0)
+		})
+		for li, lname := range libras {
+			for vi, v := range variants {
 				var u, d float64
-				for si, s := range ss {
-					m := RunFlow(s, mk, cfg.Seed+int64(si)*41, 0)
+				for si := range ss {
+					m := ms[(li*len(variants)+vi)*len(ss)+si]
 					u += m.Util
 					d += m.DelayMs
 				}
@@ -61,19 +66,25 @@ func runFig11(cfg RunConfig) *Report {
 	}
 
 	wired := WiredScenarios(dur, 24, 48)
-	cell := LTEScenarios(dur, cfg.Seed)[:2]
-	t1 := single("(a) single flow, wired", []string{"c-libra", "b-libra"}, wired)
-	t2 := single("(b) single flow, cellular", []string{"c-libra", "b-libra"}, cell)
+	cell := LTEScenarios(dur, rc.Seed)[:2]
+	t1 := single("(a) single flow, wired", wired)
+	t2 := single("(b) single flow, cellular", cell)
 
 	// (c)/(d): one Libra flow vs one CUBIC flow — throughput share.
 	compete := func(name string, s Scenario) Table {
 		tbl := Table{Name: name, Cols: []string{"variant", "libra share", "avg delay(ms)"}}
-		for _, lname := range []string{"c-libra", "b-libra"} {
-			for _, v := range variants {
-				ms := RunFlows(s, []Maker{mustMaker(lname, ag, v.U), mustMaker("cubic", ag, nil)},
-					[]time.Duration{0, 0}, cfg.Seed, 0)
-				share := ms[0].ThrMbps / (ms[0].ThrMbps + ms[1].ThrMbps)
-				tbl.AddRow(lname+"-"+v.Name, fmtF(share, 3), fmtF(ms[0].DelayMs, 0))
+		type res struct{ share, delay float64 }
+		rs := Sweep(rc, len(libras)*len(variants), func(jc *RunContext, i int) res {
+			li, vi := i/len(variants), i%len(variants)
+			ms := jc.RunFlows(s,
+				[]Maker{mustMaker(libras[li], jc.agents(), variants[vi].U), mustMaker("cubic", jc.agents(), nil)},
+				[]time.Duration{0, 0}, 0)
+			return res{share: ms[0].ThrMbps / (ms[0].ThrMbps + ms[1].ThrMbps), delay: ms[0].DelayMs}
+		})
+		for li, lname := range libras {
+			for vi, v := range variants {
+				r := rs[li*len(variants)+vi]
+				tbl.AddRow(lname+"-"+v.Name, fmtF(r.share, 3), fmtF(r.delay, 0))
 			}
 		}
 		return tbl
@@ -83,7 +94,7 @@ func runFig11(cfg RunConfig) *Report {
 		Buffer: 240_000, Duration: dur,
 	})
 	t4 := compete("(d) vs CUBIC, cellular", Scenario{
-		Capacity: trace.NewLTE(trace.LTEStationary, dur, cfg.Seed+5),
+		Capacity: trace.NewLTE(trace.LTEStationary, dur, rc.Seed+5),
 		MinRTT:   30 * time.Millisecond, Buffer: 150_000, Duration: dur,
 	})
 

@@ -28,46 +28,47 @@ func init() {
 	})
 }
 
-func runFig12(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runFig12(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 30 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 8 * time.Second
 	}
 	rates := []float64{10, 20, 30, 50, 100, 200}
 	ccas := []string{"cubic", "bbr", "c-libra", "b-libra", "orca", "indigo", "copa", "proteus", "cl-libra", "mod-rl"}
-	ag := cfg.agents()
+
+	fracs := Sweep(rc, len(ccas)*len(rates), func(jc *RunContext, i int) float64 {
+		r := rates[i%len(rates)]
+		s := Scenario{
+			Capacity: trace.Constant(trace.Mbps(r)),
+			MinRTT:   40 * time.Millisecond,
+			Buffer:   int(trace.Mbps(r) * 0.04),
+			Duration: dur,
+		}
+		return jc.RunFlow(s, mustMaker(ccas[i/len(rates)], jc.agents(), nil), 0).CPUFrac
+	})
 
 	tbl := Table{Name: "controller compute fraction (x1e-6 of sim time)",
 		Cols: append([]string{"cca"}, rateNames(rates)...)}
 	avg := Table{Name: "average compute fraction and reduction vs worst",
 		Cols: []string{"cca", "avg(x1e-6)", "vs max"}}
-	sums := map[string]float64{}
+	sums := make([]float64, len(ccas))
 	var worst float64
-	rows := map[string][]string{}
-	for _, name := range ccas {
-		mk := mustMaker(name, ag, nil)
+	for ci, name := range ccas {
 		row := []string{name}
-		for ri, r := range rates {
-			s := Scenario{
-				Capacity: trace.Constant(trace.Mbps(r)),
-				MinRTT:   40 * time.Millisecond,
-				Buffer:   int(trace.Mbps(r) * 0.04),
-				Duration: dur,
-			}
-			m := RunFlow(s, mk, cfg.Seed+int64(ri)*3, 0)
-			row = append(row, fmtF(m.CPUFrac*1e6, 1))
-			sums[name] += m.CPUFrac
+		for ri := range rates {
+			f := fracs[ci*len(rates)+ri]
+			row = append(row, fmtF(f*1e6, 1))
+			sums[ci] += f
 		}
-		rows[name] = row
-		if sums[name] > worst {
-			worst = sums[name]
+		tbl.Rows = append(tbl.Rows, row)
+		if sums[ci] > worst {
+			worst = sums[ci]
 		}
 	}
-	for _, name := range ccas {
-		tbl.Rows = append(tbl.Rows, rows[name])
-		mean := sums[name] / float64(len(rates))
-		avg.AddRow(name, fmtF(mean*1e6, 1), fmtF(1-sums[name]/worst, 2))
+	for ci, name := range ccas {
+		mean := sums[ci] / float64(len(rates))
+		avg.AddRow(name, fmtF(mean*1e6, 1), fmtF(1-sums[ci]/worst, 2))
 	}
 	return &Report{ID: "fig12", Title: "Overhead vs sending rate", Tables: []Table{tbl, avg}}
 }
@@ -91,20 +92,22 @@ func fairnessScenario(d time.Duration) Scenario {
 	}
 }
 
-func runFig13(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runFig13(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 60 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 20 * time.Second
 	}
 	ccas := []string{"cubic", "bbr", "copa", "aurora", "proteus", "orca", "mod-rl", "c-libra", "b-libra"}
-	ag := cfg.agents()
 	s := fairnessScenario(dur)
 
+	pairs := Sweep(rc, len(ccas), func(jc *RunContext, i int) []Metrics {
+		return jc.RunFlows(s, []Maker{mustMaker(ccas[i], jc.agents(), nil), mustMaker("cubic", jc.agents(), nil)},
+			[]time.Duration{0, 0}, 0)
+	})
 	tbl := Table{Name: "CCA-under-test vs CUBIC", Cols: []string{"cca", "test share", "cubic share", "jain"}}
-	for _, name := range ccas {
-		ms := RunFlows(s, []Maker{mustMaker(name, ag, nil), mustMaker("cubic", ag, nil)},
-			[]time.Duration{0, 0}, cfg.Seed, 0)
+	for i, name := range ccas {
+		ms := pairs[i]
 		tot := ms[0].ThrMbps + ms[1].ThrMbps
 		j := stats.JainIndex([]float64{ms[0].ThrMbps, ms[1].ThrMbps})
 		tbl.AddRow(name, fmtF(ms[0].ThrMbps/tot, 3), fmtF(ms[1].ThrMbps/tot, 3), fmtF(j, 3))
@@ -112,20 +115,22 @@ func runFig13(cfg RunConfig) *Report {
 	return &Report{ID: "fig13", Title: "Inter-protocol fairness", Tables: []Table{tbl}}
 }
 
-func runFig14(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runFig14(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 60 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 20 * time.Second
 	}
 	ccas := []string{"cubic", "bbr", "copa", "aurora", "proteus", "orca", "mod-rl", "c-libra", "b-libra"}
-	ag := cfg.agents()
 	s := fairnessScenario(dur)
 
+	pairs := Sweep(rc, len(ccas), func(jc *RunContext, i int) []Metrics {
+		return jc.RunFlows(s, []Maker{mustMaker(ccas[i], jc.agents(), nil), mustMaker(ccas[i], jc.agents(), nil)},
+			[]time.Duration{0, 0}, 0)
+	})
 	tbl := Table{Name: "two same-CCA flows", Cols: []string{"cca", "flow1 share", "flow2 share", "jain"}}
-	for _, name := range ccas {
-		ms := RunFlows(s, []Maker{mustMaker(name, ag, nil), mustMaker(name, ag, nil)},
-			[]time.Duration{0, 0}, cfg.Seed, 0)
+	for i, name := range ccas {
+		ms := pairs[i]
 		tot := ms[0].ThrMbps + ms[1].ThrMbps
 		j := stats.JainIndex([]float64{ms[0].ThrMbps, ms[1].ThrMbps})
 		tbl.AddRow(name, fmtF(ms[0].ThrMbps/tot, 3), fmtF(ms[1].ThrMbps/tot, 3), fmtF(j, 3))

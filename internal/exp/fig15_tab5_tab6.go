@@ -22,30 +22,33 @@ func init() {
 	})
 }
 
-func runFig15(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runFig15(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 50 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 30 * time.Second
 	}
 	ccas := []string{"bbr", "cubic", "mod-rl", "indigo", "proteus", "orca", "c-libra", "b-libra"}
-	ag := cfg.agents()
 	s := fairnessScenario(dur) // 48 Mbps, 100 ms, 1 BDP
+
+	runs := Sweep(rc, len(ccas), func(jc *RunContext, i int) []Metrics {
+		mk := mustMaker(ccas[i], jc.agents(), nil)
+		return jc.RunFlows(s, []Maker{mk, mk, mk},
+			[]time.Duration{0, 5 * time.Second, 10 * time.Second}, time.Second)
+	})
 
 	metrics := Table{Name: "Tab.5 metrics for the third flow (enters at 10s)",
 		Cols: []string{"cca", "conv time(s)", "thr stddev(Mbps)", "avg thr(Mbps)", "jain(all 3)"}}
 	var seriesTables []Table
-	for _, name := range ccas {
-		mk := mustMaker(name, ag, nil)
-		ms := RunFlows(s, []Maker{mk, mk, mk},
-			[]time.Duration{0, 5 * time.Second, 10 * time.Second}, cfg.Seed, time.Second)
+	for i, name := range ccas {
+		ms := runs[i]
 		third := ms[2].Flow
 		// Rate series of the third flow from its entry.
 		nsec := int(dur / time.Second)
 		rates := third.Stats.Throughput.Rates(nsec)[10:]
 		mbps := make([]float64, len(rates))
-		for i, r := range rates {
-			mbps[i] = trace.ToMbps(r)
+		for ri, r := range rates {
+			mbps[ri] = trace.ToMbps(r)
 		}
 		conv := stats.Convergence(mbps, time.Second, 0.25, 5*time.Second)
 		convCell := "-"
@@ -58,7 +61,7 @@ func runFig15(cfg RunConfig) *Report {
 		j := stats.JainIndex([]float64{ms[0].ThrMbps, ms[1].ThrMbps, ms[2].ThrMbps})
 		metrics.AddRow(name, convCell, stdCell, meanCell, fmtF(j, 3))
 
-		if !cfg.Quick {
+		if !rc.Quick {
 			st := Table{Name: "per-second throughput (Mbps) — " + name,
 				Cols: []string{"t(s)", "flow1", "flow2", "flow3"}}
 			for t := 0; t < nsec; t += 2 {
@@ -74,15 +77,14 @@ func runFig15(cfg RunConfig) *Report {
 		Tables: append([]Table{metrics}, seriesTables...)}
 }
 
-func runTab6(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runTab6(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 30 * time.Second
 	trials := 20
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 10 * time.Second
 		trials = 6
 	}
-	ag := cfg.agents()
 	ccas := []string{"orca", "c-libra", "b-libra"}
 
 	type scen struct {
@@ -104,18 +106,22 @@ func runTab6(cfg RunConfig) *Report {
 		}},
 	}
 
+	// One job per (scenario, cca, trial); the trial's scenario is built
+	// from the job seed so LTE channels differ across trials.
+	utils := Sweep(rc, len(scens)*len(ccas)*trials, func(jc *RunContext, i int) float64 {
+		sci := i / (len(ccas) * trials)
+		ci := i / trials % len(ccas)
+		return jc.RunFlow(scens[sci].mk(jc.Seed), mustMaker(ccas[ci], jc.agents(), nil), 0).Util
+	})
+
 	tbl := Table{Name: "link utilisation over repeated trials",
 		Cols: []string{"scenario", "cca", "mean", "range", "stddev"}}
-	for _, sc := range scens {
-		for _, name := range ccas {
-			mk := mustMaker(name, ag, nil)
-			utils := make([]float64, 0, trials)
-			for tr := 0; tr < trials; tr++ {
-				seed := cfg.Seed + int64(tr)*53
-				utils = append(utils, RunFlow(sc.mk(seed), mk, seed, 0).Util)
-			}
-			tbl.AddRow(sc.name, name, fmtF(stats.Mean(utils), 3),
-				fmtF(stats.Range(utils), 3), fmtF(stats.StdDev(utils), 3))
+	for sci, sc := range scens {
+		for ci, name := range ccas {
+			lo := (sci*len(ccas) + ci) * trials
+			us := utils[lo : lo+trials]
+			tbl.AddRow(sc.name, name, fmtF(stats.Mean(us), 3),
+				fmtF(stats.Range(us), 3), fmtF(stats.StdDev(us), 3))
 		}
 	}
 	return &Report{ID: "tab6", Title: "Safety assurance", Tables: []Table{tbl}}

@@ -57,36 +57,37 @@ func wanScenario(kind string, d time.Duration, seed int64) (Scenario, float64) {
 	}
 }
 
-func runFig16(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runFig16(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 40 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 12 * time.Second
 	}
-	ag := cfg.agents()
 	ccas := []string{"c-libra", "b-libra", "proteus", "bbr", "cubic", "orca"}
 
 	run := func(kind string) Table {
-		s, cross := wanScenario(kind, dur, cfg.Seed)
-		tbl := Table{Name: kind + "-continental", Cols: []string{"cca", "norm.thr", "norm.delay", "loss"}}
+		s, cross := wanScenario(kind, dur, rc.Seed)
 		type r struct{ thr, delay, loss float64 }
-		res := map[string]r{}
+		// Normalisation needs the whole CCA set, so it follows the sweep.
+		res := Sweep(rc, len(ccas), func(jc *RunContext, i int) r {
+			ms := jc.RunFlows(s, []Maker{mustMaker(ccas[i], jc.agents(), nil), func(seed int64) cc.Controller {
+				return cc.FixedRate{R: cross}
+			}}, []time.Duration{0, 0}, 0)
+			return r{ms[0].ThrMbps, ms[0].DelayMs, ms[0].LossRate}
+		})
+		tbl := Table{Name: kind + "-continental", Cols: []string{"cca", "norm.thr", "norm.delay", "loss"}}
 		var bestThr, minDelay float64
 		minDelay = math.Inf(1)
-		for _, name := range ccas {
-			ms := RunFlows(s, []Maker{mustMaker(name, ag, nil), func(seed int64) cc.Controller {
-				return cc.FixedRate{R: cross}
-			}}, []time.Duration{0, 0}, cfg.Seed, 0)
-			res[name] = r{ms[0].ThrMbps, ms[0].DelayMs, ms[0].LossRate}
-			if ms[0].ThrMbps > bestThr {
-				bestThr = ms[0].ThrMbps
+		for _, v := range res {
+			if v.thr > bestThr {
+				bestThr = v.thr
 			}
-			if ms[0].DelayMs < minDelay {
-				minDelay = ms[0].DelayMs
+			if v.delay < minDelay {
+				minDelay = v.delay
 			}
 		}
-		for _, name := range ccas {
-			v := res[name]
+		for i, name := range ccas {
+			v := res[i]
 			tbl.AddRow(name, fmtF(v.thr/bestThr, 3), fmtF(v.delay/minDelay, 3), fmtF(v.loss, 4))
 		}
 		return tbl
@@ -96,15 +97,14 @@ func runFig16(cfg RunConfig) *Report {
 		Notes:  []string{"cross traffic: unresponsive CBR flow sharing the bottleneck (substitute for unknown WAN competition)"}}
 }
 
-func runFig17(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runFig17(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 40 * time.Second
 	reps := 10
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 15 * time.Second
 		reps = 3
 	}
-	ag := cfg.agents()
 
 	scens := map[string]func(seed int64) Scenario{
 		"step": func(seed int64) Scenario { return stepScenario(dur) },
@@ -118,19 +118,30 @@ func runFig17(cfg RunConfig) *Report {
 		},
 	}
 	order := []string{"step", "cellular", "wired"}
+	libras := []string{"c-libra", "b-libra"}
+
+	fracs := Sweep(rc, len(libras)*len(order)*reps, func(jc *RunContext, i int) [3]float64 {
+		li := i / (len(order) * reps)
+		si := i / reps % len(order)
+		m := jc.RunFlow(scens[order[si]](jc.Seed), mustMaker(libras[li], jc.agents(), nil), 0)
+		lb := m.Ctrl.(*core.Libra)
+		tel := lb.Telemetry()
+		var f [3]float64
+		for c := core.CandPrev; c <= core.CandRL; c++ {
+			f[c] = tel.Fraction(c)
+		}
+		return f
+	})
 
 	tbl := Table{Name: "fraction of applied decisions",
 		Cols: []string{"libra", "scenario", "x_prev", "x_rl", "x_cl"}}
-	for _, lname := range []string{"c-libra", "b-libra"} {
-		for _, sn := range order {
+	for li, lname := range libras {
+		for si, sn := range order {
 			var frac [3]float64
 			for rp := 0; rp < reps; rp++ {
-				seed := cfg.Seed + int64(rp)*67
-				m := RunFlow(scens[sn](seed), mustMaker(lname, ag, nil), seed, 0)
-				lb := m.Ctrl.(*core.Libra)
-				tel := lb.Telemetry()
-				for c := core.CandPrev; c <= core.CandRL; c++ {
-					frac[c] += tel.Fraction(c)
+				f := fracs[(li*len(order)+si)*reps+rp]
+				for c := range frac {
+					frac[c] += f[c]
 				}
 			}
 			tbl.AddRow(lname, sn,
@@ -142,20 +153,20 @@ func runFig17(cfg RunConfig) *Report {
 	return &Report{ID: "fig17", Title: "Decision-source fractions", Tables: []Table{tbl}}
 }
 
-func runFig18(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runFig18(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 50 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 20 * time.Second
 	}
-	ag := cfg.agents()
 	u := utility.Default()
 
-	// Per-second utility of a standalone run.
-	utilSeries := func(name string) []float64 {
-		s := Scenario{Capacity: trace.NewLTE(trace.LTEWalking, dur, cfg.Seed+7),
+	// Per-second utility of a standalone run (one sweep job per CCA).
+	names := []string{"c-libra", "cubic", "b-libra", "bbr", "cl-libra"}
+	series := Sweep(rc, len(names), func(jc *RunContext, i int) []float64 {
+		s := Scenario{Capacity: trace.NewLTE(trace.LTEWalking, dur, rc.Seed+7),
 			MinRTT: 30 * time.Millisecond, Buffer: 150_000, Duration: dur}
-		m := RunFlow(s, mustMaker(name, ag, nil), cfg.Seed, time.Second)
+		m := jc.RunFlow(s, mustMaker(names[i], jc.agents(), nil), time.Second)
 		n := int(dur / time.Second)
 		out := make([]float64, n)
 		for t := 0; t < n; t++ {
@@ -168,12 +179,16 @@ func runFig18(cfg RunConfig) *Report {
 			out[t] = u.Value(thr, grad, 0)
 		}
 		return out
+	})
+	bySeries := map[string][]float64{}
+	for i, n := range names {
+		bySeries[n] = series[i]
 	}
 
 	mkTable := func(tag, libraName, classicName string) Table {
-		libra := utilSeries(libraName)
-		classic := utilSeries(classicName)
-		clean := utilSeries("cl-libra")
+		libra := bySeries[libraName]
+		classic := bySeries[classicName]
+		clean := bySeries["cl-libra"]
 		// Normalise all three jointly.
 		var norm utility.Normalizer
 		for _, s := range [][]float64{libra, classic, clean} {

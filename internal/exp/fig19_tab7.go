@@ -45,13 +45,12 @@ func libraWithParams(ag *AgentSet, exploreRTTs, exploitRTTs int, eiRTTs, th floa
 	}
 }
 
-func runFig19(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runFig19(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 40 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 12 * time.Second
 	}
-	ag := cfg.agents()
 	durations := []struct {
 		name             string
 		explore, exploit int
@@ -65,54 +64,68 @@ func runFig19(cfg RunConfig) *Report {
 		{"[3,1,3]", 3, 3, 1},
 	}
 	wired := WiredScenarios(dur, 24, 48)
-	cell := LTEScenarios(dur, cfg.Seed)[:2]
+	cell := LTEScenarios(dur, rc.Seed)[:2]
+	scens := append(append([]Scenario{}, wired...), cell...)
+
+	ms := Sweep(rc, len(durations)*len(scens), func(jc *RunContext, i int) Metrics {
+		d := durations[i/len(scens)]
+		mk := libraWithParams(jc.agents(), d.explore, d.exploit, d.ei, 0.3)
+		return jc.RunFlow(scens[i%len(scens)], mk, 0)
+	})
 
 	tbl := Table{Name: "C-Libra under different stage durations",
 		Cols: []string{"[explore,EI,exploit]", "wired util", "wired delay(ms)", "cell util", "cell delay(ms)"}}
-	for _, d := range durations {
-		mk := libraWithParams(ag, d.explore, d.exploit, d.ei, 0.3)
-		avg := func(ss []Scenario) (float64, float64) {
+	for di, d := range durations {
+		avg := func(lo, n int) (float64, float64) {
 			var u, dl float64
-			for si, s := range ss {
-				m := RunFlow(s, mk, cfg.Seed+int64(si)*19, 0)
+			for k := 0; k < n; k++ {
+				m := ms[di*len(scens)+lo+k]
 				u += m.Util
 				dl += m.DelayMs
 			}
-			return u / float64(len(ss)), dl / float64(len(ss))
+			return u / float64(n), dl / float64(n)
 		}
-		wu, wd := avg(wired)
-		cu, cd := avg(cell)
+		wu, wd := avg(0, len(wired))
+		cu, cd := avg(len(wired), len(cell))
 		tbl.AddRow(d.name, fmtF(wu, 3), fmtF(wd, 0), fmtF(cu, 3), fmtF(cd, 0))
 	}
 	return &Report{ID: "fig19", Title: "Stage-duration sensitivity", Tables: []Table{tbl}}
 }
 
-func runTab7(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runTab7(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 40 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 12 * time.Second
 	}
-	ag := cfg.agents()
 	ths := []float64{0.1, 0.2, 0.3, 0.4}
 	wired := WiredScenarios(dur, 24, 48)
-	cell := LTEScenarios(dur, cfg.Seed)[:2]
+	cell := LTEScenarios(dur, rc.Seed)[:2]
+	fams := []struct {
+		name string
+		ss   []Scenario
+	}{{"Wired", wired}, {"Cellular", cell}}
+
+	// Flatten (family, threshold, scenario): families have equal sizes.
+	per := len(wired)
+	ms := Sweep(rc, len(fams)*len(ths)*per, func(jc *RunContext, i int) Metrics {
+		fi := i / (len(ths) * per)
+		ti := i / per % len(ths)
+		mk := libraWithParams(jc.agents(), 1, 1, 0.5, ths[ti])
+		return jc.RunFlow(fams[fi].ss[i%per], mk, 0)
+	})
 
 	tbl := Table{Name: "C-Libra under different switching thresholds",
 		Cols: []string{"config", "util", "avg delay(ms)"}}
-	for _, fam := range []struct {
-		name string
-		ss   []Scenario
-	}{{"Wired", wired}, {"Cellular", cell}} {
-		for _, th := range ths {
-			mk := libraWithParams(ag, 1, 1, 0.5, th)
+	for fi, fam := range fams {
+		for ti, th := range ths {
 			var u, d float64
-			for si, s := range fam.ss {
-				m := RunFlow(s, mk, cfg.Seed+int64(si)*29, 0)
+			for k := 0; k < per; k++ {
+				m := ms[(fi*len(ths)+ti)*per+k]
 				u += m.Util
 				d += m.DelayMs
 			}
-			n := float64(len(fam.ss))
+			n := float64(per)
 			tbl.AddRow(fam.name+"-"+fmtF(th, 1)+"x", fmtF(u/n, 3), fmtF(d/n, 0))
 		}
 	}

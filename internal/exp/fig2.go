@@ -41,22 +41,21 @@ func stepScenario(d time.Duration) Scenario {
 	}
 }
 
-func runFig2a(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runFig2a(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 50 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 20 * time.Second
 	}
 	s := stepScenario(dur)
 	ccas := []string{"proteus", "cl-libra", "c-libra", "orca"}
-	ag := cfg.agents()
+
+	series := Sweep(rc, len(ccas), func(jc *RunContext, i int) []float64 {
+		m := jc.RunFlow(s, mustMaker(ccas[i], jc.agents(), nil), time.Second)
+		return m.Flow.Stats.Throughput.Rates(int(dur / time.Second))
+	})
 
 	tbl := Table{Name: "throughput (Mbps) per second", Cols: append([]string{"t(s)", "capacity"}, ccas...)}
-	series := make([][]float64, len(ccas))
-	for i, name := range ccas {
-		m := RunFlow(s, mustMaker(name, ag, nil), cfg.Seed, time.Second)
-		series[i] = m.Flow.Stats.Throughput.Rates(int(dur / time.Second))
-	}
 	for t := 0; t < int(dur/time.Second); t++ {
 		row := []string{fmtF(float64(t), 0), fmtF(trace.ToMbps(s.Capacity.RateAt(time.Duration(t)*time.Second)), 1)}
 		for i := range ccas {
@@ -67,42 +66,42 @@ func runFig2a(cfg RunConfig) *Report {
 	return &Report{ID: "fig2a", Title: "Throughput over the step scenario", Tables: []Table{tbl}}
 }
 
-func runFig2b(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runFig2b(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 30 * time.Second
 	reps := 30
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 10 * time.Second
 		reps = 8
 	}
 	ccas := []string{"proteus", "cubic", "bbr", "c-libra", "orca"}
-	ag := cfg.agents()
+
+	// One job per (cca, repetition): the LTE trace is drawn from the
+	// job's seed, so every repetition sees a different channel.
+	utils := Sweep(rc, len(ccas)*reps, func(jc *RunContext, i int) float64 {
+		s := Scenario{
+			Name:     "lte",
+			Capacity: trace.NewLTE(trace.LTEWalking, dur, jc.Seed),
+			MinRTT:   30 * time.Millisecond,
+			Buffer:   150_000,
+			Duration: dur,
+		}
+		return jc.RunFlow(s, mustMaker(ccas[i/reps], jc.agents(), nil), 0).Util
+	})
 
 	points := []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0}
 	tbl := Table{Name: "CDF of link utilisation (TMobile-like LTE, repeated runs)",
 		Cols: append([]string{"cca"}, fmtPoints(points)...)}
 	summary := Table{Name: "utilisation summary", Cols: []string{"cca", "mean", "range", "stddev"}}
-	for _, name := range ccas {
-		mk := mustMaker(name, ag, nil)
-		utils := make([]float64, 0, reps)
-		for r := 0; r < reps; r++ {
-			seed := cfg.Seed + int64(r)*37
-			s := Scenario{
-				Name:     "lte",
-				Capacity: trace.NewLTE(trace.LTEWalking, dur, seed),
-				MinRTT:   30 * time.Millisecond,
-				Buffer:   150_000,
-				Duration: dur,
-			}
-			utils = append(utils, RunFlow(s, mk, seed, 0).Util)
-		}
-		cdf := stats.CDF(utils, points)
+	for ci, name := range ccas {
+		us := utils[ci*reps : (ci+1)*reps]
+		cdf := stats.CDF(us, points)
 		row := []string{name}
 		for _, v := range cdf {
 			row = append(row, fmtF(v, 2))
 		}
 		tbl.AddRow(row...)
-		summary.AddRow(name, fmtF(stats.Mean(utils), 3), fmtF(stats.Range(utils), 3), fmtF(stats.StdDev(utils), 3))
+		summary.AddRow(name, fmtF(stats.Mean(us), 3), fmtF(stats.Range(us), 3), fmtF(stats.StdDev(us), 3))
 	}
 	return &Report{ID: "fig2b", Title: "Utilisation CDF over repeated cellular runs", Tables: []Table{tbl, summary}}
 }
@@ -115,17 +114,16 @@ func fmtPoints(ps []float64) []string {
 	return out
 }
 
-func runFig2c(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runFig2c(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 60 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 10 * time.Second
 	}
 	ccas := []string{"cubic", "bbr", "c-libra", "orca", "indigo", "copa", "proteus"}
-	ag := cfg.agents()
 	s := Scenario{
 		Name:     "lte",
-		Capacity: trace.NewLTE(trace.LTEWalking, dur, cfg.Seed),
+		Capacity: trace.NewLTE(trace.LTEWalking, dur, rc.Seed),
 		MinRTT:   30 * time.Millisecond,
 		Buffer:   150_000,
 		Duration: dur,
@@ -135,17 +133,17 @@ func runFig2c(cfg RunConfig) *Report {
 		cpu float64
 		mem float64
 	}
-	rs := make([]res, len(ccas))
+	rs := Sweep(rc, len(ccas), func(jc *RunContext, i int) res {
+		m := jc.RunFlow(s, mustMaker(ccas[i], jc.agents(), nil), 0)
+		return res{cpu: m.CPUFrac, mem: float64(controllerMemBytes(m.Ctrl))}
+	})
 	var maxCPU, maxMem float64
-	for i, name := range ccas {
-		m := RunFlow(s, mustMaker(name, ag, nil), cfg.Seed, 0)
-		rs[i].cpu = m.CPUFrac
-		rs[i].mem = float64(controllerMemBytes(m.Ctrl))
-		if rs[i].cpu > maxCPU {
-			maxCPU = rs[i].cpu
+	for _, r := range rs {
+		if r.cpu > maxCPU {
+			maxCPU = r.cpu
 		}
-		if rs[i].mem > maxMem {
-			maxMem = rs[i].mem
+		if r.mem > maxMem {
+			maxMem = r.mem
 		}
 	}
 	tbl := Table{Name: "normalized overhead (max = 1.0)",

@@ -90,9 +90,9 @@ func trainingScale(quick bool) (episodes int, epLen time.Duration) {
 	return 150, 10 * time.Second
 }
 
-func runFig5(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
-	episodes, epLen := trainingScale(cfg.Quick)
+func runFig5(rc *RunContext) *Report {
+	rc.WithDefaults()
+	episodes, epLen := trainingScale(rc.Quick)
 	spaces := rlcc.NamedStateSpaces()
 	names := make([]string, 0, len(spaces))
 	for n := range spaces {
@@ -101,13 +101,16 @@ func runFig5(cfg RunConfig) *Report {
 	sort.Strings(names)
 
 	const nBuckets = 10
+	curves := Sweep(rc, len(names), func(jc *RunContext, i int) []float64 {
+		ctrl := rlcc.Config{CC: cc.Config{}, Features: spaces[names[i]], Action: rlcc.MIMDAurora, UseDelta: true}
+		return bucketMeans(trainCurve(ctrl, episodes, epLen, jc.Seed), nBuckets)
+	})
+
 	tbl := Table{Name: "mean episode reward per training decile",
 		Cols: append([]string{"state space"}, deciles(nBuckets)...)}
-	for _, n := range names {
-		ctrl := rlcc.Config{CC: cc.Config{}, Features: spaces[n], Action: rlcc.MIMDAurora, UseDelta: true}
-		curve := bucketMeans(trainCurve(ctrl, episodes, epLen, cfg.Seed+int64(len(n))), nBuckets)
+	for i, n := range names {
 		row := []string{n}
-		for _, v := range curve {
+		for _, v := range curves[i] {
 			row = append(row, fmtF(v, 1))
 		}
 		tbl.AddRow(row...)
@@ -124,22 +127,23 @@ func deciles(n int) []string {
 }
 
 // evalFormulation trains a formulation briefly and then measures it on
-// the Sec. 4.2 default network (100 Mbps, 100 ms RTT, 1 BDP).
-func evalFormulation(ctrl rlcc.Config, cfg RunConfig, seedOff int64) (reward, thrMbps, delayMs, loss float64) {
-	episodes, epLen := trainingScale(cfg.Quick)
+// the Sec. 4.2 default network (100 Mbps, 100 ms RTT, 1 BDP), all
+// seeded from the given (job) context.
+func evalFormulation(ctrl rlcc.Config, jc *RunContext) (reward, thrMbps, delayMs, loss float64) {
+	episodes, epLen := trainingScale(jc.Quick)
 	env := rlcc.LaptopEnvRange()
 	env.CapacityMbps = [2]float64{60, 140}
 	env.RTT = [2]time.Duration{80 * time.Millisecond, 120 * time.Millisecond}
 	env.CellularFraction = 0
 	res := rlcc.Train(rlcc.TrainConfig{
-		Episodes: episodes, EpisodeLen: epLen, Env: &env, Ctrl: ctrl, Seed: cfg.Seed + seedOff,
+		Episodes: episodes, EpisodeLen: epLen, Env: &env, Ctrl: ctrl, Seed: jc.Seed,
 	})
 	evalCfg := ctrl.WithDefaults()
 	evalCfg.Agent = res.Agent
 	evalCfg.Norm = res.Norm
 	evalCfg.Train = false
 	dur := 30 * time.Second
-	if cfg.Quick {
+	if jc.Quick {
 		dur = 10 * time.Second
 	}
 	s := Scenario{
@@ -148,11 +152,11 @@ func evalFormulation(ctrl rlcc.Config, cfg RunConfig, seedOff int64) (reward, th
 		Buffer:   int(trace.Mbps(100) * 0.1),
 		Duration: dur,
 	}
-	m := RunFlow(s, func(seed int64) cc.Controller {
+	m := jc.RunFlow(s, func(seed int64) cc.Controller {
 		c := evalCfg
 		c.CC.Seed = seed
 		return rlcc.New("eval", c)
-	}, cfg.Seed+seedOff, 0)
+	}, 0)
 	rew := m.Ctrl.(*rlcc.Controller).EpisodeReward() / float64(max1(m.Ctrl.(*rlcc.Controller).Decisions()))
 	return rew, m.ThrMbps, m.DelayMs, m.LossRate * 100
 }
@@ -164,8 +168,8 @@ func max1(v int) int {
 	return v
 }
 
-func runTab2(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runTab2(rc *RunContext) *Report {
+	rc.WithDefaults()
 	F := struct{ i, ii, iii, iv, v, vi, vii, viii, ix rlcc.Feature }{
 		rlcc.FeatAckGapEWMA, rlcc.FeatSendGapEWMA, rlcc.FeatRTTRatio, rlcc.FeatSendRate,
 		rlcc.FeatSentAckedRatio, rlcc.FeatRTTAndMin, rlcc.FeatLossRate, rlcc.FeatRTTGradient,
@@ -183,29 +187,30 @@ func runTab2(cfg RunConfig) *Report {
 		{"+(iii)", []rlcc.Feature{F.iii, F.iv, F.vi, F.vii, F.viii, F.ix}},
 		{"-(ix)", []rlcc.Feature{F.iv, F.vi, F.vii, F.viii}},
 	}
+	evals := Sweep(rc, len(variants), func(jc *RunContext, i int) [4]float64 {
+		ctrl := rlcc.Config{Features: variants[i].fs, Action: rlcc.MIMDAurora, UseDelta: true}
+		rew, thr, del, loss := evalFormulation(ctrl, jc)
+		return [4]float64{rew, thr, del, loss}
+	})
 	tbl := Table{Name: "vs baseline (positive reward delta = better)",
 		Cols: []string{"state set", "d-reward", "d-thr(Mbps)", "d-latency(ms)", "d-loss(pp)"}}
-	var base [4]float64
+	base := evals[0]
 	for i, v := range variants {
-		ctrl := rlcc.Config{Features: v.fs, Action: rlcc.MIMDAurora, UseDelta: true}
-		rew, thr, del, loss := evalFormulation(ctrl, cfg, int64(i+1)*211)
 		if i == 0 {
-			base = [4]float64{rew, thr, del, loss}
 			tbl.AddRow(v.name, "0 (ref)", "0 (ref)", "0 (ref)", "0 (ref)")
 			continue
 		}
-		tbl.AddRow(v.name, fmtF(rew-base[0], 3), fmtF(thr-base[1], 1),
-			fmtF(del-base[2], 0), fmtF(loss-base[3], 2))
+		e := evals[i]
+		tbl.AddRow(v.name, fmtF(e[0]-base[0], 3), fmtF(e[1]-base[1], 1),
+			fmtF(e[2]-base[2], 0), fmtF(e[3]-base[3], 2))
 	}
 	return &Report{ID: "tab2", Title: "State-space ablation", Tables: []Table{tbl}}
 }
 
-func runFig6(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
-	episodes, epLen := trainingScale(cfg.Quick)
+func runFig6(rc *RunContext) *Report {
+	rc.WithDefaults()
+	episodes, epLen := trainingScale(rc.Quick)
 	const nBuckets = 10
-	tbl := Table{Name: "mean episode reward per training decile",
-		Cols: append([]string{"action space"}, deciles(nBuckets)...)}
 	cases := []struct {
 		name  string
 		mode  rlcc.ActionMode
@@ -218,11 +223,15 @@ func runFig6(cfg RunConfig) *Report {
 		{"MIMD scale=5", rlcc.MIMDAurora, 5},
 		{"MIMD scale=10", rlcc.MIMDAurora, 10},
 	}
+	curves := Sweep(rc, len(cases), func(jc *RunContext, i int) []float64 {
+		ctrl := rlcc.Config{Action: cases[i].mode, Scale: cases[i].scale, UseDelta: true}
+		return bucketMeans(trainCurve(ctrl, episodes, epLen, jc.Seed), nBuckets)
+	})
+	tbl := Table{Name: "mean episode reward per training decile",
+		Cols: append([]string{"action space"}, deciles(nBuckets)...)}
 	for i, cse := range cases {
-		ctrl := rlcc.Config{Action: cse.mode, Scale: cse.scale, UseDelta: true}
-		curve := bucketMeans(trainCurve(ctrl, episodes, epLen, cfg.Seed+int64(i)*307), nBuckets)
 		row := []string{cse.name}
-		for _, v := range curve {
+		for _, v := range curves[i] {
 			row = append(row, fmtF(v, 1))
 		}
 		tbl.AddRow(row...)
@@ -230,54 +239,68 @@ func runFig6(cfg RunConfig) *Report {
 	return &Report{ID: "fig6", Title: "Action-space comparison", Tables: []Table{tbl}}
 }
 
-func runTab3(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
-	tbl := Table{Name: "100Mbps / 100ms / 1BDP", Cols: []string{"setting", "thr(Mbps)", "latency(ms)", "loss(%)"}}
+func runTab3(rc *RunContext) *Report {
+	rc.WithDefaults()
 	with := rlcc.Config{Action: rlcc.MIMDAurora, UseDelta: true}
 	without := with
 	without.DisableLossTerm = true
-	_, thr, del, loss := evalFormulation(with, cfg, 401)
-	tbl.AddRow("with loss rate", fmtF(thr, 1), fmtF(del, 0), fmtF(loss, 2))
-	_, thr, del, loss = evalFormulation(without, cfg, 402)
-	tbl.AddRow("w/o loss rate", fmtF(thr, 1), fmtF(del, 0), fmtF(loss, 2))
+	cases := []struct {
+		name string
+		ctrl rlcc.Config
+	}{{"with loss rate", with}, {"w/o loss rate", without}}
+	evals := Sweep(rc, len(cases), func(jc *RunContext, i int) [4]float64 {
+		rew, thr, del, loss := evalFormulation(cases[i].ctrl, jc)
+		return [4]float64{rew, thr, del, loss}
+	})
+	tbl := Table{Name: "100Mbps / 100ms / 1BDP", Cols: []string{"setting", "thr(Mbps)", "latency(ms)", "loss(%)"}}
+	for i, cse := range cases {
+		tbl.AddRow(cse.name, fmtF(evals[i][1], 1), fmtF(evals[i][2], 0), fmtF(evals[i][3], 2))
+	}
 	return &Report{ID: "tab3", Title: "Loss term in the reward", Tables: []Table{tbl}}
 }
 
-func runTab4(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
-	tbl := Table{Name: "100Mbps / 100ms / 1BDP", Cols: []string{"setting", "thr(Mbps)", "latency(ms)", "loss(%)", "fairness"}}
-	for _, cse := range []struct {
+func runTab4(rc *RunContext) *Report {
+	rc.WithDefaults()
+	cases := []struct {
 		name     string
 		useDelta bool
-		off      int64
-	}{{"r", false, 501}, {"dr", true, 502}} {
-		ctrl := rlcc.Config{Action: rlcc.MIMDAurora, UseDelta: cse.useDelta}
-		_, thr, del, loss := evalFormulation(ctrl, cfg, cse.off)
+	}{{"r", false}, {"dr", true}}
+	type res struct {
+		thr, del, loss, fair float64
+	}
+	evals := Sweep(rc, len(cases), func(jc *RunContext, i int) res {
+		ctrl := rlcc.Config{Action: rlcc.MIMDAurora, UseDelta: cases[i].useDelta}
+		_, thr, del, loss := evalFormulation(ctrl, jc)
 		// Fairness: two flows with the same trained formulation.
-		episodes, epLen := trainingScale(cfg.Quick)
+		episodes, epLen := trainingScale(jc.Quick)
 		env := rlcc.LaptopEnvRange()
 		env.CellularFraction = 0
-		res := rlcc.Train(rlcc.TrainConfig{Episodes: episodes, EpisodeLen: epLen, Env: &env,
-			Ctrl: ctrl, Seed: cfg.Seed + cse.off + 7})
+		tr := rlcc.Train(rlcc.TrainConfig{Episodes: episodes, EpisodeLen: epLen, Env: &env,
+			Ctrl: ctrl, Seed: jc.Seed + 7})
 		mk := func(seed int64) cc.Controller {
 			c := ctrl.WithDefaults()
-			c.Agent = res.Agent
-			c.Norm = res.Norm
+			c.Agent = tr.Agent
+			c.Norm = tr.Norm
 			c.CC.Seed = seed
 			return rlcc.New("tab4", c)
 		}
 		dur := 30 * time.Second
-		if cfg.Quick {
+		if jc.Quick {
 			dur = 10 * time.Second
 		}
-		ms := RunFlows(Scenario{
+		ms := jc.RunFlows(Scenario{
 			Capacity: trace.Constant(trace.Mbps(100)),
 			MinRTT:   100 * time.Millisecond,
 			Buffer:   int(trace.Mbps(100) * 0.1),
 			Duration: dur,
-		}, []Maker{mk, mk}, []time.Duration{0, 0}, cfg.Seed+cse.off, 0)
-		j := stats.JainIndex([]float64{ms[0].ThrMbps, ms[1].ThrMbps})
-		tbl.AddRow(cse.name, fmtF(thr, 1), fmtF(del, 0), fmtF(loss, 2), fmtF(j, 3))
+		}, []Maker{mk, mk}, []time.Duration{0, 0}, 0)
+		return res{thr: thr, del: del, loss: loss,
+			fair: stats.JainIndex([]float64{ms[0].ThrMbps, ms[1].ThrMbps})}
+	})
+	tbl := Table{Name: "100Mbps / 100ms / 1BDP", Cols: []string{"setting", "thr(Mbps)", "latency(ms)", "loss(%)", "fairness"}}
+	for i, cse := range cases {
+		e := evals[i]
+		tbl.AddRow(cse.name, fmtF(e.thr, 1), fmtF(e.del, 0), fmtF(e.loss, 2), fmtF(e.fair, 3))
 	}
 	return &Report{ID: "tab4", Title: "r vs delta-r reward", Tables: []Table{tbl}}
 }

@@ -13,29 +13,31 @@ func init() {
 	})
 }
 
-func runFig7(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runFig7(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 60 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 12 * time.Second
 	}
 	wired := WiredScenarios(dur)
-	cellular := LTEScenarios(dur, cfg.Seed)
+	cellular := LTEScenarios(dur, rc.Seed)
 	ccas := []string{"cubic", "bbr", "copa", "sprout", "vivace", "proteus", "remy",
 		"indigo", "aurora", "orca", "mod-rl", "cl-libra", "c-libra", "b-libra"}
-	ag := cfg.agents()
 
 	family := func(name string, ss []Scenario) Table {
 		tbl := Table{Name: name, Cols: []string{"cca", "norm.thr", "avg delay(ms)", "loss"}}
-		// First pass: find the best average throughput for normalisation.
+		// One job per (cca, scenario) flow; normalisation needs every
+		// result, so it runs after the sweep.
+		ms := Sweep(rc, len(ccas)*len(ss), func(jc *RunContext, i int) Metrics {
+			return jc.RunFlow(ss[i%len(ss)], mustMaker(ccas[i/len(ss)], jc.agents(), nil), 0)
+		})
 		type agg struct{ thr, delay, loss float64 }
-		res := map[string]agg{}
+		aggs := make([]agg, len(ccas))
 		best := 0.0
-		for _, cca := range ccas {
-			mk := mustMaker(cca, ag, nil)
+		for ci := range ccas {
 			var a agg
-			for si, s := range ss {
-				m := RunFlow(s, mk, cfg.Seed+int64(si)*131, 0)
+			for si := range ss {
+				m := ms[ci*len(ss)+si]
 				a.thr += m.ThrMbps
 				a.delay += m.DelayMs
 				a.loss += m.LossRate
@@ -44,13 +46,13 @@ func runFig7(cfg RunConfig) *Report {
 			a.thr /= n
 			a.delay /= n
 			a.loss /= n
-			res[cca] = a
+			aggs[ci] = a
 			if a.thr > best {
 				best = a.thr
 			}
 		}
-		for _, cca := range ccas {
-			a := res[cca]
+		for ci, cca := range ccas {
+			a := aggs[ci]
 			tbl.AddRow(cca, fmtF(a.thr/best, 3), fmtF(a.delay, 0), fmtF(a.loss, 4))
 		}
 		return tbl

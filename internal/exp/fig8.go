@@ -15,25 +15,23 @@ func init() {
 	})
 }
 
-func runFig8(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runFig8(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 35 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 20 * time.Second
 	}
-	tour := trace.NewDrivingTour(dur, cfg.Seed+99)
+	tour := trace.NewDrivingTour(dur, rc.Seed+99)
 	s := Scenario{Name: "driving-tour", Capacity: tour, MinRTT: 30 * time.Millisecond,
 		Buffer: 150_000, Duration: dur}
 	ccas := []string{"c-libra", "b-libra", "proteus", "cubic", "bbr", "orca"}
-	ag := cfg.agents()
 
 	tbl := Table{Name: "throughput (Mbps) per second vs capacity",
 		Cols: append([]string{"t(s)", "capacity"}, ccas...)}
-	series := make([][]float64, len(ccas))
-	for i, name := range ccas {
-		m := RunFlow(s, mustMaker(name, ag, nil), cfg.Seed, time.Second)
-		series[i] = m.Flow.Stats.Throughput.Rates(int(dur / time.Second))
-	}
+	series := Sweep(rc, len(ccas), func(jc *RunContext, i int) []float64 {
+		m := jc.RunFlow(s, mustMaker(ccas[i], jc.agents(), nil), time.Second)
+		return m.Flow.Stats.Throughput.Rates(int(dur / time.Second))
+	})
 	for t := 0; t < int(dur/time.Second); t++ {
 		capMbps := trace.ToMbps(trace.MeanRate(offsetTrace{tour, time.Duration(t) * time.Second}, time.Second, 100*time.Millisecond))
 		row := []string{fmtF(float64(t), 0), fmtF(capMbps, 1)}

@@ -21,31 +21,33 @@ func init() {
 	})
 }
 
-func runFig9(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runFig9(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 40 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 12 * time.Second
 	}
 	buffers := []int{10_000, 30_000, 100_000, 300_000, 1_000_000}
 	ccas := []string{"proteus", "bbr", "copa", "cubic", "orca", "c-libra", "b-libra"}
-	ag := cfg.agents()
+
+	ms := Sweep(rc, len(ccas)*len(buffers), func(jc *RunContext, i int) Metrics {
+		s := Scenario{
+			Name:     "buffer-sweep",
+			Capacity: trace.Constant(trace.Mbps(60)),
+			MinRTT:   100 * time.Millisecond,
+			Buffer:   buffers[i%len(buffers)],
+			Duration: dur,
+		}
+		return jc.RunFlow(s, mustMaker(ccas[i/len(buffers)], jc.agents(), nil), 0)
+	})
 
 	util := Table{Name: "link utilisation vs buffer", Cols: append([]string{"cca"}, bufNames(buffers)...)}
 	delay := Table{Name: "avg delay (ms) vs buffer", Cols: append([]string{"cca"}, bufNames(buffers)...)}
-	for _, name := range ccas {
-		mk := mustMaker(name, ag, nil)
+	for ci, name := range ccas {
 		ru := []string{name}
 		rd := []string{name}
-		for bi, b := range buffers {
-			s := Scenario{
-				Name:     "buffer-sweep",
-				Capacity: trace.Constant(trace.Mbps(60)),
-				MinRTT:   100 * time.Millisecond,
-				Buffer:   b,
-				Duration: dur,
-			}
-			m := RunFlow(s, mk, cfg.Seed+int64(bi)*17, 0)
+		for bi := range buffers {
+			m := ms[ci*len(buffers)+bi]
 			ru = append(ru, fmtF(m.Util, 2))
 			rd = append(rd, fmtF(m.DelayMs, 0))
 		}
@@ -63,31 +65,32 @@ func bufNames(bs []int) []string {
 	return out
 }
 
-func runFig10(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runFig10(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 40 * time.Second
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 12 * time.Second
 	}
 	losses := []float64{0, 0.02, 0.04, 0.06, 0.08, 0.10}
 	ccas := []string{"proteus", "bbr", "copa", "cubic", "orca", "c-libra", "b-libra"}
-	ag := cfg.agents()
+
+	ms := Sweep(rc, len(ccas)*len(losses), func(jc *RunContext, i int) Metrics {
+		s := Scenario{
+			Name:     "loss-sweep",
+			Capacity: trace.Constant(trace.Mbps(48)),
+			MinRTT:   40 * time.Millisecond,
+			Buffer:   240_000,
+			Loss:     losses[i%len(losses)],
+			Duration: dur,
+		}
+		return jc.RunFlow(s, mustMaker(ccas[i/len(losses)], jc.agents(), nil), 0)
+	})
 
 	tbl := Table{Name: "link utilisation vs stochastic loss", Cols: append([]string{"cca"}, lossNames(losses)...)}
-	for _, name := range ccas {
-		mk := mustMaker(name, ag, nil)
+	for ci, name := range ccas {
 		row := []string{name}
-		for li, l := range losses {
-			s := Scenario{
-				Name:     "loss-sweep",
-				Capacity: trace.Constant(trace.Mbps(48)),
-				MinRTT:   40 * time.Millisecond,
-				Buffer:   240_000,
-				Loss:     l,
-				Duration: dur,
-			}
-			m := RunFlow(s, mk, cfg.Seed+int64(li)*23, 0)
-			row = append(row, fmtF(m.Util, 2))
+		for li := range losses {
+			row = append(row, fmtF(ms[ci*len(losses)+li].Util, 2))
 		}
 		tbl.AddRow(row...)
 	}

@@ -22,20 +22,18 @@ func init() {
 // wired path and reports throughput/delay/loss plus Libra's skipped
 // (no-feedback) cycle count — the visible footprint of the no-ACK
 // watchdog.
-func runFigA1(cfg RunConfig) *Report {
-	cfg = cfg.WithDefaults()
+func runFigA1(rc *RunContext) *Report {
+	rc.WithDefaults()
 	dur := 60 * time.Second
 	classes := []string{"none", "bursty", "blackout", "reorder", "jitter", "dup", "cap-flap", "hostile"}
-	if cfg.Quick {
+	if rc.Quick {
 		dur = 12 * time.Second
 		classes = []string{"none", "bursty", "blackout", "cap-flap"}
 	}
 	ccas := []string{"cubic", "bbr", "mod-rl", "c-libra", "b-libra"}
-	ag := cfg.agents()
 
-	tbl := Table{Name: "per fault class: throughput (Mbps), delay (ms), loss (%), skipped cycles",
-		Cols: []string{"fault", "cca", "thr", "delay", "loss%", "skipped"}}
-	for _, class := range classes {
+	scens := make([]Scenario, len(classes))
+	for i, class := range classes {
 		var plan *faults.Plan
 		if class != "none" {
 			p, ok := faults.Preset(class)
@@ -44,7 +42,7 @@ func runFigA1(cfg RunConfig) *Report {
 			}
 			plan = p
 		}
-		s := Scenario{
+		scens[i] = Scenario{
 			Name:     "adversarial-" + class,
 			Capacity: trace.Constant(trace.Mbps(24)),
 			MinRTT:   40 * time.Millisecond,
@@ -52,8 +50,17 @@ func runFigA1(cfg RunConfig) *Report {
 			Duration: dur,
 			Faults:   plan,
 		}
-		for _, name := range ccas {
-			m := RunFlow(s, mustMaker(name, ag, nil), cfg.Seed, 0)
+	}
+
+	ms := Sweep(rc, len(classes)*len(ccas), func(jc *RunContext, i int) Metrics {
+		return jc.RunFlow(scens[i/len(ccas)], mustMaker(ccas[i%len(ccas)], jc.agents(), nil), 0)
+	})
+
+	tbl := Table{Name: "per fault class: throughput (Mbps), delay (ms), loss (%), skipped cycles",
+		Cols: []string{"fault", "cca", "thr", "delay", "loss%", "skipped"}}
+	for si, class := range classes {
+		for ci, name := range ccas {
+			m := ms[si*len(ccas)+ci]
 			if m.Failed {
 				tbl.AddRow(class, name, "failed", "-", "-", "-")
 				continue

@@ -21,6 +21,7 @@ import (
 	"libra/internal/netem"
 	"libra/internal/netem/faults"
 	"libra/internal/rlcc"
+	"libra/internal/sweep"
 	"libra/internal/trace"
 	"libra/internal/utility"
 )
@@ -34,8 +35,8 @@ type Scenario struct {
 	Loss     float64
 	Duration time.Duration
 	// Faults composes adversarial link dynamics onto the bottleneck.
-	// Nil falls back to the harness-wide plan set via SetFaultPlan
-	// (itself nil by default: no faults).
+	// Nil falls back to the RunContext's plan (itself nil by default:
+	// no faults).
 	Faults *faults.Plan
 }
 
@@ -227,6 +228,17 @@ func MakerFor(name string, ag *AgentSet, util utility.Func) (Maker, error) {
 	}
 }
 
+// ccaUsesAgents reports whether the named controller consults the
+// trained agent set; for anything else, resolving agents (and possibly
+// triggering lazy training) would be pure waste.
+func ccaUsesAgents(name string) bool {
+	switch name {
+	case "aurora", "orca", "mod-rl", "c-libra", "b-libra", "cl-libra":
+		return true
+	}
+	return false
+}
+
 // mustMaker is MakerFor for statically known controller names (the
 // experiment definitions); it panics on a name the registry rejects.
 func mustMaker(name string, ag *AgentSet, util utility.Func) Maker {
@@ -238,12 +250,11 @@ func mustMaker(name string, ag *AgentSet, util utility.Func) Maker {
 }
 
 // faultsFor resolves the scenario's fault plan (falling back to the
-// harness-wide default) into a bound-ready injector; nil means no
-// faults.
-func faultsFor(s Scenario, seed int64) (netem.FaultInjector, error) {
+// context's plan) into a bound-ready injector; nil means no faults.
+func (rc *RunContext) faultsFor(s Scenario, seed int64) (netem.FaultInjector, error) {
 	plan := s.Faults
 	if plan == nil {
-		plan = defaultFaultPlan
+		plan = rc.FaultPlan
 	}
 	if plan.Empty() {
 		return nil, nil
@@ -253,28 +264,29 @@ func faultsFor(s Scenario, seed int64) (netem.FaultInjector, error) {
 
 // failedRun records one aborted flow run and returns its marker
 // metrics.
-func failedRun(s Scenario, err error) Metrics {
-	metricsReg.Counter("libra_flow_failures_total",
+func (rc *RunContext) failedRun(s Scenario, err error) Metrics {
+	rc.Metrics.Counter("libra_flow_failures_total",
 		"flow runs aborted by a controller panic or invalid configuration").Inc()
 	return Metrics{Failed: true, Err: fmt.Errorf("scenario %s: %w", s.Name, err)}
 }
 
-// RunFlow drives one controller over a scenario and returns its
-// metrics. When bucket > 0 the flow records time series at that width.
-// Results are also summarised into MetricsRegistry, and a tracer set
-// via SetTracer is wired through the network and controller. A panic
-// out of the controller (or an invalid fault plan) is contained: the
-// run is recorded as failed (Metrics.Failed/Err) instead of unwinding
-// the whole experiment.
-func RunFlow(s Scenario, mk Maker, seed int64, bucket time.Duration) (m Metrics) {
+// RunFlow drives one controller over a scenario, seeded by the
+// context, and returns its metrics. When bucket > 0 the flow records
+// time series at that width. Results are also summarised into
+// rc.Metrics, and rc.Tracer is wired through the network and
+// controller. A panic out of the controller (or an invalid fault
+// plan) is contained: the run is recorded as failed
+// (Metrics.Failed/Err) instead of unwinding the whole experiment.
+func (rc *RunContext) RunFlow(s Scenario, mk Maker, bucket time.Duration) (m Metrics) {
+	rc.WithDefaults()
 	defer func() {
 		if r := recover(); r != nil {
-			m = failedRun(s, fmt.Errorf("panic: %v", r))
+			m = rc.failedRun(s, fmt.Errorf("panic: %v", r))
 		}
 	}()
-	inj, err := faultsFor(s, seed)
+	inj, err := rc.faultsFor(s, rc.Seed)
 	if err != nil {
-		return failedRun(s, err)
+		return rc.failedRun(s, err)
 	}
 	n := netem.New(netem.Config{
 		Capacity:     s.Capacity,
@@ -282,35 +294,37 @@ func RunFlow(s Scenario, mk Maker, seed int64, bucket time.Duration) (m Metrics)
 		BufferBytes:  s.Buffer,
 		LossRate:     s.Loss,
 		Faults:       inj,
-		Seed:         seed,
+		Seed:         rc.Seed,
 		RecordSeries: bucket > 0,
 		SeriesBucket: bucket,
-		Tracer:       runTracer,
+		Tracer:       rc.Tracer,
 	})
-	ctrl := mk(seed)
-	attachTracer(ctrl, 0)
+	ctrl := mk(rc.Seed)
+	rc.AttachTracer(ctrl, 0)
 	f := n.AddFlow(ctrl, 0, 0)
 	n.Run(s.Duration)
-	recordLink(n, s.Duration)
-	return Observe(n, f, s.Duration)
+	rc.recordLink(n, s.Duration)
+	return rc.Observe(n, f, s.Duration)
 }
 
-// RunFlows drives several controllers sharing one bottleneck; starts[i]
-// delays flow i. Returns per-flow metrics. Like RunFlow, a panic marks
+// RunFlows drives several controllers sharing one bottleneck;
+// starts[i] delays flow i. Per-flow seeds are sub-derived from the
+// context seed. Returns per-flow metrics. Like RunFlow, a panic marks
 // every flow of the run failed rather than escaping.
-func RunFlows(s Scenario, mks []Maker, starts []time.Duration, seed int64, bucket time.Duration) (out []Metrics) {
+func (rc *RunContext) RunFlows(s Scenario, mks []Maker, starts []time.Duration, bucket time.Duration) (out []Metrics) {
+	rc.WithDefaults()
 	defer func() {
 		if r := recover(); r != nil {
-			m := failedRun(s, fmt.Errorf("panic: %v", r))
+			m := rc.failedRun(s, fmt.Errorf("panic: %v", r))
 			out = make([]Metrics, len(mks))
 			for i := range out {
 				out[i] = m
 			}
 		}
 	}()
-	inj, err := faultsFor(s, seed)
+	inj, err := rc.faultsFor(s, rc.Seed)
 	if err != nil {
-		m := failedRun(s, err)
+		m := rc.failedRun(s, err)
 		out = make([]Metrics, len(mks))
 		for i := range out {
 			out[i] = m
@@ -323,10 +337,10 @@ func RunFlows(s Scenario, mks []Maker, starts []time.Duration, seed int64, bucke
 		BufferBytes:  s.Buffer,
 		LossRate:     s.Loss,
 		Faults:       inj,
-		Seed:         seed,
+		Seed:         rc.Seed,
 		RecordSeries: bucket > 0,
 		SeriesBucket: bucket,
-		Tracer:       runTracer,
+		Tracer:       rc.Tracer,
 	})
 	flows := make([]*netem.Flow, len(mks))
 	for i, mk := range mks {
@@ -334,34 +348,28 @@ func RunFlows(s Scenario, mks []Maker, starts []time.Duration, seed int64, bucke
 		if i < len(starts) {
 			start = starts[i]
 		}
-		ctrl := mk(seed + int64(i)*101)
-		attachTracer(ctrl, i)
+		ctrl := mk(sweep.SubSeed(rc.Seed, i))
+		rc.AttachTracer(ctrl, i)
 		flows[i] = n.AddFlow(ctrl, start, 0)
 	}
 	n.Run(s.Duration)
-	recordLink(n, s.Duration)
+	rc.recordLink(n, s.Duration)
 	out = make([]Metrics, len(flows))
 	for i, f := range flows {
-		out[i] = Observe(n, f, s.Duration)
+		out[i] = rc.Observe(n, f, s.Duration)
 	}
 	return out
 }
 
-// defaultFaultPlan is the harness-wide fault plan applied to scenarios
-// that don't carry their own (libra-bench -fault).
-var defaultFaultPlan *faults.Plan
-
-// SetFaultPlan sets (or, with nil, clears) the harness-wide fault plan.
-func SetFaultPlan(p *faults.Plan) { defaultFaultPlan = p }
-
-// Repeat runs the scenario rep times with distinct seeds and returns
-// the per-run metrics.
-func Repeat(s Scenario, mk Maker, reps int, seed int64) []Metrics {
-	out := make([]Metrics, reps)
-	for i := 0; i < reps; i++ {
-		out[i] = RunFlow(s, mk, seed+int64(i)*977, 0)
-	}
-	return out
+// Repeat runs the scenario reps times with sub-derived seeds — one
+// Sweep job per repetition, so repetitions parallelise across
+// rc.Workers — and returns the per-run metrics in repetition order. mk
+// is invoked once per job with the job's context so agent-backed
+// makers bind the job's private clone (see CCAMaker).
+func (rc *RunContext) Repeat(s Scenario, mk func(*RunContext) Maker, reps int) []Metrics {
+	return Sweep(rc, reps, func(jc *RunContext, _ int) Metrics {
+		return jc.RunFlow(s, mk(jc), 0)
+	})
 }
 
 // fmtF formats a float with the given precision.

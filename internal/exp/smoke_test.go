@@ -23,7 +23,10 @@ func TestSmokeAllExperiments(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			start := time.Now()
-			rep := e.Run(RunConfig{Quick: true, Seed: 1, Agents: agents})
+			rc := NewRunContext(1)
+			rc.Quick = true
+			rc.Agents = agents
+			rep := e.Run(rc)
 			if rep == nil || len(rep.Tables) == 0 {
 				t.Fatalf("%s produced no tables", e.ID)
 			}

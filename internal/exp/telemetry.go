@@ -10,30 +10,12 @@ import (
 	"libra/internal/trace"
 )
 
-// The harness-wide metrics registry. Every flow the runner drives is
-// summarised here (histograms for RTT/throughput/utility/cycle length,
-// counters for drops and cycle outcomes), replacing the hand-rolled
-// per-experiment accumulators; the CLIs export it as JSON or
-// Prometheus text and serve it at /metrics next to pprof.
-var (
-	metricsReg = telemetry.NewRegistry()
-	runTracer  telemetry.Tracer
-)
-
-// MetricsRegistry returns the harness registry.
-func MetricsRegistry() *telemetry.Registry { return metricsReg }
-
-// SetMetricsRegistry swaps the harness registry (tests use a fresh one
-// to make assertions hermetic) and returns the previous registry.
-func SetMetricsRegistry(r *telemetry.Registry) *telemetry.Registry {
-	old := metricsReg
-	metricsReg = r
-	return old
-}
-
-// SetTracer wires a tracer into every network and traceable controller
-// the runner subsequently builds (libra-bench -trace-out). Nil disables.
-func SetTracer(t telemetry.Tracer) { runTracer = t }
+// Every flow the runner drives is summarised into the RunContext's
+// registry (histograms for RTT/throughput/utility/cycle length,
+// counters for drops and cycle outcomes); the CLIs export it as JSON
+// or Prometheus text and serve it at /metrics next to pprof. There is
+// no harness-wide registry or tracer any more — each run owns its own
+// via RunContext, and Sweep merges per-job registries deterministically.
 
 // cpuFracBuckets spans controller compute overhead from negligible to
 // pathological (fraction of simulated time).
@@ -42,9 +24,10 @@ func cpuFracBuckets() []float64 {
 }
 
 // Observe computes one flow's run metrics and records them in the
-// harness registry. It is the single summarisation path shared by the
-// runner and the CLIs.
-func Observe(n *netem.Network, f *netem.Flow, d time.Duration) Metrics {
+// context's registry. It is the single summarisation path shared by
+// the runner and the CLIs.
+func (rc *RunContext) Observe(n *netem.Network, f *netem.Flow, d time.Duration) Metrics {
+	rc.WithDefaults()
 	m := Metrics{
 		Util:     n.Utilization(d),
 		ThrMbps:  trace.ToMbps(f.Stats.AvgThroughput()),
@@ -55,23 +38,24 @@ func Observe(n *netem.Network, f *netem.Flow, d time.Duration) Metrics {
 		Net:      n,
 		Ctrl:     f.Controller(),
 	}
-	recordFlow(f, m)
+	rc.recordFlow(f, m)
 	return m
 }
 
 // recordFlow pushes one flow's summary into the registry.
-func recordFlow(f *netem.Flow, m Metrics) {
+func (rc *RunContext) recordFlow(f *netem.Flow, m Metrics) {
+	reg := rc.Metrics
 	name := m.Ctrl.Name()
-	metricsReg.Counter("libra_flows_total", "flows driven by the experiment harness").Inc()
-	metricsReg.Histogram("libra_flow_rtt_ms", "per-flow mean RTT", telemetry.RTTBucketsMs()).
+	reg.Counter("libra_flows_total", "flows driven by the experiment harness").Inc()
+	reg.Histogram("libra_flow_rtt_ms", "per-flow mean RTT", telemetry.RTTBucketsMs()).
 		Observe(m.DelayMs)
-	metricsReg.Histogram("libra_flow_throughput_mbps", "per-flow mean throughput", telemetry.ThroughputBucketsMbps()).
+	reg.Histogram("libra_flow_throughput_mbps", "per-flow mean throughput", telemetry.ThroughputBucketsMbps()).
 		Observe(m.ThrMbps)
-	metricsReg.Histogram("libra_flow_cpu_frac", "controller compute time / simulated time", cpuFracBuckets()).
+	reg.Histogram("libra_flow_cpu_frac", "controller compute time / simulated time", cpuFracBuckets()).
 		Observe(m.CPUFrac)
-	metricsReg.Counter(fmt.Sprintf("libra_flow_acked_bytes_total{cca=%q}", name), "acknowledged bytes by controller").
+	reg.Counter(fmt.Sprintf("libra_flow_acked_bytes_total{cca=%q}", name), "acknowledged bytes by controller").
 		Add(f.Stats.AckedBytes)
-	metricsReg.Counter(fmt.Sprintf("libra_flow_lost_bytes_total{cca=%q}", name), "lost bytes by controller").
+	reg.Counter(fmt.Sprintf("libra_flow_lost_bytes_total{cca=%q}", name), "lost bytes by controller").
 		Add(f.Stats.LostBytes)
 
 	lb, ok := m.Ctrl.(*core.Libra)
@@ -79,14 +63,14 @@ func recordFlow(f *netem.Flow, m Metrics) {
 		return
 	}
 	tel := lb.Telemetry()
-	metricsReg.Counter("libra_cycles_total", "completed control cycles").Add(int64(tel.Cycles))
-	metricsReg.Counter("libra_cycles_skipped_total", "cycles repeated for lack of feedback").Add(int64(tel.Skipped))
+	reg.Counter("libra_cycles_total", "completed control cycles").Add(int64(tel.Cycles))
+	reg.Counter("libra_cycles_skipped_total", "cycles repeated for lack of feedback").Add(int64(tel.Skipped))
 	for c := core.CandPrev; c <= core.CandRL; c++ {
-		metricsReg.Counter(fmt.Sprintf("libra_cycle_wins_total{cand=%q}", c.String()),
+		reg.Counter(fmt.Sprintf("libra_cycle_wins_total{cand=%q}", c.String()),
 			"cycles won per candidate (Fig. 17)").Add(int64(tel.Wins[c]))
 	}
-	cycleLen := metricsReg.Histogram("libra_cycle_len_ms", "control-cycle length", telemetry.CycleLenBucketsMs())
-	utility := metricsReg.Histogram("libra_cycle_utility", "winning candidate utility per cycle", telemetry.UtilityBuckets())
+	cycleLen := reg.Histogram("libra_cycle_len_ms", "control-cycle length", telemetry.CycleLenBucketsMs())
+	utility := reg.Histogram("libra_cycle_utility", "winning candidate utility per cycle", telemetry.UtilityBuckets())
 	for _, rec := range lb.CycleLog() {
 		cycleLen.Observe(float64(rec.End-rec.Start) / float64(time.Millisecond))
 		if rec.Skipped {
@@ -106,41 +90,50 @@ func recordFlow(f *netem.Flow, m Metrics) {
 }
 
 // ObserveLink records one network's bottleneck summary into the
-// harness registry; call once per completed run (the link's drop
+// context's registry; call once per completed run (the link's drop
 // counters are cumulative).
-func ObserveLink(n *netem.Network, d time.Duration) { recordLink(n, d) }
+func (rc *RunContext) ObserveLink(n *netem.Network, d time.Duration) {
+	rc.WithDefaults()
+	rc.recordLink(n, d)
+}
 
-// recordLink pushes one network's bottleneck summary into the registry;
-// call once per run (drop counters are cumulative per link).
-func recordLink(n *netem.Network, d time.Duration) {
+// recordLink pushes one network's bottleneck summary into the
+// registry; call once per run (drop counters are cumulative per link).
+// Reasons are walked in a fixed order so metric registration — and
+// therefore help-text attribution — never depends on map iteration.
+func (rc *RunContext) recordLink(n *netem.Network, d time.Duration) {
+	reg := rc.Metrics
 	ds := n.Link().DropStats()
-	for reason, v := range map[string]int64{
-		telemetry.ReasonTail:     ds.Tail,
-		telemetry.ReasonChannel:  ds.Channel,
-		telemetry.ReasonAQM:      ds.AQM,
-		telemetry.ReasonBlackout: ds.Blackout,
-		telemetry.ReasonBurst:    ds.Burst,
+	for _, rv := range []struct {
+		reason string
+		v      int64
+	}{
+		{telemetry.ReasonTail, ds.Tail},
+		{telemetry.ReasonChannel, ds.Channel},
+		{telemetry.ReasonAQM, ds.AQM},
+		{telemetry.ReasonBlackout, ds.Blackout},
+		{telemetry.ReasonBurst, ds.Burst},
 	} {
-		metricsReg.Counter(fmt.Sprintf("libra_link_drops_total{reason=%q}", reason),
-			"bottleneck drops by reason").Add(v)
+		reg.Counter(fmt.Sprintf("libra_link_drops_total{reason=%q}", rv.reason),
+			"bottleneck drops by reason").Add(rv.v)
 	}
-	metricsReg.Counter("libra_link_dropped_bytes_total", "bytes dropped at the bottleneck").Add(ds.Bytes)
-	metricsReg.Counter("libra_link_marked_total", "packets CE-marked at the bottleneck").Add(ds.Marked)
-	metricsReg.Counter("libra_link_delivered_bytes_total", "bytes serialized through the bottleneck").
+	reg.Counter("libra_link_dropped_bytes_total", "bytes dropped at the bottleneck").Add(ds.Bytes)
+	reg.Counter("libra_link_marked_total", "packets CE-marked at the bottleneck").Add(ds.Marked)
+	reg.Counter("libra_link_delivered_bytes_total", "bytes serialized through the bottleneck").
 		Add(n.Link().DeliveredBytes())
-	metricsReg.Gauge("libra_link_utilization", "delivered bytes / mean capacity of the last recorded run").
+	reg.Gauge("libra_link_utilization", "delivered bytes / mean capacity of the last recorded run").
 		Set(n.Utilization(d))
-	metricsReg.Gauge("libra_link_mean_queue_bytes", "time-averaged bottleneck occupancy of the last recorded run").
+	reg.Gauge("libra_link_mean_queue_bytes", "time-averaged bottleneck occupancy of the last recorded run").
 		Set(n.Link().MeanQueueBytes(n.Eng.Now()))
 }
 
-// attachTracer wires the harness tracer into a freshly built
+// AttachTracer wires the context's tracer into a freshly built
 // controller, when one is configured and the controller supports it.
-func attachTracer(ctrl any, flowID int) {
-	if !telemetry.Enabled(runTracer) {
+func (rc *RunContext) AttachTracer(ctrl any, flowID int) {
+	if !telemetry.Enabled(rc.Tracer) {
 		return
 	}
 	if tb, ok := ctrl.(telemetry.Traceable); ok {
-		tb.SetTracer(runTracer, flowID)
+		tb.SetTracer(rc.Tracer, flowID)
 	}
 }

@@ -11,13 +11,11 @@ import (
 )
 
 // TestRunFlowRecordsMetrics: driving one flow through the runner must
-// populate the harness registry with flow histograms, link counters,
+// populate the context's registry with flow histograms, link counters,
 // and — for Libra — cycle telemetry, and the snapshot must export as
 // both JSON and Prometheus text.
 func TestRunFlowRecordsMetrics(t *testing.T) {
-	reg := telemetry.NewRegistry()
-	old := SetMetricsRegistry(reg)
-	defer SetMetricsRegistry(old)
+	rc := NewRunContext(1)
 
 	s := Scenario{
 		Name:     "reg-smoke",
@@ -26,11 +24,12 @@ func TestRunFlowRecordsMetrics(t *testing.T) {
 		Buffer:   150_000,
 		Duration: 5 * time.Second,
 	}
-	m := RunFlow(s, mustMaker("c-libra", nil, nil), 1, 0)
+	m := rc.RunFlow(s, mustMaker("c-libra", nil, nil), 0)
 	if m.ThrMbps <= 0 {
 		t.Fatalf("run produced no throughput: %+v", m)
 	}
 
+	reg := rc.Metrics
 	snap := reg.Snapshot()
 	if got := snap.Counters["libra_flows_total"]; got != 1 {
 		t.Errorf("libra_flows_total = %d, want 1", got)
@@ -63,16 +62,13 @@ func TestRunFlowRecordsMetrics(t *testing.T) {
 	}
 }
 
-// TestRunnerWiresTracer: a tracer installed with SetTracer must see
+// TestRunnerWiresTracer: a tracer installed on the RunContext must see
 // both controller-side and link-side events from a runner-driven flow.
 func TestRunnerWiresTracer(t *testing.T) {
 	var buf bytes.Buffer
 	rec := telemetry.NewRecorder(&buf)
-	SetTracer(rec)
-	defer SetTracer(nil)
-	reg := telemetry.NewRegistry()
-	old := SetMetricsRegistry(reg)
-	defer SetMetricsRegistry(old)
+	rc := NewRunContext(1)
+	rc.Tracer = rec
 
 	s := Scenario{
 		Name:     "trace-smoke",
@@ -81,7 +77,7 @@ func TestRunnerWiresTracer(t *testing.T) {
 		Buffer:   150_000,
 		Duration: 3 * time.Second,
 	}
-	RunFlow(s, mustMaker("c-libra", nil, nil), 1, 0)
+	rc.RunFlow(s, mustMaker("c-libra", nil, nil), 0)
 	if err := rec.Close(); err != nil {
 		t.Fatalf("recorder close: %v", err)
 	}

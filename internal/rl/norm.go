@@ -61,6 +61,16 @@ func (r *RunningNorm) Normalize(x, dst []float64) []float64 {
 	return dst
 }
 
+// Clone returns an independent copy of the statistics, so concurrent
+// flows can keep observing features without sharing state.
+func (r *RunningNorm) Clone() *RunningNorm {
+	return &RunningNorm{
+		n:    r.n,
+		mean: append([]float64(nil), r.mean...),
+		m2:   append([]float64(nil), r.m2...),
+	}
+}
+
 // normState is the gob wire format for RunningNorm.
 type normState struct {
 	N    float64

@@ -39,6 +39,17 @@ func NewGaussianPolicy(rng *rand.Rand, obsDim, actDim int, hidden []int, initLog
 	return p
 }
 
+// clone deep-copies the policy's weights with a fresh RNG for action
+// sampling; gradients start zeroed.
+func (p *GaussianPolicy) clone(rng *rand.Rand) *GaussianPolicy {
+	return &GaussianPolicy{
+		Actor:   p.Actor.Clone(),
+		LogStd:  append([]float64(nil), p.LogStd...),
+		gLogStd: make([]float64, len(p.gLogStd)),
+		rng:     rng,
+	}
+}
+
 // Sample draws an action and returns it with its log-probability.
 func (p *GaussianPolicy) Sample(obs []float64) (act []float64, logp float64) {
 	mean := p.Actor.Forward(obs)

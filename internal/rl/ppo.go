@@ -252,6 +252,27 @@ func (p *PPO) Update(lastValue float64) UpdateStats {
 	return st
 }
 
+// Clone returns an independent copy of the agent for concurrent
+// inference: policy and critic weights are deep-copied, optimiser
+// state and the rollout buffer start fresh, and the sampling RNG is
+// reseeded from seed (math/rand sources cannot be copied, so the
+// clone's action noise is a deterministic function of seed rather
+// than a continuation of the parent's stream).
+func (p *PPO) Clone(seed int64) *PPO {
+	rng := rand.New(rand.NewSource(seed))
+	out := &PPO{
+		Cfg:    p.Cfg,
+		Policy: p.Policy.clone(rng),
+		Critic: p.Critic.Clone(),
+		actOpt: nn.NewAdam(p.Cfg.ActorLR),
+		crtOpt: nn.NewAdam(p.Cfg.CriticLR),
+		rng:    rng,
+	}
+	out.actOpt.SetClip(p.Cfg.ClipNorm)
+	out.crtOpt.SetClip(p.Cfg.ClipNorm)
+	return out
+}
+
 // MemBytes estimates the resident memory of the agent's models
 // (weights in float64), the overhead-accounting input of Fig. 2(c).
 func (p *PPO) MemBytes() int {

@@ -1,0 +1,115 @@
+package sweep
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS (%d)", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-1); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-1) = %d, want GOMAXPROCS (%d)", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+// Results land at their job's index regardless of worker count or
+// scheduling order.
+func TestMapResultsIndexOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		out := Map(workers, 100, func(i int) int { return i * i })
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// With one worker the jobs run inline on the calling goroutine, in
+// strictly ascending index order.
+func TestMapSerialOrder(t *testing.T) {
+	var order []int // appended without a lock: single worker runs inline
+	Map(1, 10, func(i int) int {
+		order = append(order, i)
+		return i
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	if out := Map(4, 0, func(i int) int { return i }); len(out) != 0 {
+		t.Fatalf("expected empty result, got %v", out)
+	}
+}
+
+// Every job runs exactly once even when jobs far outnumber workers.
+func TestMapRunsEachJobOnce(t *testing.T) {
+	var counts [257]atomic.Int32
+	Map(4, len(counts), func(i int) struct{} {
+		counts[i].Add(1)
+		return struct{}{}
+	})
+	for i := range counts {
+		if n := counts[i].Load(); n != 1 {
+			t.Fatalf("job %d ran %d times", i, n)
+		}
+	}
+}
+
+// A panicking job propagates to the Map caller (with the job index)
+// instead of killing a worker goroutine.
+func TestMapPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: expected panic", workers)
+				}
+				msg, ok := r.(error)
+				if !ok || !strings.Contains(msg.Error(), "job 7 panicked: boom") {
+					t.Fatalf("workers=%d: unexpected panic payload %v", workers, r)
+				}
+			}()
+			Map(workers, 20, func(i int) int {
+				if i == 7 {
+					panic("boom")
+				}
+				return i
+			})
+		}()
+	}
+}
+
+func TestSubSeedDistinctAndStable(t *testing.T) {
+	seen := map[int64]bool{}
+	for _, base := range []int64{0, 1, 2, 42, -9, 1 << 40} {
+		for i := 0; i < 1000; i++ {
+			s := SubSeed(base, i)
+			if seen[s] {
+				t.Fatalf("collision at base=%d i=%d (seed %d)", base, i, s)
+			}
+			seen[s] = true
+			if s != SubSeed(base, i) {
+				t.Fatalf("SubSeed not deterministic at base=%d i=%d", base, i)
+			}
+		}
+	}
+	if SubSeed(1, 0) == 1 {
+		t.Fatal("SubSeed(1, 0) should not echo its base")
+	}
+}

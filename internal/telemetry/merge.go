@@ -1,0 +1,62 @@
+package telemetry
+
+// Merge folds a snapshot of src into r: counters add, gauges take
+// src's value (src wins — a merge replays src's recording "after"
+// r's), histograms add per-bucket counts when the bounds match and
+// fall back to sum/count-only accumulation otherwise. Metrics absent
+// from r are registered first, including zero-valued ones, so a
+// registry merged from N parts is indistinguishable from one that
+// recorded the same runs directly. Merging in a fixed order is the
+// caller's responsibility; the sweep engine merges per-job registries
+// in job order so the result is identical at any worker count.
+func (r *Registry) Merge(src *Registry) {
+	if src == nil || src == r {
+		return
+	}
+	snap := src.Snapshot()
+	src.mu.Lock()
+	help := make(map[string]string, len(src.help))
+	for k, v := range src.help {
+		help[k] = v
+	}
+	src.mu.Unlock()
+
+	for _, name := range sortedKeys(snap.Counters) {
+		r.Counter(name, help[baseName(name)]).Add(snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		r.Gauge(name, help[baseName(name)]).Set(snap.Gauges[name])
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		hs := snap.Histograms[name]
+		r.Histogram(name, help[baseName(name)], hs.Bounds).merge(hs)
+	}
+}
+
+// merge folds a snapshot into the histogram. When the bucket layouts
+// differ (the destination was registered earlier with other bounds)
+// the per-bucket counts cannot be aligned, so only sum and count
+// accumulate and the samples land in no bucket.
+func (h *Histogram) merge(s HistSnapshot) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.bounds) == len(s.Bounds) && len(h.counts) == len(s.Counts) {
+		same := true
+		for i := range h.bounds {
+			if h.bounds[i] != s.Bounds[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			for i := range h.counts {
+				h.counts[i] += s.Counts[i]
+			}
+			h.sum += s.Sum
+			h.count += s.Count
+			return
+		}
+	}
+	h.sum += s.Sum
+	h.count += s.Count
+}

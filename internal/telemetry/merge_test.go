@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Merging N per-part registries must be indistinguishable from having
+// recorded everything into one registry directly.
+func TestMergeMatchesDirectRecording(t *testing.T) {
+	record := func(reg *Registry, part int) {
+		reg.Counter("c_total", "a counter").Add(int64(part + 1))
+		reg.Counter("c_zero", "never incremented").Add(0)
+		reg.Gauge("g_last", "a gauge").Set(float64(part))
+		reg.Histogram("h", "a histogram", []float64{1, 10, 100}).Observe(float64(part * 7))
+	}
+
+	direct := NewRegistry()
+	merged := NewRegistry()
+	for part := 0; part < 3; part++ {
+		record(direct, part)
+		sub := NewRegistry()
+		record(sub, part)
+		merged.Merge(sub)
+	}
+
+	var a, b bytes.Buffer
+	if err := direct.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("merged exposition differs from direct:\n--- direct ---\n%s\n--- merged ---\n%s", a.String(), b.String())
+	}
+
+	snap := merged.Snapshot()
+	if got := snap.Counters["c_total"]; got != 6 {
+		t.Errorf("c_total = %d, want 6", got)
+	}
+	if _, ok := snap.Counters["c_zero"]; !ok {
+		t.Error("zero-valued counter not registered by merge")
+	}
+	if got := snap.Gauges["g_last"]; got != 2 {
+		t.Errorf("g_last = %v, want 2 (last merge wins)", got)
+	}
+	h := snap.Histograms["h"]
+	if h.Count != 3 || h.Sum != 0+7+14 {
+		t.Errorf("histogram count/sum = %d/%v, want 3/21", h.Count, h.Sum)
+	}
+}
+
+func TestMergeNilAndSelf(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c", "").Add(2)
+	reg.Merge(nil)
+	reg.Merge(reg)
+	if got := reg.Snapshot().Counters["c"]; got != 2 {
+		t.Fatalf("c = %d after nil/self merge, want 2", got)
+	}
+}
+
+// Mismatched bucket layouts cannot be aligned; sum and count still
+// accumulate so means stay right.
+func TestMergeHistogramBoundsMismatch(t *testing.T) {
+	dst := NewRegistry()
+	dst.Histogram("h", "", []float64{1, 2, 3}).Observe(2)
+	src := NewRegistry()
+	src.Histogram("h", "", []float64{10, 20}).Observe(15)
+	dst.Merge(src)
+	h := dst.Snapshot().Histograms["h"]
+	if h.Count != 2 || h.Sum != 17 {
+		t.Fatalf("count/sum = %d/%v, want 2/17", h.Count, h.Sum)
+	}
+	var buckets uint64
+	for _, c := range h.Counts {
+		buckets += c
+	}
+	if buckets != 1 {
+		t.Fatalf("bucketed samples = %d, want 1 (mismatched sample lands in no bucket)", buckets)
+	}
+}
+
+// A buffered event stream replayed into a recorder must be identical to
+// recording the events directly.
+func TestBufferReplayByteIdentical(t *testing.T) {
+	evs := []Event{
+		{Type: TypeStage, Flow: 1, T: 10, Stage: "explore"},
+		{Type: TypeQueue, Flow: 2, T: 20, Queue: 35},
+		{Type: TypeStage, Flow: 1, T: 30, Stage: "exploit"},
+	}
+
+	var direct bytes.Buffer
+	rec := NewRecorder(&direct)
+	for i := range evs {
+		rec.Emit(&evs[i])
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	buf := &Buffer{}
+	for i := range evs {
+		buf.Emit(&evs[i])
+	}
+	if buf.Len() != len(evs) {
+		t.Fatalf("buffered %d events, want %d", buf.Len(), len(evs))
+	}
+	var replayed bytes.Buffer
+	rec2 := NewRecorder(&replayed)
+	buf.ReplayTo(rec2)
+	if err := rec2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if direct.String() != replayed.String() {
+		t.Fatalf("replayed stream differs:\n--- direct ---\n%s\n--- replayed ---\n%s", direct.String(), replayed.String())
+	}
+
+	// Nil buffer and nil sink are no-ops, not crashes.
+	var nilBuf *Buffer
+	nilBuf.ReplayTo(rec2)
+	buf.ReplayTo(nil)
+}

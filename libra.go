@@ -212,5 +212,7 @@ func RunExperiment(id string, quick bool, seed int64) (string, bool) {
 	if !ok {
 		return "", false
 	}
-	return e.Run(exp.RunConfig{Quick: quick, Seed: seed}).String(), true
+	rc := exp.NewRunContext(seed)
+	rc.Quick = quick
+	return e.Run(rc).String(), true
 }

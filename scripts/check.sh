@@ -13,6 +13,11 @@ go test -race ./...
 # -short) sweeps, then a short fuzz pass over the two external-input
 # parsers (the Mahimahi trace reader and the FaultPlan JSON decoder).
 go test -race -count=1 ./internal/netem/faults/ ./internal/integration/
+# The parallel sweep paths (worker pool, per-job contexts, registry
+# merge) once more under the race detector, then the timed serial-vs-
+# parallel suite, recorded into BENCH_sweep.json for the perf trajectory.
+go test -race -count=1 ./internal/exp/ ./internal/sweep/
+BENCH_SWEEP=1 go test ./internal/exp/ -run TestBenchSweep -count=1 -v
 go test -run=NONE -fuzz=FuzzParseMahimahi -fuzztime=10s ./internal/trace/
 go test -run=NONE -fuzz=FuzzParsePlan -fuzztime=10s ./internal/netem/faults/
 TELEMETRY_BENCH_GUARD=1 go test ./internal/telemetry/ -run TestNopTracerBudget -count=1 -v
