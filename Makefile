@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench-guard bench-sweep check clean
+.PHONY: all build vet test race fuzz bench-guard bench-sweep analyze check clean
 
 all: check
 
@@ -23,6 +23,7 @@ race:
 # isolation (a parallel ./... sweep measures CPU contention instead).
 bench-guard:
 	TELEMETRY_BENCH_GUARD=1 $(GO) test ./internal/telemetry/ -run TestNopTracerBudget -count=1 -v
+	ANALYZE_BENCH_GUARD=1 $(GO) test ./internal/analyze/ -run TestFeedBudget -count=1 -v
 
 # Sweep-engine wall-clock: times a fixed classic-CCA suite at
 # workers=1 vs workers=GOMAXPROCS and records serial/parallel seconds
@@ -37,7 +38,16 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParseMahimahi -fuzztime=10s ./internal/trace/
 	$(GO) test -run=NONE -fuzz=FuzzParsePlan -fuzztime=10s ./internal/netem/faults/
 
-check: vet build race fuzz bench-guard bench-sweep
+# Trace→analytics smoke: record a short two-flow run with -trace-out,
+# pipe it through `libra-trace analyze -json`, and assert the report
+# parses and covers every flow with completed control cycles.
+analyze:
+	tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/libra-sim -cca c-libra,c-libra -capacity 24 -dur 5s -seed 7 -trace-out $$tmp/events.jsonl >/dev/null && \
+	$(GO) run ./cmd/libra-trace analyze -json $$tmp/events.jsonl | $(GO) run ./scripts/analyzecheck -flows 2 && \
+	rm -rf $$tmp
+
+check: vet build race fuzz bench-guard bench-sweep analyze
 
 clean:
 	$(GO) clean ./...

@@ -21,6 +21,7 @@ import (
 	"libra/internal/cliutil"
 	"libra/internal/exp"
 	"libra/internal/netem/faults"
+	"libra/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file after the runs")
 		metricsFmt = flag.String("metrics-format", "auto", "metrics snapshot format: auto|json|prom")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address")
+		httpAddr   = flag.String("http", "", "serve the live flow dashboard (plus pprof and /metrics) on this address")
 		parallel   = cliutil.ParallelFlag()
 	)
 	flag.Parse()
@@ -88,6 +90,11 @@ func main() {
 	rc.WithDefaults()
 
 	cliutil.StartPprof(*pprofAddr, rc.Metrics)
+	if live := cliutil.StartDashboard(*httpAddr, rc.Metrics); live != nil {
+		rc.Tracer = telemetry.Multi(rc.Tracer, live)
+		rc.Live = live
+		fmt.Printf("live dashboard: http://%s/\n", *httpAddr)
+	}
 
 	for _, id := range ids {
 		e, ok := exp.Get(strings.TrimSpace(id))

@@ -21,6 +21,7 @@ import (
 	"libra/internal/exp"
 	"libra/internal/netem"
 	"libra/internal/netem/faults"
+	"libra/internal/telemetry"
 	"libra/internal/trace"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file after the run")
 		metricsFmt = flag.String("metrics-format", "auto", "metrics snapshot format: auto|json|prom")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address")
+		httpAddr   = flag.String("http", "", "serve the live flow dashboard (plus pprof and /metrics) on this address")
 		parallel   = cliutil.ParallelFlag()
 	)
 	flag.Parse()
@@ -61,6 +63,11 @@ func main() {
 	rc.Tracer = tracer
 	rc.WithDefaults()
 	cliutil.StartPprof(*pprofAddr, rc.Metrics)
+	if live := cliutil.StartDashboard(*httpAddr, rc.Metrics); live != nil {
+		rc.Tracer = telemetry.Multi(rc.Tracer, live)
+		rc.Live = live
+		fmt.Printf("live dashboard: http://%s/\n", *httpAddr)
+	}
 
 	names := strings.Split(*ccas, ",")
 	for i, name := range names {

@@ -1,16 +1,20 @@
-// Command libra-trace generates and inspects capacity traces,
-// including Mahimahi-format import/export so workloads can be exchanged
-// with the emulator the paper used.
+// Command libra-trace generates and inspects capacity traces —
+// including Mahimahi-format import/export so workloads can be
+// exchanged with the emulator the paper used — and analyzes JSONL
+// telemetry event streams recorded with -trace-out.
 //
 // Usage:
 //
 //	libra-trace -gen lte:driving -dur 60s -o driving.mahi
 //	libra-trace -inspect driving.mahi
 //	libra-trace -inspect 'a.mahi,b.mahi,c.mahi' -parallel 4
+//	libra-trace analyze events.jsonl
+//	libra-trace analyze -json -parallel 4 run1.jsonl run2.jsonl
 package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -18,12 +22,18 @@ import (
 	"strings"
 	"time"
 
+	"libra/internal/analyze"
 	"libra/internal/cliutil"
+	"libra/internal/stats"
 	"libra/internal/sweep"
 	"libra/internal/trace"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		runAnalyze(os.Args[2:])
+		return
+	}
 	var (
 		gen      = flag.String("gen", "", "generate: lte:stationary|walking|driving|tour, const:<Mbps>, step:<P,L1,L2,..>")
 		dur      = flag.Duration("dur", 60*time.Second, "trace duration")
@@ -115,6 +125,70 @@ func main() {
 	}
 }
 
+// runAnalyze is the `libra-trace analyze` subcommand: run every JSONL
+// event stream through the streaming analytics engine — files in
+// parallel — and merge the per-file analyses in argument order, so
+// the report is byte-identical at any -parallel setting.
+func runAnalyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the machine-readable JSON report instead of text")
+	window := fs.Duration("window", time.Second, "Jain fairness window width")
+	parallel := fs.Int("parallel", 0, "per-file analysis worker count (0 = GOMAXPROCS)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: libra-trace analyze [-json] [-window 1s] [-parallel N] <events.jsonl>...")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fs.Usage()
+		fatal(errors.New("analyze: no trace files given (record one with libra-sim/libra-bench -trace-out)"))
+	}
+
+	rep, err := analyzeFiles(paths, analyze.Config{Window: *window}, *parallel)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		err = rep.WriteJSON(os.Stdout)
+	} else {
+		err = rep.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// analyzeFiles analyzes every file on `workers` workers and merges the
+// per-file analyses in argument order.
+func analyzeFiles(paths []string, cfg analyze.Config, workers int) (*analyze.Report, error) {
+	type result struct {
+		a   *analyze.Analyzer
+		err error
+	}
+	results := sweep.Map(sweep.Workers(workers), len(paths), func(i int) result {
+		f, err := os.Open(paths[i])
+		if err != nil {
+			return result{err: err}
+		}
+		defer f.Close()
+		a, err := analyze.ReadStream(f, cfg)
+		if err != nil {
+			return result{err: fmt.Errorf("%s: %w", paths[i], err)}
+		}
+		a.Finalize()
+		return result{a: a}
+	})
+	total := analyze.New(cfg)
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		total.Merge(r.a)
+	}
+	return total.Report(), nil
+}
+
 // inspectTrace parses a Mahimahi trace from r and writes its summary
 // statistics to w. A trace with no rate samples (empty file, or headers
 // and comments only) is a clear error rather than a panic.
@@ -127,6 +201,7 @@ func inspectTrace(r io.Reader, name string, w io.Writer) error {
 		return fmt.Errorf("%s: trace has no delivery opportunities (empty or comment-only file)", name)
 	}
 	lo, hi := tr.Rates[0], tr.Rates[0]
+	sk := stats.NewSketch(0)
 	for _, r := range tr.Rates {
 		if r < lo {
 			lo = r
@@ -134,10 +209,12 @@ func inspectTrace(r io.Reader, name string, w io.Writer) error {
 		if r > hi {
 			hi = r
 		}
+		sk.Add(trace.ToMbps(r))
 	}
-	_, err = fmt.Fprintf(w, "duration: %s\nsamples:  %d @ %s\nmean:     %.2f Mbps\nmin/max:  %.2f / %.2f Mbps\n",
+	_, err = fmt.Fprintf(w, "duration: %s\nsamples:  %d @ %s\nmean:     %.2f Mbps\nmin/max:  %.2f / %.2f Mbps\np50/p95/p99: %.2f / %.2f / %.2f Mbps\n",
 		tr.Duration(), len(tr.Rates), tr.Interval,
-		trace.ToMbps(tr.Mean()), trace.ToMbps(lo), trace.ToMbps(hi))
+		trace.ToMbps(tr.Mean()), trace.ToMbps(lo), trace.ToMbps(hi),
+		sk.Quantile(0.50), sk.Quantile(0.95), sk.Quantile(0.99))
 	return err
 }
 

@@ -1,0 +1,336 @@
+package analyze
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"libra/internal/telemetry"
+	"libra/internal/utility"
+)
+
+// synthTrace emits a deterministic two-flow trace exercising every
+// event type the analyzer folds in: full control cycles with stage
+// transitions, decisions with the Eq. 1 triple, an early exit, a
+// no-ACK outage with decay + recover, enqueues/drops/queue samples,
+// and fault windows.
+func synthTrace(sink telemetry.Tracer) {
+	ms := func(n int64) int64 { return n * int64(time.Millisecond) }
+	emit := func(e telemetry.Event) { sink.Emit(&e) }
+	util := utility.Default()
+	u := func(thr, grad, loss float64) float64 { return util.Value(thr, grad, loss) }
+
+	for cyc := int64(0); cyc < 20; cyc++ {
+		for fl := 0; fl < 2; fl++ {
+			base := ms(cyc*40) + int64(fl)*ms(1)
+			rate := 1.25e6 * float64(fl+1) // bytes/s → 10/20 Mbit/s
+			emit(telemetry.Event{T: base, Type: telemetry.TypeStage, Flow: fl, Stage: "explore", Rate: rate})
+			emit(telemetry.Event{T: base + ms(10), Type: telemetry.TypeStage, Flow: fl, Stage: "eval-1", Rate: rate * 0.95})
+			emit(telemetry.Event{T: base + ms(20), Type: telemetry.TypeStage, Flow: fl, Stage: "eval-2", Rate: rate * 1.05})
+			if cyc == 7 && fl == 0 {
+				emit(telemetry.Event{T: base + ms(25), Type: telemetry.TypeEarlyExit, Flow: fl, Reason: "th1"})
+			}
+			emit(telemetry.Event{T: base + ms(30), Type: telemetry.TypeStage, Flow: fl, Stage: "exploit", Rate: rate})
+			thr := rate * 8 / 1e6
+			winner := "x_prev"
+			if cyc%3 == 0 {
+				winner = "x_cl"
+			} else if cyc%3 == 1 {
+				winner = "x_rl"
+			}
+			emit(telemetry.Event{
+				T: base + ms(40), Type: telemetry.TypeDecision, Flow: fl,
+				Winner: winner, XPrev: rate, XCl: rate * 0.9, XRl: rate * 1.1,
+				UPrev: u(thr, 0, 0), UCl: u(thr, 0, 0), URl: u(thr, 0, 0),
+				RTT: ms(20 + cyc%5), Thr: thr, Grad: 0.001, Loss: 0.01,
+			})
+			emit(telemetry.Event{T: base + ms(5), Type: telemetry.TypeEnqueue, Flow: fl, Bytes: 1500 * (cyc + 1) * int64(fl+1)})
+		}
+	}
+	// Outage on flow 0: blackout, three silent cycles (one decays), then
+	// recovery marker; decisions afterwards stay well below the
+	// pre-outage base rate so the rate-collapse watch fires.
+	emit(telemetry.Event{T: ms(810), Type: telemetry.TypeFault, Flow: -1, Reason: telemetry.FaultBlackoutStart})
+	for i := int64(0); i < 3; i++ {
+		reason := ""
+		if i == 2 {
+			reason = "decay"
+		}
+		emit(telemetry.Event{T: ms(840 + i*40), Type: telemetry.TypeNoAck, Flow: 0, Reason: reason, XPrev: 1.25e6, RTT: ms(25)})
+	}
+	emit(telemetry.Event{T: ms(960), Type: telemetry.TypeFault, Flow: -1, Reason: telemetry.FaultBlackoutEnd})
+	emit(telemetry.Event{T: ms(961), Type: telemetry.TypeNoAck, Flow: 0, Reason: "recover", XPrev: 1e5})
+	for i := int64(0); i < 4; i++ {
+		thr := 1e5 * 8 / 1e6
+		emit(telemetry.Event{
+			T: ms(1000 + i*40), Type: telemetry.TypeDecision, Flow: 0,
+			Winner: "x_prev", XPrev: 1e5, UPrev: u(thr, 0, 0),
+			RTT: ms(30), Thr: thr,
+		})
+	}
+	// Link-level samples and drops.
+	for i := int64(0); i < 10; i++ {
+		emit(telemetry.Event{T: ms(i * 100), Type: telemetry.TypeQueue, Flow: -1, Queue: 3000 * (i + 1), Rate: 2.5e6})
+	}
+	emit(telemetry.Event{T: ms(500), Type: telemetry.TypeDrop, Flow: 1, Reason: "tail", Bytes: 1500})
+	emit(telemetry.Event{T: ms(505), Type: telemetry.TypeDrop, Flow: 1, Reason: "aqm", Bytes: 1500})
+	emit(telemetry.Event{T: ms(600), Type: telemetry.TypeFault, Flow: -1, Reason: telemetry.FaultReorder})
+}
+
+func analyzeSynth(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	a := New(cfg)
+	synthTrace(a)
+	a.Finalize()
+	return a.Report()
+}
+
+func TestAnalyzerEndToEnd(t *testing.T) {
+	r := analyzeSynth(t, Config{})
+
+	if len(r.Flows) != 2 {
+		t.Fatalf("flows = %d, want 2", len(r.Flows))
+	}
+	f0, f1 := r.Flows[0], r.Flows[1]
+	if f0.ID != 0 || f1.ID != 1 {
+		t.Fatalf("flow ids = %d,%d, want 0,1", f0.ID, f1.ID)
+	}
+
+	// Flow 0: 20 synthetic cycles + 3 silent + 4 post-outage decisions.
+	if f0.Cycles != 27 || f0.Decided != 24 || f0.Skipped != 3 {
+		t.Errorf("flow 0 cycles/decided/skipped = %d/%d/%d, want 27/24/3", f0.Cycles, f0.Decided, f0.Skipped)
+	}
+	if f0.EarlyExits != 1 {
+		t.Errorf("flow 0 early exits = %d, want 1", f0.EarlyExits)
+	}
+	if f1.Cycles != 20 || f1.Decided != 20 {
+		t.Errorf("flow 1 cycles/decided = %d/%d, want 20/20", f1.Cycles, f1.Decided)
+	}
+
+	// Winner shares: cycles 0..19 give 7 x_cl (cyc%3==0), 7 x_rl, 6
+	// x_prev; flow 0 adds 4 post-outage x_prev wins.
+	wins := map[string]int64{}
+	for _, ws := range f0.Winners {
+		wins[ws.Winner] = ws.Wins
+	}
+	if wins["x_prev"] != 10 || wins["x_cl"] != 7 || wins["x_rl"] != 7 {
+		t.Errorf("flow 0 wins = %v, want x_prev 10, x_cl 7, x_rl 7", wins)
+	}
+	var shareSum float64
+	for _, ws := range f0.Winners {
+		shareSum += ws.Share
+	}
+	if math.Abs(shareSum-1) > 1e-9 {
+		t.Errorf("winner shares sum to %v, want 1", shareSum)
+	}
+
+	// Decomposition: every decision carried the triple, and the terms
+	// must reconstruct the traced utility (grad/loss clamp positive).
+	if f0.Decomp.Cycles != 24 {
+		t.Errorf("flow 0 decomp cycles = %d, want 24", f0.Decomp.Cycles)
+	}
+	if f0.Decomp.ThrTerm <= 0 || f1.Decomp.DelayPenalty <= 0 || f1.Decomp.LossPenalty <= 0 {
+		t.Errorf("decomposition terms not positive: %+v / %+v", f0.Decomp, f1.Decomp)
+	}
+	// Synthetic utilities were computed with grad=loss=0 while the
+	// triple carries grad/loss > 0, so only check the identity for the
+	// reconstruction direction: thr - delay - loss vs Value(triple).
+	util := utility.Default()
+	want := util.Value(20, 0.001, 0.01)
+	got := util.Alpha*math.Pow(20, util.T) - util.Beta*20*0.001 - util.Gamma*20*0.01
+	if math.Abs(want-got) > 1e-9 {
+		t.Errorf("Eq. 1 identity broken: Value=%v terms=%v", want, got)
+	}
+
+	// Stage attribution: explore/eval-1/eval-2 all 10 ms per cycle,
+	// exploit 10 ms until the next cycle's explore.
+	for _, ss := range f1.Stages {
+		if ss.Stage == "exploit" {
+			continue
+		}
+		if ss.Frac < 0.2 || ss.Frac > 0.35 {
+			t.Errorf("stage %s frac = %v, want ~0.25", ss.Stage, ss.Frac)
+		}
+	}
+
+	// Quantiles: flow 1 rates are 20 Mbit/s ±5%.
+	if f1.RateMbps.P50 < 18 || f1.RateMbps.P50 > 22 {
+		t.Errorf("flow 1 rate p50 = %v, want ≈20", f1.RateMbps.P50)
+	}
+	if f0.RTTMs.N == 0 || f0.RTTMs.P99 < f0.RTTMs.P50 {
+		t.Errorf("flow 0 rtt quantiles malformed: %+v", f0.RTTMs)
+	}
+	if f1.CycleMs.P50 < 35 || f1.CycleMs.P50 > 45 {
+		t.Errorf("flow 1 cycle p50 = %v ms, want ≈40", f1.CycleMs.P50)
+	}
+
+	// Anomalies: flow 0 had a no-ACK streak of 3, one decay, and a
+	// post-outage collapse (recovered to 0.1 of 1.25 Mbytes/s base).
+	if f0.MaxNoAckStreak != 3 {
+		t.Errorf("flow 0 max no-ack streak = %d, want 3", f0.MaxNoAckStreak)
+	}
+	joined := strings.Join(f0.Anomalies, "\n")
+	if !strings.Contains(joined, "rate_collapse_after_blackout") {
+		t.Errorf("flow 0 anomalies missing rate collapse: %q", joined)
+	}
+	if !strings.Contains(joined, "no_ack_streak") {
+		t.Errorf("flow 0 anomalies missing no-ack streak: %q", joined)
+	}
+	if len(f1.Anomalies) != 0 {
+		t.Errorf("flow 1 anomalies = %q, want none", f1.Anomalies)
+	}
+
+	// Link: 10 queue samples, 2 drops by reason, 1 blackout, 1 reorder.
+	if r.Link.QueueBytes.N != 10 {
+		t.Errorf("queue samples = %d, want 10", r.Link.QueueBytes.N)
+	}
+	if r.Link.Drops["tail"] != 1 || r.Link.Drops["aqm"] != 1 {
+		t.Errorf("drops = %v, want tail 1, aqm 1", r.Link.Drops)
+	}
+	if r.Link.Blackouts != 1 || r.Link.FaultPackets != 1 {
+		t.Errorf("blackouts/faultPkts = %d/%d, want 1/1", r.Link.Blackouts, r.Link.FaultPackets)
+	}
+	if f1.Drops != 2 {
+		t.Errorf("flow 1 drops = %d, want 2", f1.Drops)
+	}
+
+	// Fairness: flow 1 enqueued twice flow 0's bytes in each window →
+	// Jain of (1,2) = 9/10.
+	if r.Fairness.Flows != 2 || r.Fairness.Windows == 0 {
+		t.Fatalf("fairness flows/windows = %d/%d", r.Fairness.Flows, r.Fairness.Windows)
+	}
+	if math.Abs(r.Fairness.Mean-0.9) > 1e-6 {
+		t.Errorf("Jain mean = %v, want 0.9", r.Fairness.Mean)
+	}
+}
+
+// Sharding the stream and merging must reproduce the single-pass
+// report byte-for-byte (counts, sketches, windows all merge exactly;
+// order-sensitive detectors are confined within shards here because
+// the split respects flow boundaries per event — the contract the
+// per-file parallel analyzer relies on).
+func TestMergeMatchesSinglePass(t *testing.T) {
+	single := New(Config{})
+	synthTrace(single)
+	single.Finalize()
+
+	// Shard by interleaving events across 3 analyzers. Detector state
+	// (EWMA, streaks, watches) is order-sensitive so exact equality is
+	// only guaranteed for count/sketch/window state; use a collector
+	// that routes whole flows to fixed shards instead: flow-disjoint
+	// shards make every detector shard-local.
+	shards := []*Analyzer{New(Config{}), New(Config{}), New(Config{})}
+	var router shardRouter
+	router.route = func(e *telemetry.Event) int {
+		if e.Flow < 0 {
+			return 2
+		}
+		return e.Flow % 2
+	}
+	router.shards = shards
+	synthTrace(&router)
+	merged := New(Config{})
+	for _, s := range shards {
+		s.Finalize()
+		merged.Merge(s)
+	}
+
+	var a, b bytes.Buffer
+	if err := single.Report().WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Report().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("merged report differs from single-pass:\n--- single ---\n%s\n--- merged ---\n%s", a.String(), b.String())
+	}
+
+	var aj, bj bytes.Buffer
+	if err := single.Report().WriteJSON(&aj); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Report().WriteJSON(&bj); err != nil {
+		t.Fatal(err)
+	}
+	if aj.String() != bj.String() {
+		t.Fatal("merged JSON report differs from single-pass")
+	}
+}
+
+type shardRouter struct {
+	route  func(*telemetry.Event) int
+	shards []*Analyzer
+}
+
+func (r *shardRouter) Enabled() bool           { return true }
+func (r *shardRouter) Emit(e *telemetry.Event) { r.shards[r.route(e)].Emit(e) }
+
+// ReadStream must reproduce the live-tap analysis exactly: encode the
+// synthetic trace to JSONL, decode-and-analyze, compare reports.
+func TestReadStreamMatchesLiveTap(t *testing.T) {
+	var jsonl bytes.Buffer
+	rec := telemetry.NewRecorder(&jsonl)
+	synthTrace(rec)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fromFile, err := ReadStream(bytes.NewReader(jsonl.Bytes()), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile.Finalize()
+
+	live := New(Config{})
+	synthTrace(live)
+	live.Finalize()
+
+	var a, b bytes.Buffer
+	if err := fromFile.Report().WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Report().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("file analysis differs from live tap:\n--- file ---\n%s\n--- live ---\n%s", a.String(), b.String())
+	}
+}
+
+func TestRegisterFlowNames(t *testing.T) {
+	a := New(Config{})
+	a.RegisterFlow(0, "c-libra")
+	synthTrace(a)
+	a.RegisterFlow(1, "rl-libra")
+	a.Finalize()
+	r := a.Report()
+	if r.Flows[0].Name != "c-libra" || r.Flows[1].Name != "rl-libra" {
+		t.Fatalf("names = %q/%q", r.Flows[0].Name, r.Flows[1].Name)
+	}
+	var txt bytes.Buffer
+	if err := r.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "flow 0 (c-libra)") {
+		t.Fatalf("text report missing flow name:\n%s", txt.String())
+	}
+}
+
+func TestEmptyAnalyzer(t *testing.T) {
+	a := New(Config{})
+	a.Finalize()
+	r := a.Report()
+	if r.Events != 0 || len(r.Flows) != 0 {
+		t.Fatalf("empty analyzer reported %d events, %d flows", r.Events, len(r.Flows))
+	}
+	var txt, js bytes.Buffer
+	if err := r.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+}

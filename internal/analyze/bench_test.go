@@ -1,0 +1,78 @@
+package analyze
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"libra/internal/telemetry"
+)
+
+// benchEvents is one steady-state batch: the event mix a two-flow
+// simulation emits per control cycle (stages, decision, enqueue,
+// queue sample). Timestamps stay inside one fairness window so the
+// warmed analyzer touches only existing state.
+func benchEvents() []telemetry.Event {
+	ms := int64(time.Millisecond)
+	var evs []telemetry.Event
+	for fl := 0; fl < 2; fl++ {
+		rate := 1.25e6 * float64(fl+1)
+		evs = append(evs,
+			telemetry.Event{T: 10 * ms, Type: telemetry.TypeStage, Flow: fl, Stage: "explore", Rate: rate},
+			telemetry.Event{T: 20 * ms, Type: telemetry.TypeStage, Flow: fl, Stage: "eval-1", Rate: rate},
+			telemetry.Event{T: 30 * ms, Type: telemetry.TypeStage, Flow: fl, Stage: "eval-2", Rate: rate},
+			telemetry.Event{T: 40 * ms, Type: telemetry.TypeStage, Flow: fl, Stage: "exploit", Rate: rate},
+			telemetry.Event{
+				T: 50 * ms, Type: telemetry.TypeDecision, Flow: fl, Winner: "x_cl",
+				XPrev: rate, XCl: rate * 0.9, XRl: rate * 1.1,
+				UPrev: 5.1, UCl: 5.3, URl: 4.9,
+				RTT: 20 * ms, Thr: rate * 8 / 1e6, Grad: 0.001, Loss: 0.01,
+			},
+			telemetry.Event{T: 55 * ms, Type: telemetry.TypeEnqueue, Flow: fl, Bytes: 1500},
+		)
+	}
+	evs = append(evs, telemetry.Event{T: 60 * ms, Type: telemetry.TypeQueue, Flow: -1, Queue: 30000, Rate: 2.5e6})
+	return evs
+}
+
+// BenchmarkFeed measures the per-event cost of the streaming analysis
+// on the steady-state event mix. TestFeedBudget enforces the numbers
+// in CI.
+func BenchmarkFeed(b *testing.B) {
+	a := New(Config{})
+	evs := benchEvents()
+	for i := range evs {
+		a.Emit(&evs[i]) // warm flow/window/sketch state
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Emit(&evs[i%len(evs)])
+	}
+}
+
+// TestFeedBudget runs BenchmarkFeed and asserts the bounded-memory
+// contract: zero steady-state allocations per event (always enforced
+// — the analyzer must not retain or allocate per event), and a
+// per-event time budget when ANALYZE_BENCH_GUARD is set (make
+// bench-guard / scripts/check.sh run this package in isolation,
+// because under a parallel `go test ./...` sweep the wall clock
+// measures CPU contention, not the feed path).
+func TestFeedBudget(t *testing.T) {
+	res := testing.Benchmark(BenchmarkFeed)
+	if res.AllocsPerOp() != 0 {
+		t.Fatalf("steady-state feed allocates: %d allocs/op", res.AllocsPerOp())
+	}
+	if os.Getenv("ANALYZE_BENCH_GUARD") == "" {
+		t.Log("ANALYZE_BENCH_GUARD unset; skipping ns/op budget (use make bench-guard)")
+		return
+	}
+	if raceEnabled {
+		t.Log("race detector active; skipping ns/op budget")
+		return
+	}
+	ns := float64(res.T.Nanoseconds()) / float64(res.N)
+	t.Logf("steady-state feed: %.1f ns/op", ns)
+	if ns >= 500 {
+		t.Fatalf("feed costs %.1f ns/op, budget is < 500 ns/op", ns)
+	}
+}

@@ -1,0 +1,116 @@
+package analyze
+
+import "net/http"
+
+// ServeLive registers the live flow dashboard on mux: GET /flows
+// returns the analyzer's current Report as JSON (a consistent
+// snapshot taken under the analyzer lock, so it is safe while the
+// simulation is still emitting), and GET / serves a single-page HTML
+// view that polls /flows.
+func ServeLive(mux *http.ServeMux, a *Analyzer) {
+	mux.HandleFunc("/flows", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		if err := a.Report().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(livePage))
+	})
+}
+
+// livePage is the self-contained dashboard: no external assets, one
+// fetch("/flows") per second, rendered into tables. Winner shares and
+// anomalies mirror the text report's columns.
+const livePage = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>libra live flows</title>
+<style>
+  body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto; max-width: 75em; color: #222; }
+  h1 { font-size: 1.3em; } h1 small { color: #888; font-weight: normal; }
+  table { border-collapse: collapse; margin: 1em 0; width: 100%; }
+  th, td { border: 1px solid #ddd; padding: .35em .6em; text-align: right; white-space: nowrap; }
+  th { background: #f5f5f5; } td.l, th.l { text-align: left; }
+  td.anom { color: #b00020; text-align: left; white-space: normal; }
+  #status { color: #888; } #status.err { color: #b00020; }
+  .bar { display: inline-block; height: .7em; background: #4a78c2; vertical-align: baseline; }
+</style>
+</head>
+<body>
+<h1>libra live flows <small id="status">connecting…</small></h1>
+<div id="summary"></div>
+<table id="flows"><thead><tr>
+  <th class="l">flow</th><th>cycles</th><th>early exit</th>
+  <th>x_prev</th><th>x_cl</th><th>x_rl</th>
+  <th>rate p50/p95 Mbps</th><th>rtt p50/p95 ms</th><th>sent MB</th><th>drops</th>
+  <th class="l">anomalies</th>
+</tr></thead><tbody></tbody></table>
+<div id="link"></div>
+<script>
+const fmt = (v, d=2) => v == null ? "–" : v.toFixed(d);
+const pct = v => (100 * v).toFixed(1) + "%";
+function winner(ws, name) {
+  const w = (ws || []).find(x => x.winner === name);
+  return w ? pct(w.share) : "–";
+}
+async function tick() {
+  const status = document.getElementById("status");
+  let r;
+  try {
+    r = await (await fetch("/flows", {cache: "no-store"})).json();
+    status.textContent = r.events + " events, " + (r.span_ms / 1000).toFixed(1) + " s virtual";
+    status.className = "";
+  } catch (e) {
+    status.textContent = "poll failed: " + e;
+    status.className = "err";
+    return;
+  }
+  const body = document.querySelector("#flows tbody");
+  body.innerHTML = "";
+  for (const f of r.flows || []) {
+    const tr = document.createElement("tr");
+    const anoms = (f.anomalies || []).join("; ");
+    const cells = [
+      ["l", f.id + (f.name ? " (" + f.name + ")" : "")],
+      ["", f.cycles + " (" + f.skipped + " skipped)"],
+      ["", pct(f.early_exit_rate)],
+      ["", winner(f.winners, "x_prev")],
+      ["", winner(f.winners, "x_cl")],
+      ["", winner(f.winners, "x_rl")],
+      ["", fmt(f.rate_mbps.p50) + " / " + fmt(f.rate_mbps.p95)],
+      ["", fmt(f.rtt_ms.p50) + " / " + fmt(f.rtt_ms.p95)],
+      ["", fmt(f.sent_bytes / 1e6, 1)],
+      ["", f.drops],
+      ["anom", anoms || "none"],
+    ];
+    for (const [cls, v] of cells) {
+      const td = document.createElement("td");
+      if (cls) td.className = cls;
+      td.textContent = v;
+      tr.appendChild(td);
+    }
+    body.appendChild(tr);
+  }
+  const fair = r.fairness && r.fairness.windows > 0
+    ? " · Jain mean " + fmt(r.fairness.mean, 4) + " over " + r.fairness.windows + " windows"
+    : "";
+  document.getElementById("summary").textContent =
+    (r.flows || []).length + " flows" + fair;
+  const drops = Object.entries(r.link.drops || {}).map(([k, v]) => k + " " + v).join(", ");
+  document.getElementById("link").textContent =
+    "link: queue p95 " + fmt(r.link.queue_bytes.p95, 0) + " B · drops: " + (drops || "none");
+}
+tick();
+setInterval(tick, 1000);
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,7 @@
+//go:build race
+
+package analyze
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; timing budgets are skipped under its overhead.
+const raceEnabled = true

@@ -1,0 +1,398 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"libra/internal/stats"
+)
+
+// Quantiles summarises one sketched quantity.
+type Quantiles struct {
+	N    uint64  `json:"n"`
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// QuantilesOf extracts the standard summary from a sketch.
+func QuantilesOf(s *stats.Sketch) Quantiles {
+	return Quantiles{
+		N:    s.Count(),
+		Mean: s.Mean(),
+		Min:  s.Min(),
+		P50:  s.Quantile(0.50),
+		P95:  s.Quantile(0.95),
+		P99:  s.Quantile(0.99),
+		Max:  s.Max(),
+	}
+}
+
+// WinnerShare is one bar of the Fig. 17 winner histogram.
+type WinnerShare struct {
+	Winner string  `json:"winner"`
+	Wins   int64   `json:"wins"`
+	Share  float64 `json:"share"` // fraction of decided cycles
+}
+
+// StageShare attributes wall-clock to one control-cycle stage.
+type StageShare struct {
+	Stage string  `json:"stage"`
+	Ms    float64 `json:"ms"`
+	Frac  float64 `json:"frac"` // of attributed stage time
+}
+
+// Decomp is the per-cycle mean Eq. 1 utility decomposition of the
+// winning candidate: MeanUtility ≈ ThrTerm - DelayPenalty - LossPenalty.
+type Decomp struct {
+	Cycles       int64   `json:"cycles"`
+	MeanUtility  float64 `json:"mean_utility"`
+	ThrTerm      float64 `json:"thr_term"`
+	DelayPenalty float64 `json:"delay_penalty"`
+	LossPenalty  float64 `json:"loss_penalty"`
+}
+
+// FlowReport is one flow's analysis.
+type FlowReport struct {
+	ID             int           `json:"id"`
+	Name           string        `json:"name,omitempty"`
+	Events         int64         `json:"events"`
+	Cycles         int64         `json:"cycles"`
+	Decided        int64         `json:"decided"`
+	Skipped        int64         `json:"skipped"`
+	EarlyExits     int64         `json:"early_exits"`
+	EarlyExitRate  float64       `json:"early_exit_rate"`
+	Winners        []WinnerShare `json:"winners"`
+	Stages         []StageShare  `json:"stages"`
+	Decomp         Decomp        `json:"utility_decomposition"`
+	RateMbps       Quantiles     `json:"rate_mbps"`
+	RTTMs          Quantiles     `json:"rtt_ms"`
+	CycleMs        Quantiles     `json:"cycle_ms"`
+	QueueBytes     Quantiles     `json:"queue_bytes"`
+	SentBytes      int64         `json:"sent_bytes"`
+	Drops          int64         `json:"drops"`
+	MaxNoAckStreak int64         `json:"max_no_ack_streak"`
+	Anomalies      []string      `json:"anomalies"`
+}
+
+// LinkReport aggregates the bottleneck-level events.
+type LinkReport struct {
+	QueueBytes   Quantiles        `json:"queue_bytes"`
+	CapacityMbps Quantiles        `json:"capacity_mbps"`
+	Drops        map[string]int64 `json:"drops"`
+	DropBytes    int64            `json:"drop_bytes"`
+	FaultWindows int64            `json:"fault_windows"`
+	FaultPackets int64            `json:"fault_packets"`
+	Blackouts    int64            `json:"blackouts"`
+}
+
+// FairnessReport is the windowed Jain index across flows.
+type FairnessReport struct {
+	WindowMs float64 `json:"window_ms"`
+	Flows    int     `json:"flows"`
+	Windows  int     `json:"windows"`
+	Mean     float64 `json:"mean"`
+	Min      float64 `json:"min"`
+	P50      float64 `json:"p50"`
+	Below90  int     `json:"below_0_9"`
+}
+
+// Report is the full machine-readable analysis.
+type Report struct {
+	Events   int64            `json:"events"`
+	ByType   map[string]int64 `json:"events_by_type"`
+	SpanMs   float64          `json:"span_ms"` // virtual time of the last event
+	Flows    []FlowReport     `json:"flows"`
+	Link     LinkReport       `json:"link"`
+	Fairness FairnessReport   `json:"fairness"`
+}
+
+// Report snapshots the analysis into a Report. Safe to call while a
+// live tap is still feeding (the snapshot is taken under the lock);
+// for a completed stream call Finalize first so pending anomaly
+// watches resolve.
+func (a *Analyzer) Report() *Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	r := &Report{
+		Events: a.events,
+		ByType: make(map[string]int64, len(a.byType)),
+		SpanMs: float64(a.lastT) / 1e6,
+		Flows:  []FlowReport{},
+	}
+	for t, n := range a.byType {
+		r.ByType[string(t)] = n
+	}
+
+	ids := make([]int, 0, len(a.flows))
+	for id := range a.flows {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		r.Flows = append(r.Flows, a.flowReport(a.flows[id]))
+	}
+
+	r.Link = LinkReport{
+		QueueBytes:   QuantilesOf(a.link.queueBytes),
+		CapacityMbps: QuantilesOf(a.link.capMbps),
+		Drops:        make(map[string]int64, len(a.link.drops)),
+		DropBytes:    a.link.dropBytes,
+		FaultWindows: a.link.faultWin,
+		FaultPackets: a.link.faultPkt,
+		Blackouts:    a.link.blackouts,
+	}
+	for reason, n := range a.link.drops {
+		r.Link.Drops[reason] = n
+	}
+
+	r.Fairness = a.fairnessReport(ids)
+	return r
+}
+
+// flowReport derives one flow's report. Callers hold a.mu.
+func (a *Analyzer) flowReport(fs *flowState) FlowReport {
+	fr := FlowReport{
+		ID:             fs.id,
+		Name:           fs.name,
+		Events:         fs.events,
+		Cycles:         fs.cycles,
+		Decided:        fs.decided,
+		Skipped:        fs.skipped,
+		EarlyExits:     fs.earlyExits,
+		RateMbps:       QuantilesOf(fs.rateMbps),
+		RTTMs:          QuantilesOf(fs.rttMs),
+		CycleMs:        QuantilesOf(fs.cycleMs),
+		QueueBytes:     QuantilesOf(fs.queueBytes),
+		SentBytes:      fs.sentBytes,
+		Drops:          fs.drops,
+		MaxNoAckStreak: fs.maxNoAckStreak,
+		Anomalies:      []string{},
+	}
+	if fs.cycles > 0 {
+		fr.EarlyExitRate = float64(fs.earlyExits) / float64(fs.cycles)
+	}
+	for i, n := range fs.wins {
+		ws := WinnerShare{Winner: winnerNames[i], Wins: n}
+		if fs.decided > 0 {
+			ws.Share = float64(n) / float64(fs.decided)
+		}
+		fr.Winners = append(fr.Winners, ws)
+	}
+	var totalNs int64
+	for _, ns := range fs.stageNs {
+		totalNs += ns
+	}
+	for i, ns := range fs.stageNs {
+		ss := StageShare{Stage: stageNames[i], Ms: float64(ns) / 1e6}
+		if totalNs > 0 {
+			ss.Frac = float64(ns) / float64(totalNs)
+		}
+		fr.Stages = append(fr.Stages, ss)
+	}
+	if fs.decompCycles > 0 {
+		n := float64(fs.decompCycles)
+		fr.Decomp = Decomp{
+			Cycles:       fs.decompCycles,
+			MeanUtility:  fs.uSum / n,
+			ThrTerm:      fs.thrSum / n,
+			DelayPenalty: fs.delaySum / n,
+			LossPenalty:  fs.lossSum / n,
+		}
+	}
+
+	// Anomaly flags, in a fixed order.
+	if fs.collapses > 0 {
+		fr.Anomalies = append(fr.Anomalies,
+			fmt.Sprintf("rate_collapse_after_blackout x%d (base rate stayed under 50%% of pre-outage level)", fs.collapses))
+	}
+	if fs.maxNoAckStreak >= 2 {
+		fr.Anomalies = append(fr.Anomalies,
+			fmt.Sprintf("no_ack_streak max %d consecutive silent cycles (%d decayed)", fs.maxNoAckStreak, fs.decays))
+	}
+	if fs.regressions > 0 {
+		fr.Anomalies = append(fr.Anomalies,
+			fmt.Sprintf("utility_regression x%d episodes (%d cycles under 25%% of the running mean)", fs.regressions, fs.regressedCycles))
+	}
+	return fr
+}
+
+// fairnessReport computes the windowed Jain index over every flow
+// that sent data anywhere in the trace (absent flows count as zero in
+// a window — a silent flow is unfairness, not a smaller denominator).
+// Callers hold a.mu.
+func (a *Analyzer) fairnessReport(ids []int) FairnessReport {
+	fr := FairnessReport{WindowMs: float64(a.cfg.Window) / 1e6}
+	senders := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if a.flows[id].sentBytes > 0 {
+			senders = append(senders, id)
+		}
+	}
+	fr.Flows = len(senders)
+	if len(senders) == 0 || len(a.wins) == 0 {
+		return fr
+	}
+	idxs := make([]int64, 0, len(a.wins))
+	for idx := range a.wins {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	alloc := make([]float64, len(senders))
+	jains := make([]float64, 0, len(idxs))
+	var sum float64
+	min := 1.0
+	for _, idx := range idxs {
+		w := a.wins[idx]
+		var total int64
+		for i, id := range senders {
+			alloc[i] = float64(w.bytes[id])
+			total += w.bytes[id]
+		}
+		if total == 0 {
+			continue
+		}
+		j := stats.JainIndex(alloc)
+		jains = append(jains, j)
+		sum += j
+		if j < min {
+			min = j
+		}
+		if j < 0.9 {
+			fr.Below90++
+		}
+	}
+	fr.Windows = len(jains)
+	if len(jains) > 0 {
+		fr.Mean = sum / float64(len(jains))
+		fr.Min = min
+		fr.P50 = stats.Percentile(jains, 50)
+	}
+	return fr
+}
+
+// WriteJSON writes the report as indented JSON (map keys sort, floats
+// render shortest-round-trip — deterministic for identical state).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the human-readable report. All values derive from
+// merged counts, so the text is byte-identical at any analysis worker
+// count.
+func (r *Report) WriteText(w io.Writer) error {
+	pf := func(format string, args ...any) {
+		fmt.Fprintf(w, format, args...)
+	}
+	pf("trace analysis: %d events over %s\n", r.Events,
+		time.Duration(r.SpanMs*1e6).Round(time.Millisecond))
+	types := make([]string, 0, len(r.ByType))
+	for t := range r.ByType {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	pf("events by type:")
+	for _, t := range types {
+		pf(" %s %d", t, r.ByType[t])
+	}
+	pf("\n\n")
+
+	for _, f := range r.Flows {
+		name := f.Name
+		if name == "" {
+			name = "?"
+		}
+		pf("flow %d (%s): %d events\n", f.ID, name, f.Events)
+		if f.Cycles > 0 {
+			pf("  cycles:    %d (%d decided, %d skipped), early exits %d (%.1f%% of cycles)\n",
+				f.Cycles, f.Decided, f.Skipped, f.EarlyExits, 100*f.EarlyExitRate)
+		}
+		if f.Decided > 0 {
+			pf("  winners:  ")
+			for _, ws := range f.Winners {
+				pf(" %s %d (%.1f%%)", ws.Winner, ws.Wins, 100*ws.Share)
+			}
+			pf("\n")
+		}
+		if f.Decomp.Cycles > 0 {
+			pf("  utility:   mean %.3f = thr %.3f - delay %.3f - loss %.3f (Eq. 1 terms, %d cycles)\n",
+				f.Decomp.MeanUtility, f.Decomp.ThrTerm, f.Decomp.DelayPenalty,
+				f.Decomp.LossPenalty, f.Decomp.Cycles)
+		}
+		if f.Cycles > 0 {
+			pf("  stages:   ")
+			for _, ss := range f.Stages {
+				pf(" %s %.1f%%", ss.Stage, 100*ss.Frac)
+			}
+			pf("\n")
+		}
+		if f.RateMbps.N > 0 {
+			pf("  rate Mbps: p50 %.2f  p95 %.2f  p99 %.2f  (mean %.2f, n=%d)\n",
+				f.RateMbps.P50, f.RateMbps.P95, f.RateMbps.P99, f.RateMbps.Mean, f.RateMbps.N)
+		}
+		if f.RTTMs.N > 0 {
+			pf("  rtt ms:    p50 %.2f  p95 %.2f  p99 %.2f  (mean %.2f, n=%d)\n",
+				f.RTTMs.P50, f.RTTMs.P95, f.RTTMs.P99, f.RTTMs.Mean, f.RTTMs.N)
+		}
+		if f.CycleMs.N > 0 {
+			pf("  cycle ms:  p50 %.1f  p95 %.1f  p99 %.1f  (mean %.1f, n=%d)\n",
+				f.CycleMs.P50, f.CycleMs.P95, f.CycleMs.P99, f.CycleMs.Mean, f.CycleMs.N)
+		}
+		if f.QueueBytes.N > 0 {
+			pf("  queue B:   p50 %.0f  p95 %.0f  p99 %.0f  (at this flow's enqueues, n=%d)\n",
+				f.QueueBytes.P50, f.QueueBytes.P95, f.QueueBytes.P99, f.QueueBytes.N)
+		}
+		pf("  traffic:   %d bytes sent, %d drops\n", f.SentBytes, f.Drops)
+		if len(f.Anomalies) == 0 {
+			pf("  anomalies: none\n")
+		} else {
+			pf("  anomalies:\n")
+			for _, an := range f.Anomalies {
+				pf("    - %s\n", an)
+			}
+		}
+		pf("\n")
+	}
+
+	pf("link:\n")
+	pf("  queue bytes:   p50 %.0f  p95 %.0f  p99 %.0f  (mean %.0f, n=%d)\n",
+		r.Link.QueueBytes.P50, r.Link.QueueBytes.P95, r.Link.QueueBytes.P99,
+		r.Link.QueueBytes.Mean, r.Link.QueueBytes.N)
+	pf("  capacity Mbps: p50 %.2f  p95 %.2f  p99 %.2f  (mean %.2f)\n",
+		r.Link.CapacityMbps.P50, r.Link.CapacityMbps.P95, r.Link.CapacityMbps.P99,
+		r.Link.CapacityMbps.Mean)
+	reasons := make([]string, 0, len(r.Link.Drops))
+	for reason := range r.Link.Drops {
+		reasons = append(reasons, reason)
+	}
+	sort.Strings(reasons)
+	pf("  drops:        ")
+	if len(reasons) == 0 {
+		pf(" none")
+	}
+	for _, reason := range reasons {
+		pf(" %s %d", reason, r.Link.Drops[reason])
+	}
+	pf(" (%d bytes)\n", r.Link.DropBytes)
+	if r.Link.FaultWindows > 0 || r.Link.FaultPackets > 0 {
+		pf("  faults:        %d window events (%d blackouts), %d packet mutations\n",
+			r.Link.FaultWindows, r.Link.Blackouts, r.Link.FaultPackets)
+	}
+
+	if r.Fairness.Flows > 1 && r.Fairness.Windows > 0 {
+		pf("\nfairness (%d flows, %.0f ms windows): Jain mean %.4f  min %.4f  p50 %.4f  (<0.9 in %d/%d windows)\n",
+			r.Fairness.Flows, r.Fairness.WindowMs, r.Fairness.Mean,
+			r.Fairness.Min, r.Fairness.P50, r.Fairness.Below90, r.Fairness.Windows)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

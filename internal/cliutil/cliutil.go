@@ -7,10 +7,11 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"net/http/pprof"
 	"os"
 	"strings"
 
+	"libra/internal/analyze"
 	"libra/internal/telemetry"
 )
 
@@ -62,18 +63,59 @@ func WriteMetrics(reg *telemetry.Registry, path, format string) error {
 	return fmt.Errorf("unknown metrics format %q (want auto, json or prom)", format)
 }
 
-// StartPprof serves net/http/pprof plus reg at /metrics on addr in the
-// background. Empty addr is a no-op.
-func StartPprof(addr string, reg *telemetry.Registry) {
+// DebugMux returns a dedicated mux wired with the pprof handlers and,
+// when reg is non-nil, the registry at /metrics. Routes are explicit
+// rather than inherited from http.DefaultServeMux, so importing this
+// package never leaks debug handlers into an application's default
+// mux (and nothing another package hangs on the default mux leaks
+// into the debug server). Callers may add their own routes — the live
+// flow dashboard does — before passing the mux to Serve.
+func DebugMux(reg *telemetry.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	return mux
+}
+
+// Serve serves mux on addr in the background for the life of the
+// process. Empty addr is a no-op.
+func Serve(addr string, mux *http.ServeMux) {
 	if addr == "" {
 		return
 	}
-	http.Handle("/metrics", reg.Handler())
 	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
 		}
 	}()
+}
+
+// StartPprof serves net/http/pprof plus reg at /metrics on addr in the
+// background. Empty addr is a no-op.
+func StartPprof(addr string, reg *telemetry.Registry) {
+	Serve(addr, DebugMux(reg))
+}
+
+// StartDashboard serves the live flow dashboard — /flows JSON
+// snapshots and a polling HTML view at / — plus pprof and /metrics on
+// addr, and returns the analyzer the caller must tap into the run's
+// event stream (telemetry.Multi with any file recorder) and register
+// flow names on (RunContext.Live). Nil when addr is empty.
+func StartDashboard(addr string, reg *telemetry.Registry) *analyze.Analyzer {
+	if addr == "" {
+		return nil
+	}
+	a := analyze.New(analyze.Config{})
+	mux := DebugMux(reg)
+	analyze.ServeLive(mux, a)
+	Serve(addr, mux)
+	return a
 }
 
 // ParallelFlag registers the shared -parallel flag: the worker count

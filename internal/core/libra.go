@@ -518,15 +518,19 @@ func (l *Libra) advance(now time.Duration) {
 	}
 }
 
-// utilityOf scores an interval with the configured utility function,
-// using the differential latency gradient (candidate gradient minus the
-// exploitation-stage baseline).
-func (l *Libra) utilityOf(iv *cc.IntervalStats) float64 {
-	loss := iv.LossRate() - l.baseLoss
+// intervalTerms reduces an interval to the three inputs of the Eq. 1
+// utility — throughput in Mbit/s, the differential latency gradient
+// (candidate gradient minus the exploitation-stage baseline), and the
+// differential loss rate. decide() scores them through the configured
+// utility function and the decision telemetry event carries the
+// winner's triple so analyzers can decompose its utility into the
+// throughput / delay-penalty / loss-penalty terms.
+func (l *Libra) intervalTerms(iv *cc.IntervalStats) (thrMbps, grad, loss float64) {
+	loss = iv.LossRate() - l.baseLoss
 	if loss < 0 {
 		loss = 0
 	}
-	grad := iv.RTTGradient() - math.Max(0, l.baseGrad)
+	grad = iv.RTTGradient() - math.Max(0, l.baseGrad)
 	thr := iv.Throughput()
 	// Lemma A.4(i) denoising: an interval that completed without any
 	// marginal congestion signal sustained its applied rate — score it
@@ -537,7 +541,12 @@ func (l *Libra) utilityOf(iv *cc.IntervalStats) float64 {
 	if grad <= 1e-3 && loss <= 1e-3 && iv.RTTCount >= 2 && iv.AppliedRate > thr {
 		thr = iv.AppliedRate
 	}
-	return l.util.Value(thr*8/1e6, grad, loss)
+	return thr * 8 / 1e6, grad, loss
+}
+
+// utilityOf scores an interval with the configured utility function.
+func (l *Libra) utilityOf(iv *cc.IntervalStats) float64 {
+	return l.util.Value(l.intervalTerms(iv))
 }
 
 // decide implements Alg. 1 lines 20-22: gather the finalized intervals
@@ -611,7 +620,7 @@ func (l *Libra) decide(now time.Duration) {
 		}
 		if l.traceOn {
 			l.evBuf = telemetry.Event{T: int64(now), Type: telemetry.TypeNoAck,
-				Flow: l.traceID, XPrev: l.xPrev, Reason: reason}
+				Flow: l.traceID, XPrev: l.xPrev, Reason: reason, RTT: int64(l.srtt)}
 			l.tracer.Emit(&l.evBuf)
 		}
 		return
@@ -661,7 +670,7 @@ func (l *Libra) decide(now time.Duration) {
 	if l.traceOn {
 		l.evBuf = telemetry.Event{T: int64(now), Type: telemetry.TypeDecision,
 			Flow: l.traceID, Winner: winner.String(),
-			XPrev: l.xPrev, XCl: l.xCl, XRl: l.xRl}
+			XPrev: l.xPrev, XCl: l.xCl, XRl: l.xRl, RTT: int64(l.srtt)}
 		if havePrev {
 			l.evBuf.UPrev = uPrev
 		}
@@ -671,8 +680,45 @@ func (l *Libra) decide(now time.Duration) {
 		if haveRl {
 			l.evBuf.URl = uRl
 		}
+		// Attach the winner's scored triple (throughput Mbit/s,
+		// differential gradient, differential loss) so the analyzer can
+		// decompose its utility into the Eq. 1 terms without replaying
+		// interval accounting.
+		if iv := l.winnerInterval(winner); iv != nil {
+			l.evBuf.Thr, l.evBuf.Grad, l.evBuf.Loss = l.intervalTerms(iv)
+		}
 		l.tracer.Emit(&l.evBuf)
 	}
+}
+
+// winnerInterval maps a decided candidate back to the gathered
+// interval its utility was scored on (nil when that interval carried
+// no feedback — possible when the winner was decided on another arm's
+// absence). The EI→candidate mapping mirrors decide(): the first EI
+// holds the lower-rate candidate, the second the higher (Fig. 4's
+// lower-rate-first principle), and CL-Libra's single EI is always RL.
+func (l *Libra) winnerInterval(w Candidate) *cc.IntervalStats {
+	tag := -1
+	switch w {
+	case CandPrev:
+		tag = tagExplore
+	case CandClassic:
+		if l.evalLowIsCl {
+			tag = tagEvalFirst
+		} else {
+			tag = tagEvalSecond
+		}
+	case CandRL:
+		if l.evalLowIsCl || l.cfg.NoClassic {
+			tag = tagEvalSecond
+		} else {
+			tag = tagEvalFirst
+		}
+	}
+	if tag < 0 || !l.haveTag[tag] || !l.gathered[tag].HasFeedback() {
+		return nil
+	}
+	return &l.gathered[tag]
 }
 
 // recoverFromOutage re-enters the control cycle cleanly after a

@@ -50,6 +50,11 @@ type RunContext struct {
 	// learning CCAs mutate their normaliser and sample from the policy
 	// RNG at inference time.
 	Agents *AgentSet
+	// Live receives flow-id → controller-name registrations as the
+	// runner builds flows; the live dashboard implements it. Nil
+	// disables. Implementations must be safe for concurrent use —
+	// Sweep jobs share their parent's registrar.
+	Live FlowRegistrar
 
 	// parent links a Sweep job back to the context that spawned it.
 	parent *RunContext
@@ -61,6 +66,13 @@ type RunContext struct {
 	// train builds the lazy agent set for a seed; a seam for tests that
 	// must observe training calls without paying for real training.
 	train func(seed int64) *AgentSet
+}
+
+// FlowRegistrar labels flow ids for live observers (see
+// RunContext.Live). Defined here rather than in the analyzer so exp
+// does not depend on the analytics engine.
+type FlowRegistrar interface {
+	RegisterFlow(id int, name string)
 }
 
 // NewRunContext returns a ready-to-use context for the given seed with
@@ -142,6 +154,7 @@ func (rc *RunContext) child(i int) *RunContext {
 		Workers:   1,
 		Metrics:   telemetry.NewRegistry(),
 		FaultPlan: rc.FaultPlan,
+		Live:      rc.Live,
 		parent:    rc,
 		cache:     rc.cache,
 		train:     rc.train,
@@ -154,28 +167,47 @@ func (rc *RunContext) child(i int) *RunContext {
 
 // Sweep runs n independent jobs on rc.Workers workers and returns
 // their results in job order. Each job gets a child context (see
-// child); after all jobs finish, their registries merge into
-// rc.Metrics and their trace buffers replay into rc.Tracer in job
-// order. The merge path is identical at every worker count — including
-// 1 — so a sweep's report, metrics snapshot, and event stream are
-// byte-identical regardless of parallelism.
+// child); job registries merge into rc.Metrics and trace buffers
+// replay into rc.Tracer strictly in job order — streamed as each
+// ordered prefix of jobs completes, so live observers (the flow
+// dashboard tapping rc.Tracer) see progress during the sweep rather
+// than one burst at the end. The merged stream is identical at every
+// worker count — including 1 — so a sweep's report, metrics snapshot,
+// and event stream are byte-identical regardless of parallelism.
 func Sweep[T any](rc *RunContext, n int, job func(jc *RunContext, i int) T) []T {
 	rc.WithDefaults()
-	kids := make([]*RunContext, n)
-	out := sweep.Map(rc.Workers, n, func(i int) T {
-		jc := rc.child(i)
-		kids[i] = jc
-		return job(jc, i)
-	})
-	for _, jc := range kids {
-		if jc == nil {
-			continue
-		}
-		rc.Metrics.Merge(jc.Metrics)
-		if b, ok := jc.Tracer.(*telemetry.Buffer); ok {
-			b.ReplayTo(rc.Tracer)
+	var (
+		mu      sync.Mutex
+		kids    = make([]*RunContext, n)
+		flushed int
+	)
+	// flush merges every completed job in the contiguous prefix beyond
+	// the high-water mark. Callers hold mu, which also serialises access
+	// to rc.Metrics and rc.Tracer (single-goroutine sinks).
+	flush := func() {
+		for flushed < n && kids[flushed] != nil {
+			jc := kids[flushed]
+			rc.Metrics.Merge(jc.Metrics)
+			if b, ok := jc.Tracer.(*telemetry.Buffer); ok {
+				b.ReplayTo(rc.Tracer)
+			}
+			flushed++
 		}
 	}
+	out := sweep.Map(rc.Workers, n, func(i int) T {
+		jc := rc.child(i)
+		res := job(jc, i)
+		mu.Lock()
+		kids[i] = jc
+		flush()
+		mu.Unlock()
+		return res
+	})
+	// The pool has drained, so every job is recorded; flush whatever
+	// tail the last completion left behind.
+	mu.Lock()
+	flush()
+	mu.Unlock()
 	return out
 }
 

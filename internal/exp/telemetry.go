@@ -128,8 +128,14 @@ func (rc *RunContext) recordLink(n *netem.Network, d time.Duration) {
 }
 
 // AttachTracer wires the context's tracer into a freshly built
-// controller, when one is configured and the controller supports it.
+// controller, when one is configured and the controller supports it,
+// and registers the flow id with the live observer.
 func (rc *RunContext) AttachTracer(ctrl any, flowID int) {
+	if rc.Live != nil {
+		if nm, ok := ctrl.(interface{ Name() string }); ok {
+			rc.Live.RegisterFlow(flowID, nm.Name())
+		}
+	}
 	if !telemetry.Enabled(rc.Tracer) {
 		return
 	}

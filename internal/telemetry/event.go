@@ -112,6 +112,18 @@ type Event struct {
 	FMin   float64 `json:"f_min,omitempty"`
 	FMean  float64 `json:"f_mean,omitempty"`
 	FMax   float64 `json:"f_max,omitempty"`
+
+	// RTT is the emitter's smoothed RTT in nanoseconds at emit time
+	// (decision / no_ack events).
+	RTT int64 `json:"rtt,omitempty"`
+	// Thr/Grad/Loss decompose the winning candidate's scored interval
+	// on decision events: throughput in Mbit/s, differential latency
+	// gradient, and differential loss rate — the three inputs of the
+	// Eq. 1 utility, letting analyzers split the winner's utility into
+	// its throughput, delay-penalty, and loss-penalty terms.
+	Thr  float64 `json:"thr,omitempty"`
+	Grad float64 `json:"grad,omitempty"`
+	Loss float64 `json:"loss,omitempty"`
 }
 
 // Time returns the event timestamp as a duration from simulation start.
@@ -147,6 +159,10 @@ func (e *Event) AppendJSON(b []byte) []byte {
 	b = appendFloat(b, "f_min", e.FMin)
 	b = appendFloat(b, "f_mean", e.FMean)
 	b = appendFloat(b, "f_max", e.FMax)
+	b = appendInt(b, "rtt", e.RTT)
+	b = appendFloat(b, "thr", e.Thr)
+	b = appendFloat(b, "grad", e.Grad)
+	b = appendFloat(b, "loss", e.Loss)
 	return append(b, '}')
 }
 

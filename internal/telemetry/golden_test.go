@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenRegistry builds the fixture registry: a plain counter, a
+// labelled counter pair, a gauge, and a labelled histogram — one of
+// every exposition shape the exporter emits.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("libra_flows_total", "flows driven by the experiment harness").Add(4)
+	reg.Counter(`libra_link_drops_total{reason="tail"}`, "bottleneck drops by reason").Add(17)
+	reg.Counter(`libra_link_drops_total{reason="aqm"}`, "bottleneck drops by reason").Add(3)
+	reg.Gauge("libra_link_utilization", "delivered bytes / mean capacity of the last recorded run").Set(0.875)
+	h := reg.Histogram(`libra_flow_rtt_ms{cca="c-libra"}`, "per-flow mean RTT", []float64{10, 50, 100})
+	h.Observe(8)
+	h.Observe(42)
+	h.Observe(43)
+	h.Observe(250)
+	return reg
+}
+
+// TestPrometheusGolden pins the text exposition format byte-for-byte
+// against testdata/registry.prom, so any change to HELP/TYPE
+// rendering, label merging, cumulative bucket math, or float
+// formatting shows up as a reviewable diff. Regenerate with
+// GOLDEN_UPDATE=1 go test ./internal/telemetry/ -run TestPrometheusGolden.
+func TestPrometheusGolden(t *testing.T) {
+	var got bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&got); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "registry.prom")
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", path, got.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with GOLDEN_UPDATE=1): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("Prometheus exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got.Bytes(), want)
+	}
+}

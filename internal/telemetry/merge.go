@@ -3,12 +3,16 @@ package telemetry
 // Merge folds a snapshot of src into r: counters add, gauges take
 // src's value (src wins — a merge replays src's recording "after"
 // r's), histograms add per-bucket counts when the bounds match and
-// fall back to sum/count-only accumulation otherwise. Metrics absent
-// from r are registered first, including zero-valued ones, so a
-// registry merged from N parts is indistinguishable from one that
-// recorded the same runs directly. Merging in a fixed order is the
-// caller's responsibility; the sweep engine merges per-job registries
-// in job order so the result is identical at any worker count.
+// fall back to sum/count-only accumulation otherwise. Every lossy
+// histogram merge (mismatched bucket layouts — the samples land in no
+// bucket) is counted in r's telemetry_merge_lossy_total counter, so a
+// sweep whose jobs disagree on bucket bounds is visible in the merged
+// snapshot instead of silently under-bucketed. Metrics absent from r
+// are registered first, including zero-valued ones, so a registry
+// merged from N parts is indistinguishable from one that recorded the
+// same runs directly. Merging in a fixed order is the caller's
+// responsibility; the sweep engine merges per-job registries in job
+// order so the result is identical at any worker count.
 func (r *Registry) Merge(src *Registry) {
 	if src == nil || src == r {
 		return
@@ -27,17 +31,29 @@ func (r *Registry) Merge(src *Registry) {
 	for _, name := range sortedKeys(snap.Gauges) {
 		r.Gauge(name, help[baseName(name)]).Set(snap.Gauges[name])
 	}
+	var lossy int64
 	for _, name := range sortedKeys(snap.Histograms) {
 		hs := snap.Histograms[name]
-		r.Histogram(name, help[baseName(name)], hs.Bounds).merge(hs)
+		if !r.Histogram(name, help[baseName(name)], hs.Bounds).merge(hs) {
+			lossy++
+		}
+	}
+	if lossy > 0 {
+		// Registered only on the first lossy merge: a clean merge must
+		// stay indistinguishable from direct recording.
+		r.Counter("telemetry_merge_lossy_total",
+			"histogram merges that degraded to sum/count because bucket bounds mismatched").Add(lossy)
 	}
 }
 
-// merge folds a snapshot into the histogram. When the bucket layouts
-// differ (the destination was registered earlier with other bounds)
-// the per-bucket counts cannot be aligned, so only sum and count
-// accumulate and the samples land in no bucket.
-func (h *Histogram) merge(s HistSnapshot) {
+// merge folds a snapshot into the histogram and reports whether the
+// merge was lossless. When the bucket layouts differ (the destination
+// was registered earlier with other bounds) the per-bucket counts
+// cannot be aligned, so only sum and count accumulate, the samples
+// land in no bucket, and merge returns false; Registry.Merge counts
+// these degradations in telemetry_merge_lossy_total. An empty source
+// snapshot merges losslessly by definition.
+func (h *Histogram) merge(s HistSnapshot) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(h.bounds) == len(s.Bounds) && len(h.counts) == len(s.Counts) {
@@ -54,9 +70,10 @@ func (h *Histogram) merge(s HistSnapshot) {
 			}
 			h.sum += s.Sum
 			h.count += s.Count
-			return
+			return true
 		}
 	}
 	h.sum += s.Sum
 	h.count += s.Count
+	return s.Count == 0
 }

@@ -62,7 +62,8 @@ func TestMergeNilAndSelf(t *testing.T) {
 }
 
 // Mismatched bucket layouts cannot be aligned; sum and count still
-// accumulate so means stay right.
+// accumulate so means stay right, and the degradation is counted in
+// telemetry_merge_lossy_total.
 func TestMergeHistogramBoundsMismatch(t *testing.T) {
 	dst := NewRegistry()
 	dst.Histogram("h", "", []float64{1, 2, 3}).Observe(2)
@@ -79,6 +80,54 @@ func TestMergeHistogramBoundsMismatch(t *testing.T) {
 	}
 	if buckets != 1 {
 		t.Fatalf("bucketed samples = %d, want 1 (mismatched sample lands in no bucket)", buckets)
+	}
+	if got := dst.Snapshot().Counters["telemetry_merge_lossy_total"]; got != 1 {
+		t.Fatalf("telemetry_merge_lossy_total = %d, want 1", got)
+	}
+
+	// A second lossy merge keeps counting; a clean merge does not.
+	src2 := NewRegistry()
+	src2.Histogram("h", "", []float64{10, 20}).Observe(11)
+	dst.Merge(src2)
+	clean := NewRegistry()
+	clean.Histogram("h", "", []float64{1, 2, 3}).Observe(1)
+	dst.Merge(clean)
+	if got := dst.Snapshot().Counters["telemetry_merge_lossy_total"]; got != 2 {
+		t.Fatalf("telemetry_merge_lossy_total = %d after second lossy + clean merge, want 2", got)
+	}
+}
+
+// A clean merge must not register the lossy counter at all — merged
+// registries stay indistinguishable from direct recording.
+func TestMergeCleanRegistersNoLossyCounter(t *testing.T) {
+	dst := NewRegistry()
+	src := NewRegistry()
+	src.Histogram("h", "", []float64{1, 2}).Observe(1)
+	dst.Merge(src)
+	if _, ok := dst.Snapshot().Counters["telemetry_merge_lossy_total"]; ok {
+		t.Fatal("clean merge registered telemetry_merge_lossy_total")
+	}
+}
+
+// Multi fans events out to every enabled sink and collapses trivial
+// cases (no live sinks → nil, one live sink → unwrapped).
+func TestMultiTracer(t *testing.T) {
+	if Multi() != nil || Multi(nil, Nop{}) != nil {
+		t.Fatal("Multi with no live sinks must be nil")
+	}
+	b1 := &Buffer{}
+	if got := Multi(nil, b1, Nop{}); got != Tracer(b1) {
+		t.Fatal("Multi with one live sink must return it unwrapped")
+	}
+	b2 := &Buffer{}
+	m := Multi(b1, b2)
+	ev := Event{T: 5, Type: TypeQueue, Flow: -1, Queue: 9}
+	m.Emit(&ev)
+	if b1.Len() != 1 || b2.Len() != 1 {
+		t.Fatalf("fan-out reached %d/%d sinks, want 1/1", b1.Len(), b2.Len())
+	}
+	if !m.Enabled() {
+		t.Fatal("multi tracer must report enabled")
 	}
 }
 

@@ -1,0 +1,37 @@
+package telemetry
+
+// multi fans every event out to a fixed set of enabled tracers — the
+// plumbing that lets a CLI stream events to a JSONL recorder and a
+// live analyzer tap at once.
+type multi struct{ ts []Tracer }
+
+// Enabled implements Tracer.
+func (m *multi) Enabled() bool { return true }
+
+// Emit implements Tracer.
+func (m *multi) Emit(e *Event) {
+	for _, t := range m.ts {
+		t.Emit(e)
+	}
+}
+
+// Multi combines tracers into one sink. Nil and disabled entries are
+// dropped; zero live entries yield nil (emitters treat nil as
+// disabled) and a single live entry is returned unwrapped, so the
+// fan-out indirection is only paid when there genuinely are several
+// destinations.
+func Multi(ts ...Tracer) Tracer {
+	live := make([]Tracer, 0, len(ts))
+	for _, t := range ts {
+		if Enabled(t) {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &multi{ts: live}
+}

@@ -43,6 +43,7 @@ func randomEvent(rng *rand.Rand) Event {
 		Rate:   f(), XPrev: f(), XCl: f(), XRl: f(),
 		UPrev: f(), UCl: f(), URl: f(),
 		Action: f(), Reward: f(), FMin: f(), FMean: f(), FMax: f(),
+		RTT: n(), Thr: f(), Grad: f(), Loss: f(),
 	}
 }
 

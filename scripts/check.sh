@@ -21,3 +21,11 @@ BENCH_SWEEP=1 go test ./internal/exp/ -run TestBenchSweep -count=1 -v
 go test -run=NONE -fuzz=FuzzParseMahimahi -fuzztime=10s ./internal/trace/
 go test -run=NONE -fuzz=FuzzParsePlan -fuzztime=10s ./internal/netem/faults/
 TELEMETRY_BENCH_GUARD=1 go test ./internal/telemetry/ -run TestNopTracerBudget -count=1 -v
+ANALYZE_BENCH_GUARD=1 go test ./internal/analyze/ -run TestFeedBudget -count=1 -v
+# Trace→analytics smoke: record a short two-flow run with -trace-out,
+# pipe it through `libra-trace analyze -json`, and assert the report
+# parses and covers every flow with completed control cycles.
+tmp=$(mktemp -d)
+go run ./cmd/libra-sim -cca c-libra,c-libra -capacity 24 -dur 5s -seed 7 -trace-out "$tmp/events.jsonl" >/dev/null
+go run ./cmd/libra-trace analyze -json "$tmp/events.jsonl" | go run ./scripts/analyzecheck -flows 2
+rm -rf "$tmp"
