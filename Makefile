@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench-guard bench-sweep analyze check clean
+.PHONY: all build vet test race fuzz bench-guard bench-core bench-sweep analyze check clean
 
 all: check
 
@@ -25,6 +25,16 @@ bench-guard:
 	TELEMETRY_BENCH_GUARD=1 $(GO) test ./internal/telemetry/ -run TestNopTracerBudget -count=1 -v
 	ANALYZE_BENCH_GUARD=1 $(GO) test ./internal/analyze/ -run TestFeedBudget -count=1 -v
 
+# Event-engine hot path: asserts 0 allocs/event and the ns/event budget
+# on the pooled-callback scheduling path, then records engine events/sec
+# and end-to-end netem packets/sec (plus allocs per event/packet) into
+# BENCH_core.json, preserving the recorded pre-rewrite baseline so the
+# speedup stays anchored. Run in isolation for the same reason as
+# bench-guard.
+bench-core:
+	CORE_BENCH_GUARD=1 $(GO) test ./internal/sim/ -run TestEngineBudget -count=1 -v
+	CORE_BENCH=1 CORE_BENCH_GUARD=1 $(GO) test ./internal/netem/ -run TestBenchCore -count=1 -v
+
 # Sweep-engine wall-clock: times a fixed classic-CCA suite at
 # workers=1 vs workers=GOMAXPROCS and records serial/parallel seconds
 # (and the core count) into BENCH_sweep.json. Run in isolation for the
@@ -47,7 +57,7 @@ analyze:
 	$(GO) run ./cmd/libra-trace analyze -json $$tmp/events.jsonl | $(GO) run ./scripts/analyzecheck -flows 2 && \
 	rm -rf $$tmp
 
-check: vet build race fuzz bench-guard bench-sweep analyze
+check: vet build race fuzz bench-guard bench-core bench-sweep analyze
 
 clean:
 	$(GO) clean ./...

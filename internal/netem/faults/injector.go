@@ -107,20 +107,44 @@ func (in *Injector) Bind(eng *sim.Engine, tracer telemetry.Tracer) {
 	}
 }
 
-// announce emits the start/end boundary events for one window, then
-// reschedules itself for the next window in the stream.
-func (in *Injector) announce(ws *windowStream, startReason, endReason string, rate float64) {
-	start, end, ok := ws.next()
+// announcer walks one window stream, emitting start/end boundary events.
+// It re-arms itself through the engine's pooled callback path, so the
+// whole chain costs one allocation per stream rather than two closures
+// per window.
+type announcer struct {
+	in                     *Injector
+	ws                     *windowStream
+	startReason, endReason string
+	rate                   float64
+	end                    time.Duration // of the window currently announced
+}
+
+func announceStartCb(arg any) {
+	a := arg.(*announcer)
+	a.in.emitWindow(a.startReason, a.rate)
+	a.in.eng.AtCall(a.end, announceEndCb, a)
+}
+
+func announceEndCb(arg any) {
+	a := arg.(*announcer)
+	a.in.emitWindow(a.endReason, 0)
+	a.scheduleNext()
+}
+
+// scheduleNext arms the announcer for the stream's next window, if any.
+func (a *announcer) scheduleNext() {
+	start, end, ok := a.ws.next()
 	if !ok {
 		return
 	}
-	in.eng.At(start, func() {
-		in.emitWindow(startReason, rate)
-		in.eng.At(end, func() {
-			in.emitWindow(endReason, 0)
-			in.announce(ws, startReason, endReason, rate)
-		})
-	})
+	a.end = end
+	a.in.eng.AtCall(start, announceStartCb, a)
+}
+
+// announce starts the boundary-event chain for one window stream.
+func (in *Injector) announce(ws *windowStream, startReason, endReason string, rate float64) {
+	a := &announcer{in: in, ws: ws, startReason: startReason, endReason: endReason, rate: rate}
+	a.scheduleNext()
 }
 
 func (in *Injector) emitWindow(reason string, rate float64) {

@@ -24,15 +24,6 @@ type pktState struct {
 	done            bool
 }
 
-// pendingAck carries receiver-side info back to the sender.
-type pendingAck struct {
-	seq             int64
-	size            int
-	sentAt          time.Duration
-	deliveredAtSend int64
-	ce              bool
-}
-
 // FlowStats aggregates the per-flow measurements the experiments consume.
 type FlowStats struct {
 	AckedBytes int64
@@ -87,6 +78,7 @@ type Flow struct {
 
 	startAt, stopAt time.Duration
 	running         bool
+	ticker          cc.Ticker // non-nil when ctrl is tick-driven
 
 	// Application limiting: when appRate > 0 the source produces data
 	// at that rate (token bucket with a small burst allowance) instead
@@ -160,21 +152,26 @@ func (f *Flow) start() {
 	f.running = true
 	f.nextSend = f.net.Eng.Now()
 	if tk, ok := f.ctrl.(cc.Ticker); ok {
-		f.runTicker(tk)
+		f.ticker = tk
+		f.runTicker()
 	}
 	f.trySend()
 }
 
-func (f *Flow) runTicker(tk cc.Ticker) {
+// tickCb drives per-MI controller ticks through the engine's pooled
+// callback path: re-arming each tick allocates nothing.
+func tickCb(arg any) { arg.(*Flow).runTicker() }
+
+func (f *Flow) runTicker() {
 	if !f.running {
 		return
 	}
 	t0 := nanotime()
-	d := tk.OnTick(f.net.Eng.Now())
+	d := f.ticker.OnTick(f.net.Eng.Now())
 	f.Stats.ComputeNs += nanotime() - t0
 	f.trySend()
 	if d > 0 {
-		f.net.Eng.After(d, func() { f.runTicker(tk) })
+		f.net.Eng.AfterCall(d, tickCb, f)
 	}
 }
 
@@ -237,15 +234,20 @@ func (f *Flow) trySend() {
 	}
 }
 
+// paceCb fires the pacing timer; scheduled with the flow itself as the
+// argument so re-arming is allocation-free.
+func paceCb(arg any) {
+	f := arg.(*Flow)
+	f.paceArmed = false
+	f.trySend()
+}
+
 func (f *Flow) armPacing(at time.Duration) {
 	if f.paceArmed {
 		return
 	}
 	f.paceArmed = true
-	f.paceTimer = f.net.Eng.At(at, func() {
-		f.paceArmed = false
-		f.trySend()
-	})
+	f.paceTimer = f.net.Eng.AtCall(at, paceCb, f)
 }
 
 func (f *Flow) sendPacket(now time.Duration) {
@@ -264,15 +266,22 @@ func (f *Flow) sendPacket(now time.Duration) {
 }
 
 // onDelivered runs when a data packet reaches the receiver; the ACK
-// returns after the reverse propagation delay.
+// returns after the reverse propagation delay. The packet itself rides
+// the reverse path as the ACK carrier — no separate ACK struct, no
+// boxing — and is returned to the pool when the sender processes it.
 func (f *Flow) onDelivered(p *Packet) {
-	pa := pendingAck{seq: p.Seq, size: p.Size, sentAt: p.SentAt, deliveredAtSend: p.DeliveredAtSend, ce: p.CE}
-	f.net.pool.put(p)
-	f.net.Eng.After(f.net.ackDelay, func() { f.onAck(pa) })
+	f.net.Eng.AfterCall(f.net.ackDelay, ackCb, p)
 }
 
-func (f *Flow) onAck(pa pendingAck) {
-	seq, size, sentAt, deliveredAtSend := pa.seq, pa.size, pa.sentAt, pa.deliveredAtSend
+// ackCb delivers the returning ACK to its sender.
+func ackCb(arg any) {
+	p := arg.(*Packet)
+	p.Flow.onAck(p)
+}
+
+func (f *Flow) onAck(p *Packet) {
+	seq, size, sentAt, deliveredAtSend, ce := p.Seq, p.Size, p.SentAt, p.DeliveredAtSend, p.CE
+	f.net.pool.put(p)
 	now := f.net.Eng.Now()
 	idx := int(seq - f.headSeq)
 	if idx < 0 || idx >= len(f.inflight) || f.inflight[idx].done {
@@ -330,7 +339,7 @@ func (f *Flow) onAck(pa pendingAck) {
 		InFlight:     f.inflightBytes,
 		Delivered:    f.delivered,
 		DeliveryRate: rateSample,
-		ECE:          pa.ce,
+		ECE:          ce,
 	}
 	t0 := nanotime()
 	f.ctrl.OnAck(&f.ackBuf)
@@ -388,12 +397,15 @@ func (f *Flow) rto() time.Duration {
 	return rto
 }
 
+// rtoCb fires the retransmission timeout.
+func rtoCb(arg any) { arg.(*Flow).onRTO() }
+
 func (f *Flow) armRTO(now time.Duration) {
 	if f.rtoArmed {
 		return
 	}
 	f.rtoArmed = true
-	f.rtoTimer = f.net.Eng.At(now+f.rto(), f.onRTO)
+	f.rtoTimer = f.net.Eng.AtCall(now+f.rto(), rtoCb, f)
 }
 
 func (f *Flow) rearmRTO(now time.Duration) {

@@ -27,6 +27,7 @@ type Link struct {
 	rng    *rand.Rand
 	faults FaultInjector
 	sink   func(*Packet)
+	sinkCb sim.Callback        // fixed wrapper over sink; one alloc per link, zero per packet
 	drop   func(*Packet, bool) // stochastic=true when channel loss, false when tail drop
 	dup    func(*Packet) *Packet
 	queue  []*Packet
@@ -106,7 +107,7 @@ type LinkConfig struct {
 // serialization + propagation; drop is informed of every dropped packet;
 // dup clones a packet for fault-injected duplication.
 func newLink(eng *sim.Engine, cfg LinkConfig, sink func(*Packet), drop func(*Packet, bool), dup func(*Packet) *Packet) *Link {
-	return &Link{
+	l := &Link{
 		eng:    eng,
 		cap:    cfg.Capacity,
 		prop:   cfg.PropDelay,
@@ -120,6 +121,8 @@ func newLink(eng *sim.Engine, cfg LinkConfig, sink func(*Packet), drop func(*Pac
 		drop:   drop,
 		dup:    dup,
 	}
+	l.sinkCb = func(arg any) { l.sink(arg.(*Packet)) }
+	return l
 }
 
 // QueuedBytes returns the current queue occupancy (excluding the packet
@@ -247,14 +250,23 @@ func (l *Link) serveNext() {
 		rate = minLinkRate
 	}
 	tx := time.Duration(float64(p.Size) / rate * float64(time.Second))
-	l.eng.After(tx, func() {
-		l.sampleQueue(l.eng.Now())
-		l.queue[l.qhead] = nil
-		l.qhead++
-		l.qByte -= p.Size
-		l.delivered += int64(p.Size)
-		pkt := p
-		l.eng.After(l.prop+pkt.ExtraDelay, func() { l.sink(pkt) })
-		l.serveNext()
-	})
+	l.eng.AfterCall(tx, serveDone, l)
+}
+
+// serveDone completes serialization of the head-of-line packet: it leaves
+// the queue, propagation (plus any fault-injected extra delay) starts,
+// and the next packet enters service. The head cannot have changed since
+// serveNext scheduled us — enqueues append at the tail and head drops
+// only happen between services — so the packet is re-read rather than
+// captured in a closure.
+func serveDone(arg any) {
+	l := arg.(*Link)
+	p := l.queue[l.qhead]
+	l.sampleQueue(l.eng.Now())
+	l.queue[l.qhead] = nil
+	l.qhead++
+	l.qByte -= p.Size
+	l.delivered += int64(p.Size)
+	l.eng.AfterCall(l.prop+p.ExtraDelay, l.sinkCb, p)
+	l.serveNext()
 }

@@ -59,6 +59,11 @@ type Network struct {
 	pool     packetPool
 	ackDelay time.Duration
 	qEvBuf   telemetry.Event // reused queue-sample event buffer
+
+	// Queue-sampler state; the sampler re-arms itself through the
+	// engine's pooled callback path.
+	sampleTracer telemetry.Tracer
+	sampleEvery  time.Duration
 }
 
 // New builds a network. The engine is created internally and owned by
@@ -95,18 +100,22 @@ func New(cfg Config) *Network {
 	}, n.deliver, n.dropped, n.clonePacket)
 	if telemetry.Enabled(cfg.Tracer) {
 		n.link.SetTracer(cfg.Tracer)
-		every := cfg.QueueSampleInterval
-		if every <= 0 {
-			every = 100 * time.Millisecond
+		n.sampleTracer = cfg.Tracer
+		n.sampleEvery = cfg.QueueSampleInterval
+		if n.sampleEvery <= 0 {
+			n.sampleEvery = 100 * time.Millisecond
 		}
-		n.sampleQueue(cfg.Tracer, every)
+		n.sampleQueue()
 	}
 	return n
 }
 
+// sampleCb re-arms the periodic queue-occupancy sampler.
+func sampleCb(arg any) { arg.(*Network).sampleQueue() }
+
 // sampleQueue emits one queue-occupancy event and reschedules itself;
 // the engine stops dispatching past the run horizon.
-func (n *Network) sampleQueue(t telemetry.Tracer, every time.Duration) {
+func (n *Network) sampleQueue() {
 	now := n.Eng.Now()
 	rate := 0.0
 	if n.cfg.Capacity != nil {
@@ -114,8 +123,8 @@ func (n *Network) sampleQueue(t telemetry.Tracer, every time.Duration) {
 	}
 	n.qEvBuf = telemetry.Event{T: int64(now), Type: telemetry.TypeQueue, Flow: -1,
 		Queue: int64(n.link.QueuedBytes()), Rate: rate}
-	t.Emit(&n.qEvBuf)
-	n.Eng.After(every, func() { n.sampleQueue(t, every) })
+	n.sampleTracer.Emit(&n.qEvBuf)
+	n.Eng.AfterCall(n.sampleEvery, sampleCb, n)
 }
 
 // Link exposes the bottleneck for queue statistics.
@@ -161,12 +170,15 @@ func (n *Network) AddFlow(ctrl cc.Controller, start, stop time.Duration) *Flow {
 		f.Stats.Delay = NewSeries(b)
 	}
 	n.flows = append(n.flows, f)
-	n.Eng.At(start, f.start)
+	n.Eng.AtCall(start, flowStartCb, f)
 	if stop > 0 {
-		n.Eng.At(stop, f.stop)
+		n.Eng.AtCall(stop, flowStopCb, f)
 	}
 	return f
 }
+
+func flowStartCb(arg any) { arg.(*Flow).start() }
+func flowStopCb(arg any)  { arg.(*Flow).stop() }
 
 // Flows returns the attached flows in creation order.
 func (n *Network) Flows() []*Flow { return n.flows }

@@ -35,6 +35,12 @@ type Packet struct {
 	injected bool
 }
 
+// poolCap bounds the free list. A long multi-flow run can momentarily
+// have a huge packet population (deep buffers plus fault-injected delay
+// spikes); once those packets drain, holding more than this many spares
+// is dead weight, so the excess is released to the GC.
+const poolCap = 4096
+
 type packetPool struct {
 	free []*Packet
 }
@@ -44,6 +50,8 @@ func (p *packetPool) get() *Packet {
 		pk := p.free[n-1]
 		p.free[n-1] = nil
 		p.free = p.free[:n-1]
+		// Full reset: recycled packets must not leak CE marks, fault
+		// delays, or injected flags into their next life.
 		*pk = Packet{}
 		return pk
 	}
@@ -51,6 +59,9 @@ func (p *packetPool) get() *Packet {
 }
 
 func (p *packetPool) put(pk *Packet) {
+	if len(p.free) >= poolCap {
+		return
+	}
 	pk.Flow = nil
 	p.free = append(p.free, pk)
 }

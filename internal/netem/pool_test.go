@@ -1,0 +1,51 @@
+package netem
+
+import (
+	"testing"
+	"time"
+)
+
+// The free list must stay bounded no matter how many packets a long
+// multi-flow run cycles through.
+func TestPacketPoolCapped(t *testing.T) {
+	var pool packetPool
+	live := make([]*Packet, 0, 2*poolCap)
+	for i := 0; i < 2*poolCap; i++ {
+		live = append(live, pool.get())
+	}
+	for _, pk := range live {
+		pool.put(pk)
+	}
+	if len(pool.free) > poolCap {
+		t.Fatalf("pool free list grew to %d, cap is %d", len(pool.free), poolCap)
+	}
+	// Further puts past the cap are dropped, not appended.
+	pool.put(&Packet{})
+	if len(pool.free) > poolCap {
+		t.Fatalf("pool exceeded cap after extra put: %d", len(pool.free))
+	}
+}
+
+// A recycled packet must come back fully zeroed: CE marks, fault-imposed
+// ExtraDelay, and the injected flag from its previous life must not leak
+// into the next packet's.
+func TestPacketPoolRecycleClears(t *testing.T) {
+	var pool packetPool
+	pk := pool.get()
+	pk.Seq = 42
+	pk.Size = 1500
+	pk.SentAt = time.Second
+	pk.DeliveredAtSend = 99
+	pk.CE = true
+	pk.ExtraDelay = 30 * time.Millisecond
+	pk.injected = true
+	pool.put(pk)
+
+	got := pool.get()
+	if got != pk {
+		t.Fatal("pool did not recycle the freed packet")
+	}
+	if *got != (Packet{}) {
+		t.Fatalf("recycled packet not cleared: %+v", *got)
+	}
+}

@@ -126,6 +126,7 @@ type Controller struct {
 
 	stateBuf []float64 // h stacked normalised feature vectors
 	featBuf  []float64
+	actBuf   []float64 // reused deterministic-inference action buffer
 	width    int
 
 	// Pending transition (action taken, awaiting reward).
@@ -302,7 +303,8 @@ func (r *Controller) OnTick(now time.Duration) time.Duration {
 	var act []float64
 	var logp, val float64
 	if r.cfg.Deterministic {
-		act = append([]float64(nil), r.agent.Policy.Mean(r.stateBuf)...)
+		r.actBuf = append(r.actBuf[:0], r.agent.Policy.Mean(r.stateBuf)...)
+		act = r.actBuf
 	} else {
 		act, logp, val = r.agent.Act(r.stateBuf)
 	}

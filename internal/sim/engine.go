@@ -4,10 +4,24 @@
 // Events scheduled for the same instant fire in scheduling order, which,
 // together with a seeded random source, makes every simulation run exactly
 // reproducible for a given seed.
+//
+// # Hot path
+//
+// The queue is an inlined, value-typed 4-ary min-heap of small (24-byte)
+// entries — no per-event pointer, no interface boxing, no container/heap
+// dispatch. Event payloads (the function to run) live in a generation-
+// counted slot table recycled through a free list, so steady-state
+// scheduling and dispatch allocate nothing. Two scheduling APIs share
+// this machinery:
+//
+//   - At/After take a closure. Convenient, but the closure itself is an
+//     allocation at the call site — use on setup and other cold paths.
+//   - AtCall/AfterCall take a fixed Callback plus an argument. When the
+//     callback is a package-level function and the argument is a pointer,
+//     scheduling is allocation-free — this is the per-packet path.
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
 )
@@ -17,44 +31,30 @@ import (
 // formatting toolbox of the standard library applies.
 type Clock = time.Duration
 
-// Event is a closure scheduled to run at a virtual instant.
-type event struct {
-	at  Clock
-	seq uint64 // tie-breaker: FIFO among same-instant events
+// Callback is a fixed function scheduled with AtCall/AfterCall. The
+// argument it was scheduled with is passed back at dispatch. Storing a
+// pointer in arg does not allocate; package-level Callback values do not
+// allocate either, which is what keeps the per-packet paths alloc-free.
+type Callback func(arg any)
+
+// heapEntry is one queue position: ordering key plus a handle into the
+// slot table. Entries are moved by value during sifts; the payload never
+// moves.
+type heapEntry struct {
+	at   Clock
+	seq  uint64 // tie-breaker: FIFO among same-instant events
+	slot int32
+	gen  uint32
+}
+
+// slotRec holds one scheduled event's payload. gen increments every time
+// the slot changes state (armed, fired, cancelled), so stale heap entries
+// and stale Timer handles are recognised in O(1) even after slot reuse.
+type slotRec struct {
+	gen uint32
 	fn  func()
-	idx int
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	cb  Callback
+	arg any
 }
 
 // Engine is a single-threaded discrete-event simulator. The zero value is
@@ -62,7 +62,10 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now    Clock
 	seq    uint64
-	events eventHeap
+	heap   []heapEntry
+	slots  []slotRec
+	free   []int32 // recycled slot indices
+	live   int     // scheduled and not yet cancelled/dispatched
 	rng    *rand.Rand
 	halted bool
 }
@@ -80,57 +83,182 @@ func (e *Engine) Now() Clock { return e.now }
 // derived from it) so that runs are reproducible.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// Timer identifies a scheduled event so that it can be cancelled.
-type Timer struct{ ev *event }
+// Timer identifies a scheduled event so that it can be cancelled. The
+// zero Timer is valid and refers to nothing; generation counting makes a
+// stale Timer (fired, cancelled, or slot since reused) a safe no-op.
+type Timer struct {
+	slot int32 // slot index + 1; 0 means "no timer"
+	gen  uint32
+}
+
+// less orders entries by time, then FIFO by scheduling sequence.
+func less(a, b *heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// siftUp restores heap order from leaf i towards the root.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	ent := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(&ent, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ent
+}
+
+// siftDown restores heap order from the root (or an arbitrary hole) down.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	ent := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(&h[j], &h[m]) {
+				m = j
+			}
+		}
+		if !less(&h[m], &ent) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = ent
+}
+
+// popTop removes the minimum entry.
+func (e *Engine) popTop() {
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+}
+
+// allocSlot returns a free slot index, recycling before growing.
+func (e *Engine) allocSlot() int32 {
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free = e.free[:n-1]
+		return s
+	}
+	e.slots = append(e.slots, slotRec{})
+	return int32(len(e.slots) - 1)
+}
+
+// schedule arms one event. Exactly one of fn/cb is non-nil.
+func (e *Engine) schedule(t Clock, fn func(), cb Callback, arg any) Timer {
+	if t < e.now {
+		t = e.now
+	}
+	s := e.allocSlot()
+	rec := &e.slots[s]
+	rec.gen++ // distinguishes this arming from every previous use of the slot
+	rec.fn, rec.cb, rec.arg = fn, cb, arg
+	e.heap = append(e.heap, heapEntry{at: t, seq: e.seq, slot: s, gen: rec.gen})
+	e.seq++
+	e.siftUp(len(e.heap) - 1)
+	e.live++
+	return Timer{slot: s + 1, gen: rec.gen}
+}
 
 // At schedules fn to run at virtual time t. Scheduling in the past (t less
 // than Now) runs the event at the current instant instead; this keeps
 // callers simple when computing delays that may round to zero or below.
+// The closure is a call-site allocation — hot paths use AtCall.
 func (e *Engine) At(t Clock, fn func()) Timer {
-	if t < e.now {
-		t = e.now
-	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return Timer{ev: ev}
+	return e.schedule(t, fn, nil, nil)
 }
 
 // After schedules fn to run d from now.
 func (e *Engine) After(d Clock, fn func()) Timer {
-	return e.At(e.now+d, fn)
+	return e.schedule(e.now+d, fn, nil, nil)
 }
 
-// Cancel removes a scheduled event. Cancelling an already-fired or
-// already-cancelled timer is a no-op.
+// AtCall schedules cb(arg) at virtual time t (clamped to now like At).
+// With a package-level cb and a pointer arg this allocates nothing.
+func (e *Engine) AtCall(t Clock, cb Callback, arg any) Timer {
+	return e.schedule(t, nil, cb, arg)
+}
+
+// AfterCall schedules cb(arg) to run d from now.
+func (e *Engine) AfterCall(d Clock, cb Callback, arg any) Timer {
+	return e.schedule(e.now+d, nil, cb, arg)
+}
+
+// Cancel removes a scheduled event in O(1). Cancelling the zero Timer, an
+// already-fired timer, an already-cancelled timer, or a timer whose slot
+// has since been reused is a no-op (the generation check catches all
+// four). The heap entry stays behind and is discarded lazily at pop.
 func (e *Engine) Cancel(t Timer) {
-	if t.ev == nil || t.ev.fn == nil {
+	if t.slot == 0 {
 		return
 	}
-	t.ev.fn = nil // mark dead; popped lazily
+	rec := &e.slots[t.slot-1]
+	if rec.gen != t.gen {
+		return
+	}
+	rec.gen++ // kill the heap entry and any duplicate handles
+	rec.fn, rec.cb, rec.arg = nil, nil, nil
+	e.free = append(e.free, t.slot-1)
+	e.live--
 }
 
 // Halt stops Run before the next event is dispatched.
 func (e *Engine) Halt() { e.halted = true }
+
+// dispatchTop fires the (live) minimum entry. The slot is released before
+// the payload runs, so a callback may re-arm freely; its own Timer handle
+// is already stale by then.
+func (e *Engine) dispatchTop(ent heapEntry, rec *slotRec) {
+	e.popTop()
+	e.now = ent.at
+	fn, cb, arg := rec.fn, rec.cb, rec.arg
+	rec.gen++
+	rec.fn, rec.cb, rec.arg = nil, nil, nil
+	e.free = append(e.free, ent.slot)
+	e.live--
+	if cb != nil {
+		cb(arg)
+	} else {
+		fn()
+	}
+}
 
 // Run dispatches events in order until the queue is empty or virtual time
 // would pass until. The clock is left at the time of the last dispatched
 // event, or at until if the queue drained earlier.
 func (e *Engine) Run(until Clock) {
 	e.halted = false
-	for len(e.events) > 0 && !e.halted {
-		ev := e.events[0]
-		if ev.at > until {
-			break
-		}
-		heap.Pop(&e.events)
-		if ev.fn == nil { // cancelled
+	for len(e.heap) > 0 && !e.halted {
+		ent := e.heap[0]
+		rec := &e.slots[ent.slot]
+		if rec.gen != ent.gen { // cancelled; discard lazily
+			e.popTop()
 			continue
 		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		fn()
+		if ent.at > until {
+			break
+		}
+		e.dispatchTop(ent, rec)
 	}
 	if e.now < until {
 		e.now = until
@@ -140,26 +268,30 @@ func (e *Engine) Run(until Clock) {
 // Step dispatches the single next pending event and reports whether one
 // was dispatched.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.fn == nil {
+	for len(e.heap) > 0 {
+		ent := e.heap[0]
+		rec := &e.slots[ent.slot]
+		if rec.gen != ent.gen {
+			e.popTop()
 			continue
 		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		fn()
+		e.dispatchTop(ent, rec)
 		return true
 	}
 	return false
 }
 
-// Pending returns the number of scheduled (non-cancelled) events. It is
-// linear in queue size and intended for tests.
-func (e *Engine) Pending() int {
+// Pending returns the number of scheduled (non-cancelled) events in O(1),
+// maintained as a live counter across schedule/cancel/dispatch.
+func (e *Engine) Pending() int { return e.live }
+
+// pendingLinear recounts live events by scanning the heap — the O(n)
+// definition Pending used to implement. Tests assert the counter against
+// it.
+func (e *Engine) pendingLinear() int {
 	n := 0
-	for _, ev := range e.events {
-		if ev.fn != nil {
+	for i := range e.heap {
+		if e.slots[e.heap[i].slot].gen == e.heap[i].gen {
 			n++
 		}
 	}

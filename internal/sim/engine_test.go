@@ -180,6 +180,145 @@ func TestQuickDispatchOrderSorted(t *testing.T) {
 	}
 }
 
+// Property: AtCall events interleave with At events in strict
+// same-instant FIFO order — the heap swap must not reorder ties.
+func TestSameInstantFIFOMixedAPIs(t *testing.T) {
+	e := New(1)
+	var order []int
+	for i := 0; i < 20; i++ {
+		i := i
+		if i%2 == 0 {
+			e.At(time.Millisecond, func() { order = append(order, i) })
+		} else {
+			e.AtCall(time.Millisecond, func(arg any) { order = append(order, arg.(int)) }, i)
+		}
+	}
+	e.Run(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("mixed-API same-instant events fired out of order: %v", order)
+		}
+	}
+}
+
+// Pending's O(1) live counter must always agree with the O(n) scan it
+// replaced, across an adversarial schedule/cancel/dispatch mix.
+func TestPendingMatchesLinearCount(t *testing.T) {
+	e := New(3)
+	check := func(ctx string) {
+		t.Helper()
+		if got, want := e.Pending(), e.pendingLinear(); got != want {
+			t.Fatalf("%s: Pending() = %d, linear recount = %d", ctx, got, want)
+		}
+	}
+	var timers []Timer
+	for i := 0; i < 100; i++ {
+		timers = append(timers, e.At(time.Duration(i%17)*time.Millisecond, func() {}))
+	}
+	check("after scheduling")
+	for i := 0; i < len(timers); i += 3 {
+		e.Cancel(timers[i])
+	}
+	check("after cancels")
+	for i := 0; i < len(timers); i += 3 {
+		e.Cancel(timers[i]) // double-cancel must not double-decrement
+	}
+	check("after double-cancels")
+	for e.Step() {
+		check("mid-dispatch")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("drained engine reports %d pending", e.Pending())
+	}
+	// Events cancelled from inside a callback.
+	var a, b Timer
+	a = e.After(time.Millisecond, func() {})
+	b = e.After(time.Millisecond, func() {})
+	e.After(0, func() { e.Cancel(a); e.Cancel(b) })
+	check("before cancel-inside-callback run")
+	e.Run(e.Now() + time.Second)
+	check("after cancel-inside-callback run")
+}
+
+// A Timer handle must go stale the moment its event fires, even when the
+// underlying slot is immediately reused by a new event: cancelling the
+// old handle must not kill the new tenant.
+func TestCancelStaleHandleAfterSlotReuse(t *testing.T) {
+	e := New(1)
+	fired := 0
+	old := e.At(time.Millisecond, func() { fired++ })
+	e.Run(time.Second) // fires; slot returns to the free list
+	// The next event recycles the same slot.
+	e.At(e.Now()+time.Millisecond, func() { fired++ })
+	e.Cancel(old) // stale: must be a no-op against the reused slot
+	e.Run(e.Now() + time.Second)
+	if fired != 2 {
+		t.Fatalf("stale Cancel killed a reused slot's event: fired=%d, want 2", fired)
+	}
+}
+
+// Re-arming from inside a firing callback must work: the firing event's
+// slot is released before the callback runs, and the fresh timer must be
+// independently cancellable.
+func TestRearmFromInsideCallback(t *testing.T) {
+	e := New(1)
+	fired := 0
+	var tm Timer
+	tm = e.After(time.Millisecond, func() {
+		fired++
+		e.Cancel(tm) // self-cancel after fire: stale, must not disturb anything
+		tm = e.After(time.Millisecond, func() { fired++ })
+	})
+	e.Run(time.Second)
+	if fired != 2 {
+		t.Fatalf("re-armed callback chain fired %d times, want 2", fired)
+	}
+	// Re-arm again, then cancel the fresh timer before it fires.
+	tm = e.After(time.Millisecond, func() { fired++ })
+	e.Cancel(tm)
+	e.Run(e.Now() + time.Second)
+	if fired != 2 {
+		t.Fatalf("cancelled re-armed timer fired anyway: fired=%d", fired)
+	}
+}
+
+// Property (mirrors link_prop_test.go style): for any batch of events
+// with arbitrary times, dispatch order equals the stable sort of the
+// batch by time — i.e. FIFO among equal instants, sorted across them.
+func TestQuickSameInstantFIFOPreserved(t *testing.T) {
+	f := func(offsets []uint8) bool {
+		e := New(11)
+		type fired struct {
+			at time.Duration
+			id int
+		}
+		var got []fired
+		for i, o := range offsets {
+			id := i
+			// Coarse buckets force many same-instant collisions.
+			d := time.Duration(o%8) * time.Millisecond
+			e.AtCall(d, func(arg any) { got = append(got, fired{e.Now(), arg.(int)}) }, id)
+		}
+		e.Run(time.Hour)
+		if len(got) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false // time order violated
+			}
+			if got[i].at == got[i-1].at && got[i].id < got[i-1].id {
+				return false // FIFO among ties violated
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := New(1)

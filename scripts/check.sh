@@ -22,6 +22,11 @@ go test -run=NONE -fuzz=FuzzParseMahimahi -fuzztime=10s ./internal/trace/
 go test -run=NONE -fuzz=FuzzParsePlan -fuzztime=10s ./internal/netem/faults/
 TELEMETRY_BENCH_GUARD=1 go test ./internal/telemetry/ -run TestNopTracerBudget -count=1 -v
 ANALYZE_BENCH_GUARD=1 go test ./internal/analyze/ -run TestFeedBudget -count=1 -v
+# Event-engine hot path: 0 allocs/event + ns/event budget on the pooled
+# callback path, then record engine events/sec and netem packets/sec
+# into BENCH_core.json for the perf trajectory (baseline preserved).
+CORE_BENCH_GUARD=1 go test ./internal/sim/ -run TestEngineBudget -count=1 -v
+CORE_BENCH=1 CORE_BENCH_GUARD=1 go test ./internal/netem/ -run TestBenchCore -count=1 -v
 # Trace→analytics smoke: record a short two-flow run with -trace-out,
 # pipe it through `libra-trace analyze -json`, and assert the report
 # parses and covers every flow with completed control cycles.
