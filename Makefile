@@ -29,11 +29,14 @@ bench-guard:
 # on the pooled-callback scheduling path, then records engine events/sec
 # and end-to-end netem packets/sec (plus allocs per event/packet) into
 # BENCH_core.json, preserving the recorded pre-rewrite baseline so the
-# speedup stays anchored. Run in isolation for the same reason as
-# bench-guard.
+# speedup stays anchored. The flight-recorder guard rides along: its
+# always-on ring append must stay 0 allocs and <= 50 ns/event, recorded
+# as the "flight" block of the same file. Run in isolation for the same
+# reason as bench-guard.
 bench-core:
 	CORE_BENCH_GUARD=1 $(GO) test ./internal/sim/ -run TestEngineBudget -count=1 -v
 	CORE_BENCH=1 CORE_BENCH_GUARD=1 $(GO) test ./internal/netem/ -run TestBenchCore -count=1 -v
+	FLIGHT_BENCH_GUARD=1 $(GO) test ./internal/telemetry/ -run TestFlightEmitBudget -count=1 -v
 
 # Sweep-engine wall-clock: times a fixed classic-CCA suite at
 # workers=1 vs workers=GOMAXPROCS and records serial/parallel seconds

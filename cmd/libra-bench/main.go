@@ -39,6 +39,7 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address")
 		httpAddr   = flag.String("http", "", "serve the live flow dashboard (plus pprof and /metrics) on this address")
 		parallel   = cliutil.ParallelFlag()
+		flightOut  = cliutil.FlightFlag()
 	)
 	flag.Parse()
 
@@ -89,6 +90,17 @@ func main() {
 	}
 	rc.WithDefaults()
 
+	flight, closeFlight, err := cliutil.OpenFlight(*flightOut, rc.Metrics)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Order matters: the flight recorder precedes the anomaly tap so a
+	// detector-triggered dump already holds the event that tripped it.
+	rc.Tracer = telemetry.Multi(rc.Tracer, cliutil.FlightTap(flight), cliutil.AnomalyTap(flight))
+	health, stopHealth := cliutil.StartHealth(rc.Metrics)
+	rc.Health = health
+
 	cliutil.StartPprof(*pprofAddr, rc.Metrics)
 	if live := cliutil.StartDashboard(*httpAddr, rc.Metrics); live != nil {
 		rc.Tracer = telemetry.Multi(rc.Tracer, live)
@@ -103,7 +115,11 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
+		// Experiment boundaries land in the stream as global markers so
+		// `libra-trace spans` can label which runs belong to which figure.
+		rc.EmitSpan(0, -1, "experiment:"+e.ID, true)
 		rep := e.Run(rc)
+		rc.EmitSpan(0, -1, "experiment:"+e.ID, false)
 		fmt.Print(rep.String())
 		fmt.Printf("(%s completed in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 	}
@@ -112,6 +128,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
 		os.Exit(1)
 	}
+	if err := closeFlight(); err != nil {
+		fmt.Fprintf(os.Stderr, "flight-out: %v\n", err)
+		os.Exit(1)
+	}
+	stopHealth()
 	if err := cliutil.WriteMetrics(rc.Metrics, *metricsOut, *metricsFmt); err != nil {
 		fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
 		os.Exit(1)

@@ -43,6 +43,7 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address")
 		httpAddr   = flag.String("http", "", "serve the live flow dashboard (plus pprof and /metrics) on this address")
 		parallel   = cliutil.ParallelFlag()
+		flightOut  = cliutil.FlightFlag()
 	)
 	flag.Parse()
 
@@ -57,11 +58,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-
 	rc := exp.NewRunContext(*seed)
 	rc.Workers = *parallel
-	rc.Tracer = tracer
 	rc.WithDefaults()
+	flight, closeFlight, err := cliutil.OpenFlight(*flightOut, rc.Metrics)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Order matters: the flight recorder precedes the anomaly tap so a
+	// detector-triggered dump already holds the event that tripped it.
+	rc.Tracer = telemetry.Multi(tracer, cliutil.FlightTap(flight), cliutil.AnomalyTap(flight))
+	health, stopHealth := cliutil.StartHealth(rc.Metrics)
+	rc.Health = health
 	cliutil.StartPprof(*pprofAddr, rc.Metrics)
 	if live := cliutil.StartDashboard(*httpAddr, rc.Metrics); live != nil {
 		rc.Tracer = telemetry.Multi(rc.Tracer, live)
@@ -115,15 +124,28 @@ func main() {
 			RecordSeries: true,
 			SeriesBucket: time.Second,
 			Tracer:       jc.Tracer,
+			Health:       jc.Health,
 		})
+		scenario := *traceSpec
+		if scenario == "" {
+			scenario = fmt.Sprintf("wired-%gMbps", *capMbps)
+		}
+		jc.EmitSpan(0, -1, "scenario:"+scenario, true)
 		flows := make([]*netem.Flow, len(names))
+		ctrlNames := make([]string, len(names))
 		for i, name := range names {
 			mk, _ := exp.MakerFor(name, nil, nil)
 			ctrl := mk(jc.Seed + int64(i)*31)
+			ctrlNames[i] = ctrl.Name()
+			jc.EmitSpan(0, i, "flow:"+ctrlNames[i], true)
 			jc.AttachTracer(ctrl, i)
 			flows[i] = n.AddFlow(ctrl, 0, 0)
 		}
 		n.Run(*dur)
+		for i := range flows {
+			jc.EmitSpan(dur.Nanoseconds(), i, "flow:"+ctrlNames[i], false)
+		}
+		jc.EmitSpan(dur.Nanoseconds(), -1, "scenario:"+scenario, false)
 		jc.ObserveLink(n, *dur)
 
 		if verbose {
@@ -186,6 +208,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
 		os.Exit(1)
 	}
+	if err := closeFlight(); err != nil {
+		fmt.Fprintf(os.Stderr, "flight-out: %v\n", err)
+		os.Exit(1)
+	}
+	stopHealth()
 	if err := cliutil.WriteMetrics(rc.Metrics, *metricsOut, *metricsFmt); err != nil {
 		fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
 		os.Exit(1)

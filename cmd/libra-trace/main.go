@@ -8,8 +8,11 @@
 //	libra-trace -gen lte:driving -dur 60s -o driving.mahi
 //	libra-trace -inspect driving.mahi
 //	libra-trace -inspect 'a.mahi,b.mahi,c.mahi' -parallel 4
+//	libra-trace -validate 'run1.jsonl,run2.jsonl' -parallel 4
 //	libra-trace analyze events.jsonl
 //	libra-trace analyze -json -parallel 4 run1.jsonl run2.jsonl
+//	libra-trace analyze -flight-out dumps/ events.jsonl
+//	libra-trace spans -o trace.json events.jsonl
 package main
 
 import (
@@ -26,13 +29,21 @@ import (
 	"libra/internal/cliutil"
 	"libra/internal/stats"
 	"libra/internal/sweep"
+	"libra/internal/telemetry"
+	"libra/internal/telemetry/spans"
 	"libra/internal/trace"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "analyze" {
-		runAnalyze(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "analyze":
+			runAnalyze(os.Args[2:])
+			return
+		case "spans":
+			runSpans(os.Args[2:])
+			return
+		}
 	}
 	var (
 		gen      = flag.String("gen", "", "generate: lte:stationary|walking|driving|tour, const:<Mbps>, step:<P,L1,L2,..>")
@@ -40,11 +51,44 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		out      = flag.String("o", "", "output file (Mahimahi format; default stdout)")
 		inspect  = flag.String("inspect", "", "parse Mahimahi traces (comma-separated) and print statistics")
+		validate = flag.String("validate", "", "validate JSONL event streams (comma-separated) against the telemetry schema")
 		parallel = cliutil.ParallelFlag()
 	)
 	flag.Parse()
 
 	switch {
+	case *validate != "":
+		// Validate every stream concurrently; reports are printed in
+		// argument order so the output is identical at any -parallel
+		// setting. Errors name the offending file and line.
+		paths := strings.Split(*validate, ",")
+		type result struct {
+			events int64
+			err    error
+		}
+		results := sweep.Map(sweep.Workers(*parallel), len(paths), func(i int) result {
+			path := strings.TrimSpace(paths[i])
+			f, err := os.Open(path)
+			if err != nil {
+				return result{err: err}
+			}
+			defer f.Close()
+			n, err := telemetry.ValidateStream(f, path)
+			return result{events: n, err: err}
+		})
+		bad := false
+		for i, r := range results {
+			if r.err != nil {
+				bad = true
+				fmt.Fprintln(os.Stderr, r.err)
+				continue
+			}
+			fmt.Printf("%s: %d events ok (schema v%d)\n",
+				strings.TrimSpace(paths[i]), r.events, telemetry.SchemaVersion)
+		}
+		if bad {
+			os.Exit(1)
+		}
 	case *inspect != "":
 		// Inspect every file concurrently; outputs are buffered per file
 		// and printed in argument order, so the report is identical at
@@ -125,6 +169,66 @@ func main() {
 	}
 }
 
+// runSpans is the `libra-trace spans` subcommand: convert one or more
+// JSONL event streams into a single Chrome trace-event JSON file that
+// Perfetto (ui.perfetto.dev) and chrome://tracing load directly. Files
+// are fed to the builder in argument order; each run boundary (time
+// going backwards, as in a -reps sweep or concatenated files) becomes
+// its own process in the trace.
+func runSpans(args []string) {
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	out := fs.String("o", "", "output file (Chrome trace-event JSON; default stdout)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: libra-trace spans [-o trace.json] <events.jsonl>...")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fs.Usage()
+		fatal(errors.New("spans: no trace files given (record one with libra-sim/libra-bench -trace-out, or use a flight-recorder dump)"))
+	}
+
+	b := spans.NewBuilder()
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		dec := telemetry.NewDecoder(f)
+		for {
+			e, err := dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				fatal(fmt.Errorf("%s: %w", path, err))
+			}
+			b.Add(&e)
+		}
+		f.Close()
+	}
+	b.Finish()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := b.WriteTo(w); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d trace events (%d runs) to %s — open at ui.perfetto.dev\n",
+			b.Events(), b.Runs(), *out)
+	}
+}
+
 // runAnalyze is the `libra-trace analyze` subcommand: run every JSONL
 // event stream through the streaming analytics engine — files in
 // parallel — and merge the per-file analyses in argument order, so
@@ -134,8 +238,9 @@ func runAnalyze(args []string) {
 	jsonOut := fs.Bool("json", false, "emit the machine-readable JSON report instead of text")
 	window := fs.Duration("window", time.Second, "Jain fairness window width")
 	parallel := fs.Int("parallel", 0, "per-file analysis worker count (0 = GOMAXPROCS)")
+	flightOut := fs.String("flight-out", "", "replay the streams through a flight recorder, dumping anomaly snapshots into this directory")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: libra-trace analyze [-json] [-window 1s] [-parallel N] <events.jsonl>...")
+		fmt.Fprintln(os.Stderr, "usage: libra-trace analyze [-json] [-window 1s] [-parallel N] [-flight-out dir] <events.jsonl>...")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -149,6 +254,11 @@ func runAnalyze(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	if *flightOut != "" {
+		if err := replayFlight(paths, *flightOut); err != nil {
+			fatal(err)
+		}
+	}
 	if *jsonOut {
 		err = rep.WriteJSON(os.Stdout)
 	} else {
@@ -157,6 +267,39 @@ func runAnalyze(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// replayFlight re-reads the streams sequentially in argument order and
+// feeds them through a flight recorder plus the anomaly tap, cutting
+// after-the-fact dumps for every detector firing — the offline twin of
+// a live run's -flight-out. Sequential replay keeps the dump files
+// deterministic regardless of the analyze -parallel setting.
+func replayFlight(paths []string, dir string) error {
+	fl, closeFlight, err := cliutil.OpenFlight(dir, nil)
+	if err != nil {
+		return err
+	}
+	tap := telemetry.Multi(cliutil.FlightTap(fl), cliutil.AnomalyTap(fl))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		dec := telemetry.NewDecoder(f)
+		for {
+			e, err := dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			tap.Emit(&e)
+		}
+		f.Close()
+	}
+	return closeFlight()
 }
 
 // analyzeFiles analyzes every file on `workers` workers and merges the

@@ -18,6 +18,7 @@ import (
 	"libra/internal/cliutil"
 	"libra/internal/exp"
 	"libra/internal/rlcc"
+	"libra/internal/telemetry"
 )
 
 func main() {
@@ -31,12 +32,23 @@ func main() {
 		metricsFmt = flag.String("metrics-format", "auto", "metrics snapshot format: auto|json|prom")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address")
 		parallel   = cliutil.ParallelFlag()
+		flightOut  = cliutil.FlightFlag()
 	)
 	flag.Parse()
 
 	rc := exp.NewRunContext(*seed)
 	rc.Workers = *parallel
 	rc.WithDefaults()
+	flight, closeFlight, err := cliutil.OpenFlight(*flightOut, rc.Metrics)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Order matters: the flight recorder precedes the anomaly tap so a
+	// detector-triggered dump already holds the event that tripped it.
+	tap := telemetry.Multi(cliutil.FlightTap(flight), cliutil.AnomalyTap(flight))
+	health, stopHealth := cliutil.StartHealth(rc.Metrics)
+	rc.Health = health
 	cliutil.StartPprof(*pprofAddr, rc.Metrics)
 
 	spec := exp.QuickTrainSpec(*seed)
@@ -66,6 +78,8 @@ func main() {
 		Env:        &spec.Env,
 		Ctrl:       rlcc.LibraRLConfig(baseCfg(*seed)),
 		Seed:       spec.Seed,
+		Tracer:     tap,
+		Health:     health,
 		OnEpisode: func(i int, reward float64) {
 			if (i+1)%10 == 0 || i == 0 {
 				fmt.Printf("  episode %4d  reward %8.2f\n", i+1, reward)
@@ -89,6 +103,11 @@ func main() {
 	}
 	fmt.Printf("saved models to %s (use: libra-bench -models %s)\n", *out, *out)
 
+	if err := closeFlight(); err != nil {
+		fmt.Fprintf(os.Stderr, "flight-out: %v\n", err)
+		os.Exit(1)
+	}
+	stopHealth()
 	if err := cliutil.WriteMetrics(rc.Metrics, *metricsOut, *metricsFmt); err != nil {
 		fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
 		os.Exit(1)

@@ -44,6 +44,13 @@ type Config struct {
 	// regain half its pre-outage base rate before the rate-collapse
 	// anomaly fires (default 10s).
 	RecoveryWindow time.Duration
+	// OnAnomaly, when set, fires the moment a detector trips: reasons
+	// are the telemetry Anomaly* constants (rate_collapse,
+	// no_ack_streak, utility_regression). It is invoked on the feeding
+	// goroutine with the analyzer lock held, so implementations must
+	// not call back into the analyzer; the CLIs wire it to the flight
+	// recorder's TriggerDump.
+	OnAnomaly func(flow int, t int64, reason string)
 }
 
 // withDefaults fills zero fields.
@@ -381,6 +388,7 @@ func (a *Analyzer) feedDecision(e *telemetry.Event) {
 			fs.regressStreak++
 			if fs.regressStreak == 3 {
 				fs.regressions++
+				a.fireAnomaly(fs.id, e.T, telemetry.AnomalyRegression)
 			}
 		} else {
 			fs.regressStreak = 0
@@ -395,7 +403,7 @@ func (a *Analyzer) feedDecision(e *telemetry.Event) {
 			fs.recoveryMax = e.XPrev
 		}
 		if e.T >= fs.watchDeadline {
-			fs.closeWatch()
+			a.closeWatch(fs, e.T)
 		}
 	}
 }
@@ -425,6 +433,12 @@ func (a *Analyzer) feedNoAck(e *telemetry.Event) {
 	if fs.noAckStreak > fs.maxNoAckStreak {
 		fs.maxNoAckStreak = fs.noAckStreak
 	}
+	if fs.noAckStreak == 2 {
+		// Same threshold as the report flag: two consecutive silent
+		// cycles is where the core watchdog starts treating the link as
+		// down. Fires once per streak.
+		a.fireAnomaly(fs.id, e.T, telemetry.AnomalyNoAckStreak)
+	}
 	if e.Reason == "decay" {
 		fs.decays++
 	}
@@ -438,12 +452,22 @@ func (a *Analyzer) feedNoAck(e *telemetry.Event) {
 	}
 }
 
-// closeWatch resolves a pending post-outage recovery watch.
-func (fs *flowState) closeWatch() {
+// closeWatch resolves a pending post-outage recovery watch. Callers
+// hold a.mu; t is the trace time the watch resolved at.
+func (a *Analyzer) closeWatch(fs *flowState, t int64) {
 	if fs.recoveryMax < 0.5*fs.preOutageRate {
 		fs.collapses++
+		a.fireAnomaly(fs.id, t, telemetry.AnomalyCollapse)
 	}
 	fs.watching = false
+}
+
+// fireAnomaly invokes the configured anomaly callback, if any.
+// Callers hold a.mu.
+func (a *Analyzer) fireAnomaly(flow int, t int64, reason string) {
+	if a.cfg.OnAnomaly != nil {
+		a.cfg.OnAnomaly(flow, t, reason)
+	}
 }
 
 // Finalize resolves state that only settles at end of stream: pending
@@ -456,7 +480,7 @@ func (a *Analyzer) Finalize() {
 	defer a.mu.Unlock()
 	for _, fs := range a.flows {
 		if fs.watching {
-			fs.closeWatch()
+			a.closeWatch(fs, a.lastT)
 		}
 	}
 }

@@ -47,6 +47,7 @@ const livePage = `<!doctype html>
 <body>
 <h1>libra live flows <small id="status">connecting…</small></h1>
 <div id="summary"></div>
+<div id="health"></div>
 <table id="flows"><thead><tr>
   <th class="l">flow</th><th>cycles</th><th>early exit</th>
   <th>x_prev</th><th>x_cl</th><th>x_rl</th>
@@ -108,8 +109,25 @@ async function tick() {
   document.getElementById("link").textContent =
     "link: queue p95 " + fmt(r.link.queue_bytes.p95, 0) + " B · drops: " + (drops || "none");
 }
+async function health() {
+  // Served by cliutil's debug mux when a health sampler runs; absent
+  // endpoints (404 or fetch failure) just leave the line empty.
+  try {
+    const r = await fetch("/health", {cache: "no-store"});
+    if (!r.ok) return;
+    const h = await r.json();
+    if (h.sim_wall_ratio === undefined) return;
+    document.getElementById("health").textContent =
+      "health: " + fmt(h.sim_wall_ratio, 1) + "x realtime · " +
+      fmt(h.events_per_second / 1e6, 2) + " M events/s · " +
+      (h.pending_timers || 0) + " pending timers · heap " +
+      fmt(h.heap_bytes / 1e6, 1) + " MB · " + (h.goroutines || 0) + " goroutines";
+  } catch (e) { /* no health sampler */ }
+}
 tick();
+health();
 setInterval(tick, 1000);
+setInterval(health, 1000);
 </script>
 </body>
 </html>

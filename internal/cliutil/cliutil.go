@@ -4,12 +4,14 @@
 package cliutil
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"libra/internal/analyze"
 	"libra/internal/telemetry"
@@ -35,6 +37,85 @@ func OpenTracer(path string) (telemetry.Tracer, func() error, error) {
 		fmt.Printf("wrote %d events to %s\n", rec.Events(), path)
 		return nil
 	}, nil
+}
+
+// OpenFlight builds an always-on flight recorder dumping anomaly
+// snapshots into dir (created if missing); counters register into reg
+// when non-nil. Empty dir returns a nil recorder and a no-op closer,
+// so callers can wire the result unconditionally. The closer reports
+// how many dumps were written.
+func OpenFlight(dir string, reg *telemetry.Registry) (*telemetry.FlightRecorder, func() error, error) {
+	if dir == "" {
+		return nil, func() error { return nil }, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	fl := telemetry.NewFlightRecorder(telemetry.FlightConfig{Dir: dir, Metrics: reg})
+	return fl, func() error {
+		if n := fl.Dumps(); n > 0 {
+			fmt.Printf("flight recorder: %d dump(s) in %s\n", n, dir)
+		}
+		return fl.Err()
+	}, nil
+}
+
+// FlightTap converts a possibly-nil flight recorder into a value safe
+// to hand telemetry.Multi (a typed-nil would defeat its nil check).
+func FlightTap(fl *telemetry.FlightRecorder) telemetry.Tracer {
+	if fl == nil {
+		return nil
+	}
+	return fl
+}
+
+// AnomalyTap returns a live analyzer tap that exists only to run the
+// streaming anomaly detectors (rate collapse, no-ACK streaks, utility
+// regression) and trigger flight dumps when one fires; nil when fl is
+// nil. Compose it AFTER the flight recorder in telemetry.Multi so the
+// triggering event is already in the ring when the dump is cut. The
+// detectors are purely event-driven, so dump triggers inherit the
+// event stream's worker-count independence.
+func AnomalyTap(fl *telemetry.FlightRecorder) telemetry.Tracer {
+	if fl == nil {
+		return nil
+	}
+	return analyze.New(analyze.Config{
+		OnAnomaly: func(flow int, t int64, reason string) {
+			fl.TriggerDump(flow, t, reason)
+		},
+	})
+}
+
+// FlightFlag registers the shared -flight-out flag.
+func FlightFlag() *string {
+	return flag.String("flight-out", "",
+		"directory for flight-recorder dumps on detected anomalies (empty = off)")
+}
+
+// StartHealth attaches a runtime health sampler to reg and samples
+// once a second until the returned stop function runs (which takes a
+// final sample). The sampler is returned for RunContext.Health wiring.
+func StartHealth(reg *telemetry.Registry) (*telemetry.Health, func()) {
+	h := telemetry.NewHealth(reg)
+	return h, h.Start(time.Second)
+}
+
+// healthHandler serves the libra_health_* gauges as a flat JSON object
+// for the dashboard's health line.
+func healthHandler(reg *telemetry.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		snap := reg.Snapshot()
+		out := make(map[string]float64, 8)
+		for name, v := range snap.Gauges {
+			if strings.HasPrefix(name, "libra_health_") {
+				out[strings.TrimPrefix(name, "libra_health_")] = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		_ = json.NewEncoder(w).Encode(out)
+	})
 }
 
 // WriteMetrics exports a registry snapshot to path. Format "auto"
@@ -79,6 +160,7 @@ func DebugMux(reg *telemetry.Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	if reg != nil {
 		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/health", healthHandler(reg))
 	}
 	return mux
 }

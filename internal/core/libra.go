@@ -227,10 +227,11 @@ type Libra struct {
 	tel    Telemetry
 	cycles []CycleRecord
 
-	tracer  telemetry.Tracer
-	traceID int
-	traceOn bool            // cached Enabled(); keeps the hot path branch-cheap
-	evBuf   telemetry.Event // reused so enabled-path emits stay alloc-free
+	tracer   telemetry.Tracer
+	traceID  int
+	traceOn  bool            // cached Enabled(); keeps the hot path branch-cheap
+	spanOpen bool            // a cycle span has begun and not yet ended
+	evBuf    telemetry.Event // reused so enabled-path emits stay alloc-free
 }
 
 // New constructs a Libra sender.
@@ -415,6 +416,10 @@ func (l *Libra) startCycle(now time.Duration) {
 		l.haveTag[i] = false
 	}
 	if l.traceOn {
+		// An abandoned cycle (outage recovery restarts mid-cycle) is
+		// closed before the new span begins, so B/E events stay paired.
+		l.emitCycleSpan(now, false)
+		l.emitCycleSpan(now, true)
 		l.emitStage(now)
 	}
 }
@@ -423,6 +428,25 @@ func (l *Libra) startCycle(now time.Duration) {
 func (l *Libra) emitStage(now time.Duration) {
 	l.evBuf = telemetry.Event{T: int64(now), Type: telemetry.TypeStage, Flow: l.traceID,
 		Stage: l.stage.String(), Rate: l.rate, XPrev: l.xPrev}
+	l.tracer.Emit(&l.evBuf)
+}
+
+// emitCycleSpan records a control-cycle span boundary. Begins carry
+// the base rate the cycle starts from; an end without a matching begin
+// is suppressed, so callers may close defensively.
+func (l *Libra) emitCycleSpan(now time.Duration, begin bool) {
+	if begin {
+		l.spanOpen = true
+		l.evBuf = telemetry.Event{T: int64(now), Type: telemetry.TypeSpan, Flow: l.traceID,
+			Reason: telemetry.SpanBegin, Name: "cycle", XPrev: l.xPrev}
+	} else {
+		if !l.spanOpen {
+			return
+		}
+		l.spanOpen = false
+		l.evBuf = telemetry.Event{T: int64(now), Type: telemetry.TypeSpan, Flow: l.traceID,
+			Reason: telemetry.SpanEnd, Name: "cycle"}
+	}
 	l.tracer.Emit(&l.evBuf)
 }
 
@@ -622,6 +646,7 @@ func (l *Libra) decide(now time.Duration) {
 			l.evBuf = telemetry.Event{T: int64(now), Type: telemetry.TypeNoAck,
 				Flow: l.traceID, XPrev: l.xPrev, Reason: reason, RTT: int64(l.srtt)}
 			l.tracer.Emit(&l.evBuf)
+			l.emitCycleSpan(now, false)
 		}
 		return
 	}
@@ -688,6 +713,7 @@ func (l *Libra) decide(now time.Duration) {
 			l.evBuf.Thr, l.evBuf.Grad, l.evBuf.Loss = l.intervalTerms(iv)
 		}
 		l.tracer.Emit(&l.evBuf)
+		l.emitCycleSpan(now, false)
 	}
 }
 

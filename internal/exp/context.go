@@ -55,6 +55,12 @@ type RunContext struct {
 	// disables. Implementations must be safe for concurrent use —
 	// Sweep jobs share their parent's registrar.
 	Live FlowRegistrar
+	// Health, when set, has every network engine the runner builds
+	// registered for the duration of its run, feeding the runtime
+	// health gauges. Health is goroutine-safe and shared by Sweep jobs;
+	// its wall-clock-derived gauges are deliberately outside the
+	// determinism guarantees that cover Metrics and Tracer.
+	Health *telemetry.Health
 
 	// parent links a Sweep job back to the context that spawned it.
 	parent *RunContext
@@ -155,6 +161,7 @@ func (rc *RunContext) child(i int) *RunContext {
 		Metrics:   telemetry.NewRegistry(),
 		FaultPlan: rc.FaultPlan,
 		Live:      rc.Live,
+		Health:    rc.Health,
 		parent:    rc,
 		cache:     rc.cache,
 		train:     rc.train,

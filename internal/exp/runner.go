@@ -22,6 +22,7 @@ import (
 	"libra/internal/netem/faults"
 	"libra/internal/rlcc"
 	"libra/internal/sweep"
+	"libra/internal/telemetry"
 	"libra/internal/trace"
 	"libra/internal/utility"
 )
@@ -279,8 +280,17 @@ func (rc *RunContext) failedRun(s Scenario, err error) Metrics {
 // (Metrics.Failed/Err) instead of unwinding the whole experiment.
 func (rc *RunContext) RunFlow(s Scenario, mk Maker, bucket time.Duration) (m Metrics) {
 	rc.WithDefaults()
+	var n *netem.Network
 	defer func() {
 		if r := recover(); r != nil {
+			// The anomaly marker reaches the flight recorder through the
+			// ordinary (ordered) event stream, so the ring contents at
+			// the moment of the crash are dumped deterministically.
+			var t int64
+			if n != nil {
+				t = int64(n.Eng.Now())
+			}
+			rc.EmitAnomaly(t, 0, telemetry.AnomalyPanic)
 			m = rc.failedRun(s, fmt.Errorf("panic: %v", r))
 		}
 	}()
@@ -288,7 +298,7 @@ func (rc *RunContext) RunFlow(s Scenario, mk Maker, bucket time.Duration) (m Met
 	if err != nil {
 		return rc.failedRun(s, err)
 	}
-	n := netem.New(netem.Config{
+	n = netem.New(netem.Config{
 		Capacity:     s.Capacity,
 		MinRTT:       s.MinRTT,
 		BufferBytes:  s.Buffer,
@@ -298,11 +308,16 @@ func (rc *RunContext) RunFlow(s Scenario, mk Maker, bucket time.Duration) (m Met
 		RecordSeries: bucket > 0,
 		SeriesBucket: bucket,
 		Tracer:       rc.Tracer,
+		Health:       rc.Health,
 	})
 	ctrl := mk(rc.Seed)
+	rc.EmitSpan(0, -1, "scenario:"+s.Name, true)
+	rc.EmitSpan(0, 0, "flow:"+ctrl.Name(), true)
 	rc.AttachTracer(ctrl, 0)
 	f := n.AddFlow(ctrl, 0, 0)
 	n.Run(s.Duration)
+	rc.EmitSpan(s.Duration.Nanoseconds(), 0, "flow:"+ctrl.Name(), false)
+	rc.EmitSpan(s.Duration.Nanoseconds(), -1, "scenario:"+s.Name, false)
 	rc.recordLink(n, s.Duration)
 	return rc.Observe(n, f, s.Duration)
 }
@@ -313,8 +328,22 @@ func (rc *RunContext) RunFlow(s Scenario, mk Maker, bucket time.Duration) (m Met
 // every flow of the run failed rather than escaping.
 func (rc *RunContext) RunFlows(s Scenario, mks []Maker, starts []time.Duration, bucket time.Duration) (out []Metrics) {
 	rc.WithDefaults()
+	var n *netem.Network
+	flows := make([]*netem.Flow, 0, len(mks))
 	defer func() {
 		if r := recover(); r != nil {
+			var t int64
+			if n != nil {
+				t = int64(n.Eng.Now())
+			}
+			// Every flow of the shared bottleneck died with the panic;
+			// trigger a flight dump for each ring that was being fed.
+			for i := range flows {
+				rc.EmitAnomaly(t, i, telemetry.AnomalyPanic)
+			}
+			if len(flows) == 0 {
+				rc.EmitAnomaly(t, -1, telemetry.AnomalyPanic)
+			}
 			m := rc.failedRun(s, fmt.Errorf("panic: %v", r))
 			out = make([]Metrics, len(mks))
 			for i := range out {
@@ -331,7 +360,7 @@ func (rc *RunContext) RunFlows(s Scenario, mks []Maker, starts []time.Duration, 
 		}
 		return out
 	}
-	n := netem.New(netem.Config{
+	n = netem.New(netem.Config{
 		Capacity:     s.Capacity,
 		MinRTT:       s.MinRTT,
 		BufferBytes:  s.Buffer,
@@ -341,18 +370,26 @@ func (rc *RunContext) RunFlows(s Scenario, mks []Maker, starts []time.Duration, 
 		RecordSeries: bucket > 0,
 		SeriesBucket: bucket,
 		Tracer:       rc.Tracer,
+		Health:       rc.Health,
 	})
-	flows := make([]*netem.Flow, len(mks))
+	rc.EmitSpan(0, -1, "scenario:"+s.Name, true)
+	names := make([]string, len(mks))
 	for i, mk := range mks {
 		var start time.Duration
 		if i < len(starts) {
 			start = starts[i]
 		}
 		ctrl := mk(sweep.SubSeed(rc.Seed, i))
+		names[i] = ctrl.Name()
+		rc.EmitSpan(0, i, "flow:"+names[i], true)
 		rc.AttachTracer(ctrl, i)
-		flows[i] = n.AddFlow(ctrl, start, 0)
+		flows = append(flows, n.AddFlow(ctrl, start, 0))
 	}
 	n.Run(s.Duration)
+	for i := range flows {
+		rc.EmitSpan(s.Duration.Nanoseconds(), i, "flow:"+names[i], false)
+	}
+	rc.EmitSpan(s.Duration.Nanoseconds(), -1, "scenario:"+s.Name, false)
 	rc.recordLink(n, s.Duration)
 	out = make([]Metrics, len(flows))
 	for i, f := range flows {

@@ -127,6 +127,34 @@ func (rc *RunContext) recordLink(n *netem.Network, d time.Duration) {
 		Set(n.Link().MeanQueueBytes(n.Eng.Now()))
 }
 
+// EmitSpan emits a harness-level causal-span boundary (scenario, flow,
+// experiment) on the context's tracer. t is virtual time in
+// nanoseconds; flow -1 marks run-scoped spans. The spans package folds
+// these into the Chrome-trace hierarchy above the core's cycle/stage
+// spans. No-op when tracing is off.
+func (rc *RunContext) EmitSpan(t int64, flow int, name string, begin bool) {
+	if !telemetry.Enabled(rc.Tracer) {
+		return
+	}
+	reason := telemetry.SpanEnd
+	if begin {
+		reason = telemetry.SpanBegin
+	}
+	e := telemetry.Event{T: t, Type: telemetry.TypeSpan, Flow: flow, Reason: reason, Name: name}
+	rc.Tracer.Emit(&e)
+}
+
+// EmitAnomaly emits an anomaly marker (reason per the telemetry
+// Anomaly* constants) into the event stream, where the flight recorder
+// picks it up as a dump trigger. No-op when tracing is off.
+func (rc *RunContext) EmitAnomaly(t int64, flow int, reason string) {
+	if !telemetry.Enabled(rc.Tracer) {
+		return
+	}
+	e := telemetry.Event{T: t, Type: telemetry.TypeAnomaly, Flow: flow, Reason: reason}
+	rc.Tracer.Emit(&e)
+}
+
 // AttachTracer wires the context's tracer into a freshly built
 // controller, when one is configured and the controller supports it,
 // and registers the flow id with the live observer.

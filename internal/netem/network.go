@@ -48,6 +48,9 @@ type Config struct {
 	// QueueSampleInterval is the spacing of queue-occupancy samples
 	// (default 100 ms; only used when Tracer is enabled).
 	QueueSampleInterval time.Duration
+	// Health, when set, has the network's engine registered for runtime
+	// health sampling for the lifetime of Run.
+	Health *telemetry.Health
 }
 
 // Network is a single-bottleneck emulated topology.
@@ -184,7 +187,13 @@ func flowStopCb(arg any)  { arg.(*Flow).stop() }
 func (n *Network) Flows() []*Flow { return n.flows }
 
 // Run advances the simulation to time d and finalises flow statistics.
+// When a Health sampler is configured, the engine is registered for the
+// duration of the run so its progress counters feed the health gauges.
 func (n *Network) Run(d time.Duration) {
+	if n.cfg.Health != nil {
+		n.cfg.Health.Register(n.Eng)
+		defer n.cfg.Health.Unregister(n.Eng)
+	}
 	n.Eng.Run(d)
 	for _, f := range n.flows {
 		if f.running {

@@ -6,6 +6,7 @@ import (
 
 	"libra/internal/netem"
 	"libra/internal/rl"
+	"libra/internal/telemetry"
 	"libra/internal/trace"
 )
 
@@ -66,6 +67,14 @@ type TrainConfig struct {
 	// OnEpisode, when non-nil, is invoked after each episode with its
 	// index and total reward.
 	OnEpisode func(i int, reward float64)
+	// Tracer, when non-nil, taps every episode's event stream (link and
+	// controller events). Each episode's clock restarts at zero, so
+	// consumers see one run boundary per episode — the flight recorder
+	// rides here during libra-train -flight-out.
+	Tracer telemetry.Tracer
+	// Health, when non-nil, tracks each episode's engine progress for
+	// the runtime health sampler.
+	Health *telemetry.Health
 }
 
 // TrainResult reports the learning curve.
@@ -126,6 +135,8 @@ func Train(cfg TrainConfig) TrainResult {
 			BufferBytes: buf,
 			LossRate:    loss,
 			Seed:        rng.Int63(),
+			Tracer:      cfg.Tracer,
+			Health:      cfg.Health,
 		})
 		epCfg := ctrlCfg
 		epCfg.CC.Seed = rng.Int63()
@@ -136,6 +147,9 @@ func Train(cfg TrainConfig) TrainResult {
 		mean := trace.MeanRate(capTrace, cfg.EpisodeLen, 100*time.Millisecond)
 		epCfg.CC.InitialRate = (0.05 + 1.3*rng.Float64()) * mean
 		ctrl := New("rl-train", epCfg)
+		if cfg.Tracer != nil {
+			ctrl.SetTracer(cfg.Tracer, 0)
+		}
 		n.AddFlow(ctrl, 0, 0)
 		n.Run(cfg.EpisodeLen)
 

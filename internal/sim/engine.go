@@ -23,6 +23,7 @@ package sim
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -60,15 +61,33 @@ type slotRec struct {
 // Engine is a single-threaded discrete-event simulator. The zero value is
 // not usable; construct with New.
 type Engine struct {
-	now    Clock
-	seq    uint64
-	heap   []heapEntry
-	slots  []slotRec
-	free   []int32 // recycled slot indices
-	live   int     // scheduled and not yet cancelled/dispatched
-	rng    *rand.Rand
-	halted bool
+	now        Clock
+	seq        uint64
+	heap       []heapEntry
+	slots      []slotRec
+	free       []int32 // recycled slot indices
+	live       int     // scheduled and not yet cancelled/dispatched
+	rng        *rand.Rand
+	halted     bool
+	dispatched int64 // total events fired, counted on the hot path
+
+	// progress mirrors now/dispatched/live through atomics for
+	// cross-goroutine health sampling. The hot path refreshes it every
+	// progressStride dispatches (amortized: three atomic stores per
+	// stride), so readers see values at most one stride stale rather
+	// than racing the single-threaded dispatch loop.
+	progress struct {
+		simNs   atomic.Int64
+		events  atomic.Int64
+		pending atomic.Int64
+	}
 }
+
+// progressStride is the dispatch-count interval between atomic
+// progress publications. A power of two keeps the hot-path check a
+// mask; 1024 dispatches is well under a millisecond of wall time, so
+// health samples taken every second lose nothing to the amortization.
+const progressStride = 1024
 
 // New returns an engine whose random source is seeded with seed.
 func New(seed int64) *Engine {
@@ -236,11 +255,31 @@ func (e *Engine) dispatchTop(ent heapEntry, rec *slotRec) {
 	rec.fn, rec.cb, rec.arg = nil, nil, nil
 	e.free = append(e.free, ent.slot)
 	e.live--
+	e.dispatched++
+	if e.dispatched&(progressStride-1) == 0 {
+		e.publishProgress()
+	}
 	if cb != nil {
 		cb(arg)
 	} else {
 		fn()
 	}
+}
+
+// publishProgress refreshes the atomic mirror of the progress counters.
+func (e *Engine) publishProgress() {
+	e.progress.simNs.Store(int64(e.now))
+	e.progress.events.Store(e.dispatched)
+	e.progress.pending.Store(int64(e.live))
+}
+
+// Progress returns virtual time (ns), total dispatched events, and
+// pending timers from the atomic mirror. Unlike Now/Pending it is safe
+// to call from other goroutines while the engine runs; values lag the
+// dispatch loop by at most progressStride events. It implements
+// telemetry.ProgressSource.
+func (e *Engine) Progress() (simNs, events, pending int64) {
+	return e.progress.simNs.Load(), e.progress.events.Load(), e.progress.pending.Load()
 }
 
 // Run dispatches events in order until the queue is empty or virtual time
@@ -263,6 +302,7 @@ func (e *Engine) Run(until Clock) {
 	if e.now < until {
 		e.now = until
 	}
+	e.publishProgress() // exact totals once the loop hands control back
 }
 
 // Step dispatches the single next pending event and reports whether one

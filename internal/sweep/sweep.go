@@ -8,6 +8,12 @@
 // must make each job self-contained (own seed, own accumulators, no
 // shared mutable state) — the exp package's RunContext/Sweep layer
 // enforces that discipline for flow jobs.
+//
+// Observability rides the same contract: exp.Sweep buffers each job's
+// telemetry and replays it into the parent tracer in submission order,
+// so downstream consumers that derive state from the stream — the
+// flight recorder's anomaly dumps, the span builder's run boundaries —
+// produce byte-identical output at any worker count.
 package sweep
 
 import (

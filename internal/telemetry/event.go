@@ -19,6 +19,14 @@ import (
 	"time"
 )
 
+// SchemaVersion is the current event-schema version. Recorder stamps
+// it into the V field of every event it writes (unless the emitter set
+// one already), so a JSONL file self-describes which schema produced
+// it and `libra-trace -validate` can reject streams from the future.
+// History: 1 = PR 1 flat event set; 2 = adds v/name fields and the
+// span/anomaly event types.
+const SchemaVersion = 2
+
 // Type discriminates the payload of an Event.
 type Type string
 
@@ -54,6 +62,33 @@ const (
 	// factor) and per-packet mutations (Reason "reorder", "dup",
 	// "spike", with Queue carrying the extra delay in nanoseconds).
 	TypeFault Type = "fault"
+	// TypeSpan is a causal-span boundary: Reason is SpanBegin or
+	// SpanEnd and Name identifies the span ("cycle", "flow:<cca>",
+	// "scenario:<name>", "experiment:<id>"). The spans package folds
+	// these, together with the implicit stage structure, into Chrome
+	// trace-event JSON for Perfetto.
+	TypeSpan Type = "span"
+	// TypeAnomaly marks a detected incident: Reason is one of
+	// "panic", "outage", "rate_collapse", "no_ack_streak",
+	// "utility_regression". The flight recorder dumps its ring when one
+	// passes through, so the seconds leading up to the incident are
+	// preserved even when full tracing is off.
+	TypeAnomaly Type = "anomaly"
+)
+
+// Span boundary reasons carried by TypeSpan events.
+const (
+	SpanBegin = "begin"
+	SpanEnd   = "end"
+)
+
+// Anomaly reasons carried by TypeAnomaly events.
+const (
+	AnomalyPanic       = "panic"
+	AnomalyOutage      = "outage"
+	AnomalyCollapse    = "rate_collapse"
+	AnomalyNoAckStreak = "no_ack_streak"
+	AnomalyRegression  = "utility_regression"
 )
 
 // Drop reasons carried by TypeDrop events.
@@ -124,6 +159,12 @@ type Event struct {
 	Thr  float64 `json:"thr,omitempty"`
 	Grad float64 `json:"grad,omitempty"`
 	Loss float64 `json:"loss,omitempty"`
+
+	// Name labels span events (TypeSpan) with the span identity.
+	Name string `json:"name,omitempty"`
+	// V is the event-schema version. Emitters leave it zero; Recorder
+	// stamps SchemaVersion on the way out so persisted streams carry it.
+	V int `json:"v,omitempty"`
 }
 
 // Time returns the event timestamp as a duration from simulation start.
@@ -163,6 +204,8 @@ func (e *Event) AppendJSON(b []byte) []byte {
 	b = appendFloat(b, "thr", e.Thr)
 	b = appendFloat(b, "grad", e.Grad)
 	b = appendFloat(b, "loss", e.Loss)
+	b = appendStr(b, "name", e.Name)
+	b = appendInt(b, "v", int64(e.V))
 	return append(b, '}')
 }
 

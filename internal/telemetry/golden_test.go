@@ -4,12 +4,16 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 )
 
 // goldenRegistry builds the fixture registry: a plain counter, a
 // labelled counter pair, a gauge, and a labelled histogram — one of
-// every exposition shape the exporter emits.
+// every exposition shape the exporter emits — plus the observability
+// families the flight recorder and health sampler register, so their
+// metric names and rendering are pinned too.
 func goldenRegistry() *Registry {
 	reg := NewRegistry()
 	reg.Counter("libra_flows_total", "flows driven by the experiment harness").Add(4)
@@ -21,8 +25,32 @@ func goldenRegistry() *Registry {
 	h.Observe(42)
 	h.Observe(43)
 	h.Observe(250)
+
+	// Flight-recorder counters, with some traffic so both families render.
+	fl := NewFlightRecorder(FlightConfig{PerFlow: 2, Metrics: reg})
+	for i := 0; i < 3; i++ {
+		fl.Emit(&Event{T: int64(i), Type: TypeStage, Flow: 0})
+	}
+	fl.Emit(&Event{T: 4, Type: TypeAnomaly, Flow: 0, Reason: AnomalyOutage})
+
+	// Health gauges, sampled from a deterministic source. Wall-clock
+	// rates and runtime stats are overwritten with fixed values after
+	// the sample so the fixture stays byte-stable.
+	hs := NewHealth(reg)
+	hs.Register(progressConst{simNs: 5e9, events: 1200, pending: 3})
+	hs.Sample()
+	reg.Gauge("libra_health_sim_wall_ratio", "").Set(250)
+	reg.Gauge("libra_health_events_per_second", "").Set(1.5e6)
+	reg.Gauge("libra_health_heap_bytes", "").Set(16_777_216)
+	reg.Gauge("libra_health_gc_total", "").Set(7)
+	reg.Gauge("libra_health_goroutines", "").Set(9)
 	return reg
 }
+
+// progressConst is a fixed-value ProgressSource for fixtures.
+type progressConst struct{ simNs, events, pending int64 }
+
+func (p progressConst) Progress() (int64, int64, int64) { return p.simNs, p.events, p.pending }
 
 // TestPrometheusGolden pins the text exposition format byte-for-byte
 // against testdata/registry.prom, so any change to HELP/TYPE
@@ -51,5 +79,62 @@ func TestPrometheusGolden(t *testing.T) {
 	}
 	if !bytes.Equal(got.Bytes(), want) {
 		t.Fatalf("Prometheus exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got.Bytes(), want)
+	}
+}
+
+// TestPrometheusHistogramSumCountConsistent checks the structural
+// invariants scrapers rely on, independent of exact formatting: every
+// histogram family exposes _sum and _count, the +Inf bucket equals
+// _count, and the mean implied by _sum/_count lies within the observed
+// range.
+func TestPrometheusHistogramSumCountConsistent(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	vals := map[string]float64{}
+	for _, ln := range lines {
+		if ln == "" || strings.HasPrefix(ln, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(ln, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable exposition line %q", ln)
+		}
+		v, err := strconv.ParseFloat(ln[i+1:], 64)
+		if err != nil {
+			t.Fatalf("line %q: %v", ln, err)
+		}
+		vals[ln[:i]] = v
+	}
+
+	count, okC := vals[`libra_flow_rtt_ms_count{cca="c-libra"}`]
+	sum, okS := vals[`libra_flow_rtt_ms_sum{cca="c-libra"}`]
+	inf, okI := vals[`libra_flow_rtt_ms_bucket{cca="c-libra",le="+Inf"}`]
+	if !okC || !okS || !okI {
+		t.Fatalf("histogram family incomplete: count=%v sum=%v +Inf=%v\n%s", okC, okS, okI, buf.String())
+	}
+	if count != 4 {
+		t.Errorf("_count = %v, want 4", count)
+	}
+	if want := 8.0 + 42 + 43 + 250; sum != want {
+		t.Errorf("_sum = %v, want %v", sum, want)
+	}
+	if inf != count {
+		t.Errorf("+Inf bucket %v != _count %v", inf, count)
+	}
+
+	// The new observability families must be present with their traffic.
+	for name, want := range map[string]float64{
+		"libra_flight_dumps_total":     1,
+		"libra_flight_evictions_total": 2,
+		"libra_health_sim_time_seconds": 5,
+		"libra_health_pending_timers":   3,
+		"libra_health_sim_wall_ratio":   250,
+	} {
+		if got, ok := vals[name]; !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v", name, got, ok, want)
+		}
 	}
 }

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeEngine is a scriptable ProgressSource.
+type fakeEngine struct{ sim, events, pending int64 }
+
+func (f *fakeEngine) Progress() (int64, int64, int64) { return f.sim, f.events, f.pending }
+
+func TestHealthSampleTotalsAndRetirement(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHealth(reg)
+
+	a := &fakeEngine{sim: 2e9, events: 1000, pending: 7}
+	b := &fakeEngine{sim: 3e9, events: 500, pending: 3}
+	h.Register(a)
+	h.Register(b)
+	h.Sample()
+	snap := reg.Snapshot()
+	if got := snap.Gauges["libra_health_sim_time_seconds"]; got != 5 {
+		t.Errorf("sim_time_seconds = %v, want 5 (2s + 3s)", got)
+	}
+	if got := snap.Gauges["libra_health_pending_timers"]; got != 10 {
+		t.Errorf("pending_timers = %v, want 10", got)
+	}
+	if got := snap.Gauges["libra_health_goroutines"]; got < 1 {
+		t.Errorf("goroutines = %v, want >= 1", got)
+	}
+
+	// Retiring an engine folds its totals in; sim time must not regress
+	// even though the source is gone and the live set shrinks.
+	h.Unregister(a)
+	a.sim = 0 // mutate after retirement: the folded totals must hold
+	b.sim = 4e9
+	h.Sample()
+	snap = reg.Snapshot()
+	if got := snap.Gauges["libra_health_sim_time_seconds"]; got != 6 {
+		t.Errorf("after retirement: sim_time_seconds = %v, want 6 (2s retired + 4s live)", got)
+	}
+	if got := snap.Gauges["libra_health_pending_timers"]; got != 3 {
+		t.Errorf("after retirement: pending_timers = %v, want 3 (live engines only)", got)
+	}
+
+	// Double-unregister and nil handling are no-ops.
+	h.Unregister(a)
+	h.Unregister(nil)
+	(*Health)(nil).Register(b)
+	(*Health)(nil).Unregister(b)
+}
+
+func TestHealthRates(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHealth(reg)
+	e := &fakeEngine{}
+	h.Register(e)
+	h.Sample() // establish the wall-clock baseline
+	e.sim, e.events = 10e9, 5000
+	time.Sleep(10 * time.Millisecond) // a real wall interval for the divisor
+	h.Sample()
+	snap := reg.Snapshot()
+	if got := snap.Gauges["libra_health_sim_wall_ratio"]; got <= 0 {
+		t.Errorf("sim_wall_ratio = %v, want > 0 after virtual time advanced", got)
+	}
+	if got := snap.Gauges["libra_health_events_per_second"]; got <= 0 {
+		t.Errorf("events_per_second = %v, want > 0 after dispatches", got)
+	}
+}
+
+func TestHealthStartStop(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHealth(reg)
+	e := &fakeEngine{sim: 1e9, events: 10, pending: 1}
+	h.Register(e)
+	stop := h.Start(time.Hour) // ticker never fires; stop's final sample must
+	e.sim = 9e9
+	stop()
+	stop() // idempotent
+	if got := reg.Snapshot().Gauges["libra_health_sim_time_seconds"]; got != 9 {
+		t.Errorf("final sample on stop: sim_time_seconds = %v, want 9", got)
+	}
+}

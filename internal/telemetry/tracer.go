@@ -63,10 +63,17 @@ func NewRecorder(w io.Writer) *Recorder {
 // Enabled implements Tracer.
 func (r *Recorder) Enabled() bool { return true }
 
-// Emit implements Tracer.
+// Emit implements Tracer. Events with no schema version are stamped
+// with SchemaVersion via a local copy (the pointee is never written),
+// so every persisted line self-describes its schema.
 func (r *Recorder) Emit(e *Event) {
 	if r.err != nil {
 		return
+	}
+	if e.V == 0 {
+		stamped := *e
+		stamped.V = SchemaVersion
+		e = &stamped
 	}
 	r.buf = e.AppendJSON(r.buf)
 	r.buf = append(r.buf, '\n')

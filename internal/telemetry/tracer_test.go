@@ -15,8 +15,9 @@ import (
 // with probability ~1/2 so omitempty paths get exercised.
 func randomEvent(rng *rand.Rand) Event {
 	types := []Type{TypeStage, TypeEarlyExit, TypeDecision, TypeNoAck,
-		TypeEnqueue, TypeDrop, TypeQueue, TypeAction}
+		TypeEnqueue, TypeDrop, TypeQueue, TypeAction, TypeSpan, TypeAnomaly}
 	strs := []string{"", "explore", "eval-1", "tail", "channel", "aqm", "x_prev", "x_cl", "x_rl"}
+	names := []string{"", "cycle", "flow:c-libra", "scenario:blackout", "experiment:figa1"}
 	f := func() float64 {
 		if rng.Intn(2) == 0 {
 			return 0
@@ -44,6 +45,8 @@ func randomEvent(rng *rand.Rand) Event {
 		UPrev: f(), UCl: f(), URl: f(),
 		Action: f(), Reward: f(), FMin: f(), FMean: f(), FMax: f(),
 		RTT: n(), Thr: f(), Grad: f(), Loss: f(),
+		Name: names[rng.Intn(len(names))],
+		V:    rng.Intn(SchemaVersion + 1),
 	}
 }
 
@@ -74,6 +77,11 @@ func TestEventRoundTrip(t *testing.T) {
 		t.Fatalf("decoded %d events, want %d", len(got), n)
 	}
 	for i := range events {
+		// Recorder stamps SchemaVersion on version-less events; the
+		// round-trip expectation must account for that.
+		if events[i].V == 0 {
+			events[i].V = SchemaVersion
+		}
 		if !reflect.DeepEqual(events[i], got[i]) {
 			t.Fatalf("event %d did not round-trip:\nsent %+v\ngot  %+v", i, events[i], got[i])
 		}

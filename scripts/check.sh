@@ -27,10 +27,16 @@ ANALYZE_BENCH_GUARD=1 go test ./internal/analyze/ -run TestFeedBudget -count=1 -
 # into BENCH_core.json for the perf trajectory (baseline preserved).
 CORE_BENCH_GUARD=1 go test ./internal/sim/ -run TestEngineBudget -count=1 -v
 CORE_BENCH=1 CORE_BENCH_GUARD=1 go test ./internal/netem/ -run TestBenchCore -count=1 -v
+# Flight-recorder hot path: the always-on ring append must stay 0
+# allocs and <= 50 ns/event; the measurement is recorded as the
+# "flight" block of BENCH_core.json.
+FLIGHT_BENCH_GUARD=1 go test ./internal/telemetry/ -run TestFlightEmitBudget -count=1 -v
 # Trace→analytics smoke: record a short two-flow run with -trace-out,
-# pipe it through `libra-trace analyze -json`, and assert the report
-# parses and covers every flow with completed control cycles.
+# validate the stream against the event schema, pipe it through
+# `libra-trace analyze -json`, and assert the report parses and covers
+# every flow with completed control cycles.
 tmp=$(mktemp -d)
 go run ./cmd/libra-sim -cca c-libra,c-libra -capacity 24 -dur 5s -seed 7 -trace-out "$tmp/events.jsonl" >/dev/null
+go run ./cmd/libra-trace -validate "$tmp/events.jsonl"
 go run ./cmd/libra-trace analyze -json "$tmp/events.jsonl" | go run ./scripts/analyzecheck -flows 2
 rm -rf "$tmp"
