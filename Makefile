@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench-guard bench-core bench-sweep analyze check clean
+.PHONY: all build vet test race fuzz bench-guard bench-core bench-sweep bench-lab analyze lab check clean
 
 all: check
 
@@ -45,11 +45,20 @@ bench-core:
 bench-sweep:
 	BENCH_SWEEP=1 $(GO) test ./internal/exp/ -run TestBenchSweep -count=1 -v
 
-# Short fuzz pass over the two parsers that accept external input: the
-# Mahimahi trace reader and the FaultPlan JSON decoder.
+# Adversarial-lab throughput: scenarios/sec over the sweep pool,
+# recorded into BENCH_lab.json; with the guard armed the run fails if
+# throughput drops under the conservative floor. Run in isolation for
+# the same reason as bench-guard.
+bench-lab:
+	LAB_BENCH=1 LAB_BENCH_GUARD=1 $(GO) test ./internal/lab/ -run TestBenchLab -count=1 -v
+
+# Short fuzz pass over the parsers that accept external input (the
+# Mahimahi trace reader and the FaultPlan JSON decoder) and the lab's
+# plan mutation operator (bounds + injector safety).
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParseMahimahi -fuzztime=10s ./internal/trace/
 	$(GO) test -run=NONE -fuzz=FuzzParsePlan -fuzztime=10s ./internal/netem/faults/
+	$(GO) test -run=NONE -fuzz=FuzzPlanMutate -fuzztime=10s ./internal/netem/faults/
 
 # Trace→analytics smoke: record a short two-flow run with -trace-out,
 # pipe it through `libra-trace analyze -json`, and assert the report
@@ -60,7 +69,17 @@ analyze:
 	$(GO) run ./cmd/libra-trace analyze -json $$tmp/events.jsonl | $(GO) run ./scripts/analyzecheck -flows 2 && \
 	rm -rf $$tmp
 
-check: vet build race fuzz bench-guard bench-core bench-sweep analyze
+# Robustness-lab smoke: tiny-budget search against one CCA, replay the
+# discovered spec (forensic dump attached), then a 2-CCA tournament —
+# all deterministic at fixed seeds.
+lab:
+	tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/libra-lab search -cca cubic -budget 16 -dur 3s -seed 7 -o $$tmp/worst.json -flight-out $$tmp/dumps && \
+	$(GO) run ./cmd/libra-lab replay -spec $$tmp/worst.json && \
+	$(GO) run ./cmd/libra-lab tournament -cca cubic,bbr -budget 14 -dur 3s -seed 7 && \
+	rm -rf $$tmp
+
+check: vet build race fuzz bench-guard bench-core bench-sweep bench-lab analyze lab
 
 clean:
 	$(GO) clean ./...

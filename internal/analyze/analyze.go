@@ -156,6 +156,7 @@ type flowState struct {
 	// no-ACK streak begins; a "recover" marker arms the recovery watch.
 	noAckStreak    int64
 	maxNoAckStreak int64
+	noAckEpisodes  int64
 	decays         int64
 	lastXPrev      float64
 	preOutageRate  float64
@@ -437,6 +438,7 @@ func (a *Analyzer) feedNoAck(e *telemetry.Event) {
 		// Same threshold as the report flag: two consecutive silent
 		// cycles is where the core watchdog starts treating the link as
 		// down. Fires once per streak.
+		fs.noAckEpisodes++
 		a.fireAnomaly(fs.id, e.T, telemetry.AnomalyNoAckStreak)
 	}
 	if e.Reason == "decay" {
@@ -538,6 +540,7 @@ func (a *Analyzer) Merge(b *Analyzer) {
 		if bf.maxNoAckStreak > af.maxNoAckStreak {
 			af.maxNoAckStreak = bf.maxNoAckStreak
 		}
+		af.noAckEpisodes += bf.noAckEpisodes
 		af.decays += bf.decays
 		af.collapses += bf.collapses
 		af.regressions += bf.regressions

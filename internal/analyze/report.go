@@ -78,7 +78,14 @@ type FlowReport struct {
 	SentBytes      int64         `json:"sent_bytes"`
 	Drops          int64         `json:"drops"`
 	MaxNoAckStreak int64         `json:"max_no_ack_streak"`
-	Anomalies      []string      `json:"anomalies"`
+	// Numeric anomaly counters (machine-readable companions to the
+	// formatted Anomalies strings): post-blackout rate collapses,
+	// utility-regression episodes, and no-ACK streak episodes. The lab's
+	// tournament aggregates these per CCA.
+	Collapses     int64    `json:"collapses"`
+	Regressions   int64    `json:"regressions"`
+	NoAckEpisodes int64    `json:"no_ack_episodes"`
+	Anomalies     []string `json:"anomalies"`
 }
 
 // LinkReport aggregates the bottleneck-level events.
@@ -174,6 +181,9 @@ func (a *Analyzer) flowReport(fs *flowState) FlowReport {
 		SentBytes:      fs.sentBytes,
 		Drops:          fs.drops,
 		MaxNoAckStreak: fs.maxNoAckStreak,
+		Collapses:      fs.collapses,
+		Regressions:    fs.regressions,
+		NoAckEpisodes:  fs.noAckEpisodes,
 		Anomalies:      []string{},
 	}
 	if fs.cycles > 0 {

@@ -149,6 +149,18 @@ func (rc *RunContext) agents() *AgentSet {
 	return rc.cache.get(rc.Seed, rc.train)
 }
 
+// Reseed points the context at a different seed and drops the cached
+// per-job agent clone, which was trained/cloned for the old seed. Lab
+// evaluations use this so every candidate scenario in a sweep batch
+// runs at its own recorded seed instead of the job-index seed the
+// sweep assigned — the objective must depend on the scenario, not on
+// where it landed in the batch.
+func (rc *RunContext) Reseed(seed int64) *RunContext {
+	rc.Seed = seed
+	rc.jobAgents = nil
+	return rc
+}
+
 // child builds the context for Sweep job i: sub-derived seed, private
 // registry, buffered tracer (when the parent traces), shared fault
 // plan and agent cache, serial workers (nested Sweeps inside a job run

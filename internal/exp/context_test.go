@@ -94,6 +94,41 @@ func TestSweepJobsCloneAgents(t *testing.T) {
 	}
 }
 
+// Reseed repoints a context at an explicit seed and must drop the
+// cached per-job agent clone (it was cloned for the old seed). The lab
+// leans on this: every candidate in a sweep batch evaluates at its own
+// recorded seed, so results depend on the scenario, not the job index.
+func TestReseedDropsJobAgentClone(t *testing.T) {
+	base := tinyAgents(t)
+	rc := NewRunContext(1)
+	rc.Agents = base
+
+	Sweep(rc, 1, func(jc *RunContext, i int) struct{} {
+		a := jc.agents()
+		jc.Reseed(77)
+		if jc.Seed != 77 {
+			t.Errorf("Reseed left Seed = %d", jc.Seed)
+		}
+		if b := jc.agents(); b == a {
+			t.Error("Reseed kept the old seed's agent clone")
+		}
+		return struct{}{}
+	})
+
+	// Jobs reseeded to one shared seed must produce identical runs
+	// regardless of their position in the batch.
+	s := WiredScenarios(2*time.Second, 12)[0]
+	ms := Sweep(rc, 3, func(jc *RunContext, i int) Metrics {
+		jc.Reseed(77)
+		return jc.RunFlow(s, mustMaker("cubic", nil, nil), 0)
+	})
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Util != ms[0].Util || ms[i].ThrMbps != ms[0].ThrMbps {
+			t.Fatalf("job %d diverged from job 0 at shared seed: %+v vs %+v", i, ms[i], ms[0])
+		}
+	}
+}
+
 // miniSuite is a small classic-CCA grid used by the determinism tests:
 // every output is simulation-derived (no wall-clock CPU numbers).
 func miniSuite(workers int, seed int64, tracer telemetry.Tracer) (string, telemetry.Snapshot) {

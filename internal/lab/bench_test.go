@@ -1,0 +1,83 @@
+package lab
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"libra/internal/exp"
+	"libra/internal/netem/faults"
+	"libra/internal/utility"
+)
+
+// TestBenchLab measures adversarial-lab evaluation throughput — how
+// many 4-second fault scenarios the pool scores per wall-clock second —
+// and records it into BENCH_lab.json. It only arms when LAB_BENCH is
+// set (make bench-lab); with LAB_BENCH_GUARD it additionally enforces a
+// conservative floor so a hot-path regression fails CI instead of just
+// drifting the number.
+func TestBenchLab(t *testing.T) {
+	if os.Getenv("LAB_BENCH") == "" {
+		t.Skip("set LAB_BENCH=1 (make bench-lab) to measure and record lab scenario throughput")
+	}
+
+	const scenarios = 64
+	u := utility.Default()
+	suite := func() time.Duration {
+		rc := exp.NewRunContext(1)
+		rc.Workers = runtime.GOMAXPROCS(0)
+		base := DefaultSpec("cubic", 1, 4)
+		names := faults.PresetNames()
+		start := time.Now()
+		exp.Sweep(rc, scenarios, func(jc *exp.RunContext, i int) Outcome {
+			sp := base
+			sp.Label = "bench"
+			sp.Plan, _ = faults.Preset(names[i%len(names)])
+			return Eval(jc, sp, u)
+		})
+		return time.Since(start)
+	}
+
+	suite() // warm-up: page in code, steady-state the heap
+	elapsed := suite()
+	perSec := scenarios / elapsed.Seconds()
+
+	out := struct {
+		Cores        int     `json:"cores"`
+		Scenarios    int     `json:"scenarios"`
+		SimSeconds   float64 `json:"sim_seconds_each"`
+		WallS        float64 `json:"wall_s"`
+		ScenariosSec float64 `json:"scenarios_per_sec"`
+	}{
+		Cores:        runtime.GOMAXPROCS(0),
+		Scenarios:    scenarios,
+		SimSeconds:   4,
+		WallS:        elapsed.Seconds(),
+		ScenariosSec: perSec,
+	}
+
+	path := os.Getenv("LAB_BENCH_OUT")
+	if path == "" {
+		path = "../../BENCH_lab.json"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cores=%d scenarios=%d wall=%.2fs -> %.1f scenarios/sec -> %s",
+		out.Cores, scenarios, out.WallS, perSec, path)
+
+	if os.Getenv("LAB_BENCH_GUARD") != "" && perSec < 2 {
+		t.Fatalf("lab throughput %.2f scenarios/sec under the 2/sec floor", perSec)
+	}
+}

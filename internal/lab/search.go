@@ -1,0 +1,189 @@
+package lab
+
+import (
+	"fmt"
+	"math/rand"
+
+	"libra/internal/exp"
+	"libra/internal/netem/faults"
+	"libra/internal/sweep"
+	"libra/internal/utility"
+)
+
+// Search tuning constants.
+const (
+	startStep    = 0.25 // initial coordinate step, as a fraction of knob range
+	minStep      = 0.02 // halving below this ends the search
+	mutantsRound = 8    // evolutionary fallback population per round
+)
+
+// SearchConfig parameterises one adversarial search.
+type SearchConfig struct {
+	// Target is the controller whose utility the search minimizes.
+	Target string
+	// Seed drives every random choice (candidate mutations) and the
+	// evaluation seed, all via splitmix64 sub-seeds.
+	Seed int64
+	// Budget caps total scenario evaluations (clamped up so the preset
+	// screening batch plus at least a slice of one round always fit).
+	Budget int
+	// DurS is the simulated length of each evaluation (default 4s).
+	DurS float64
+	// Util holds the Eq. 1 constants (zero value = paper default).
+	Util utility.Libra
+}
+
+func (c SearchConfig) withDefaults() SearchConfig {
+	if c.DurS <= 0 {
+		c.DurS = 4
+	}
+	if c.Util == (utility.Libra{}) {
+		c.Util = utility.Default()
+	}
+	if min := len(faults.PresetNames()) + 4; c.Budget < min {
+		c.Budget = min
+	}
+	return c
+}
+
+// SearchResult is a completed adversarial search: the discovered worst
+// case plus the screening outcomes it started from.
+type SearchResult struct {
+	Target string `json:"target"`
+	// Best is the worst discovered scenario (lowest score).
+	Best Outcome `json:"best"`
+	// Baseline is the clean-link run; Presets the stock-preset screen,
+	// in faults.PresetNames order; WorstPreset names the screen's loser.
+	Baseline    Outcome   `json:"baseline"`
+	Presets     []Outcome `json:"presets"`
+	WorstPreset string    `json:"worst_preset"`
+	Evals       int       `json:"evals"`
+	Rounds      int       `json:"rounds"`
+}
+
+// Search runs the adversarial optimizer against one target CCA:
+// screen the stock presets, start coordinate descent from the worst
+// one's in-box projection, and fall back to a seeded evolutionary
+// population whenever no single-coordinate move improves, halving the
+// step until the budget runs out or the step floor is hit. Candidate
+// batches evaluate on the sweep worker pool; every candidate carries
+// the same evaluation seed (derived once from cfg.Seed), so the
+// objective is a pure function of the scenario and the result is
+// byte-identical at any rc.Workers count.
+func Search(rc *exp.RunContext, cfg SearchConfig) (*SearchResult, error) {
+	cfg = cfg.withDefaults()
+	if _, err := exp.MakerFor(cfg.Target, nil, nil); err != nil {
+		return nil, fmt.Errorf("lab: %w", err)
+	}
+	rc.Metrics.Counter("libra_lab_searches_total", "adversarial searches run").Inc()
+
+	res := &SearchResult{Target: cfg.Target}
+	evalSeed := sweep.SubSeed(cfg.Seed, 0)
+	batch := func(specs []Spec) []Outcome {
+		res.Evals += len(specs)
+		return exp.Sweep(rc, len(specs), func(jc *exp.RunContext, i int) Outcome {
+			return Eval(jc, specs[i], cfg.Util)
+		})
+	}
+
+	// Screening batch: clean link plus every stock preset, in one sweep.
+	base := DefaultSpec(cfg.Target, evalSeed, cfg.DurS)
+	names := faults.PresetNames()
+	specs := make([]Spec, 0, 1+len(names))
+	specs = append(specs, base)
+	for _, n := range names {
+		p, _ := faults.Preset(n)
+		sp := base
+		sp.Label = "preset:" + n
+		sp.Plan = p
+		specs = append(specs, sp)
+	}
+	outs := batch(specs)
+	res.Baseline = outs[0]
+	res.Presets = outs[1:]
+	worst := res.Presets[0]
+	for _, o := range res.Presets[1:] {
+		if o.Score < worst.Score {
+			worst = o
+		}
+	}
+	res.WorstPreset = worst.Spec.Label
+
+	// Descend from the worst preset's projection into the knob box.
+	start := worst.Spec.FromVector(worst.Spec.Vector())
+	start.Label = "search:" + cfg.Target
+	res.Best = batch([]Spec{start})[0]
+	if worst.Score < res.Best.Score && !worst.Failed {
+		// The projection lost whatever made the preset nasty (e.g. an
+		// out-of-box parameter); keep the preset itself as incumbent.
+		res.Best = worst
+	}
+
+	knobs := Knobs()
+	cur := res.Best.Spec.Vector()
+	step := startStep
+	for res.Evals < cfg.Budget && step >= minStep {
+		res.Rounds++
+		remaining := func() int { return cfg.Budget - res.Evals }
+
+		// Coordinate candidates: ±step along every knob, one batch.
+		var cands []Spec
+		for i, k := range knobs {
+			for _, dir := range []float64{-1, 1} {
+				w := append([]float64(nil), cur...)
+				w[i] = k.Clamp(w[i] + dir*step*(k.Max-k.Min))
+				if w[i] == cur[i] {
+					continue
+				}
+				cands = append(cands, res.Best.Spec.FromVector(w))
+			}
+		}
+		if len(cands) > remaining() {
+			cands = cands[:remaining()]
+		}
+		if len(cands) == 0 {
+			break
+		}
+		if best, ok := improve(batch(cands), res.Best.Score); ok {
+			res.Best = best
+			cur = best.Spec.Vector()
+			continue
+		}
+		if remaining() == 0 {
+			break
+		}
+
+		// Evolutionary fallback: a seeded mutant population around the
+		// incumbent; if even that stalls, refine the step.
+		var mutants []Spec
+		for m := 0; m < mutantsRound; m++ {
+			w := append([]float64(nil), cur...)
+			rng := rand.New(rand.NewSource(sweep.SubSeed2(cfg.Seed, res.Rounds, m)))
+			faults.MutateVector(w, knobs, rng, step)
+			mutants = append(mutants, res.Best.Spec.FromVector(w))
+		}
+		if len(mutants) > remaining() {
+			mutants = mutants[:remaining()]
+		}
+		if best, ok := improve(batch(mutants), res.Best.Score); ok {
+			res.Best = best
+			cur = best.Spec.Vector()
+			continue
+		}
+		step /= 2
+	}
+	return res, nil
+}
+
+// improve returns the lowest-scoring outcome of the batch if it is
+// strictly below the incumbent score (ties keep the earliest index, so
+// selection is order-stable).
+func improve(outs []Outcome, incumbent float64) (Outcome, bool) {
+	best, ok := Outcome{}, false
+	for _, o := range outs {
+		if o.Score < incumbent && (!ok || o.Score < best.Score) {
+			best, ok = o, true
+		}
+	}
+	return best, ok
+}

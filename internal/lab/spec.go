@@ -1,0 +1,207 @@
+// Package lab is the adversarial scenario laboratory: a deterministic
+// search over network conditions (trace shape, RTT, cross traffic, and
+// the full faults.Plan knob space) that minimizes a target controller's
+// Eq. 1 utility, plus a round-robin tournament that pits every CCA
+// against every CCA's discovered worst cases and emits a robustness
+// leaderboard. Everything routes through the sweep engine, so results
+// are byte-identical at any worker count, and every discovered worst
+// case serializes as a replayable JSON Spec.
+package lab
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"libra/internal/exp"
+	"libra/internal/netem/faults"
+	"libra/internal/trace"
+)
+
+// Spec is one fully-determined lab scenario: everything Eval needs to
+// reproduce a run bit-for-bit — the target controller, the evaluation
+// seed, the bottleneck shape, cross traffic, and the exact fault plan.
+// Discovered worst cases are written to disk in this form.
+type Spec struct {
+	// Target names the controller under test (exp.MakerFor names).
+	Target string `json:"target"`
+	// Label tags the spec in reports ("preset:blackout", "worst:bbr").
+	Label string `json:"label,omitempty"`
+	// Seed is the evaluation seed: netem, fault streams, and controller
+	// RNG all derive from it, so one (Spec, binary) pair is one result.
+	Seed int64 `json:"seed"`
+	// CapMbps / DipFrac / PeriodS shape the bottleneck trace: capacity
+	// oscillates between CapMbps and CapMbps*DipFrac with the given
+	// period (DipFrac 1 or PeriodS 0 means a constant-rate link).
+	CapMbps float64 `json:"cap_mbps"`
+	DipFrac float64 `json:"dip_frac"`
+	PeriodS float64 `json:"period_s"`
+	// RTTMs is the two-way propagation delay in milliseconds.
+	RTTMs float64 `json:"rtt_ms"`
+	// Cross adds that many competing CUBIC flows on the bottleneck.
+	Cross int `json:"cross"`
+	// DurS is the simulated run length in seconds.
+	DurS float64 `json:"dur_s"`
+	// Plan is the exact fault plan (nil = clean link).
+	Plan *faults.Plan `json:"plan,omitempty"`
+}
+
+// labKnobs is the scenario-shape half of the search space; the plan
+// half is faults.PlanKnobs(). Combined vectors are lab knobs first.
+var labKnobs = []faults.Knob{
+	{Name: "cap_mbps", Min: 16, Max: 96},
+	{Name: "dip_frac", Min: 0.1, Max: 1},
+	{Name: "period_s", Min: 2, Max: 10},
+	{Name: "rtt_ms", Min: 10, Max: 120},
+	{Name: "cross", Min: 0, Max: 3},
+}
+
+// Knobs returns the combined search space — scenario knobs followed by
+// the fault-plan knobs — as a fresh copy in fixed order.
+func Knobs() []faults.Knob {
+	return append(append([]faults.Knob(nil), labKnobs...), faults.PlanKnobs()...)
+}
+
+// DefaultSpec is the clean starting point: a steady 48 Mbps wired link
+// with 30 ms RTT, no cross traffic, no faults.
+func DefaultSpec(target string, seed int64, durS float64) Spec {
+	return Spec{
+		Target:  target,
+		Label:   "baseline",
+		Seed:    seed,
+		CapMbps: 48,
+		DipFrac: 1,
+		PeriodS: 5,
+		RTTMs:   30,
+		DurS:    durS,
+	}
+}
+
+// Validate rejects specs Eval could not run deterministically.
+func (sp *Spec) Validate() error {
+	if sp.Target == "" {
+		return fmt.Errorf("lab: spec has no target CCA")
+	}
+	if _, err := exp.MakerFor(sp.Target, nil, nil); err != nil {
+		return fmt.Errorf("lab: %w", err)
+	}
+	bad := func(name string, v float64) error {
+		return fmt.Errorf("lab: spec %s = %v is not a positive finite number", name, v)
+	}
+	if !(sp.CapMbps > 0) || math.IsInf(sp.CapMbps, 0) {
+		return bad("cap_mbps", sp.CapMbps)
+	}
+	if !(sp.DipFrac > 0 && sp.DipFrac <= 1) {
+		return fmt.Errorf("lab: spec dip_frac = %v outside (0,1]", sp.DipFrac)
+	}
+	if sp.DipFrac < 1 && !(sp.PeriodS > 0) {
+		return bad("period_s", sp.PeriodS)
+	}
+	if !(sp.RTTMs > 0) || math.IsInf(sp.RTTMs, 0) {
+		return bad("rtt_ms", sp.RTTMs)
+	}
+	if sp.Cross < 0 {
+		return fmt.Errorf("lab: spec cross = %d is negative", sp.Cross)
+	}
+	if !(sp.DurS > 0) || math.IsInf(sp.DurS, 0) {
+		return bad("dur_s", sp.DurS)
+	}
+	return sp.Plan.Validate()
+}
+
+// Name is the scenario label used in spans and reports.
+func (sp Spec) Name() string {
+	if sp.Label != "" {
+		return sp.Label
+	}
+	return "lab:" + sp.Target
+}
+
+// Scenario materialises the spec as an experiment scenario.
+func (sp Spec) Scenario() exp.Scenario {
+	capBps := trace.Mbps(sp.CapMbps)
+	var tr trace.Trace
+	if sp.DipFrac >= 0.999 || sp.PeriodS <= 0 {
+		tr = trace.Constant(capBps)
+	} else {
+		// Half the period at full capacity, half at the dip.
+		tr = &trace.Step{
+			Period: time.Duration(sp.PeriodS * float64(time.Second) / 2),
+			Levels: []float64{capBps, capBps * sp.DipFrac},
+		}
+	}
+	return exp.Scenario{
+		Name:     sp.Name(),
+		Capacity: tr,
+		MinRTT:   time.Duration(sp.RTTMs * float64(time.Millisecond)),
+		Buffer:   150_000,
+		Duration: time.Duration(sp.DurS * float64(time.Second)),
+		Faults:   sp.Plan,
+	}
+}
+
+// Vector projects the spec into the combined knob space (lab knobs,
+// then plan knobs), clamped into the declared box.
+func (sp Spec) Vector() []float64 {
+	v := []float64{sp.CapMbps, sp.DipFrac, sp.PeriodS, sp.RTTMs, float64(sp.Cross)}
+	for i, k := range labKnobs {
+		v[i] = k.Clamp(v[i])
+	}
+	return append(v, sp.Plan.Vector()...)
+}
+
+// FromVector decodes a combined knob vector into a runnable spec,
+// carrying over the identity fields (target, seed, duration, label)
+// from the receiver. Decoded specs always validate: lab knobs clamp
+// into their box, cross rounds to a whole flow count, and the plan
+// decode gates sections exactly like faults.PlanFromVector.
+func (sp Spec) FromVector(v []float64) Spec {
+	at := func(i int) float64 {
+		if i < len(v) {
+			return labKnobs[i].Clamp(v[i])
+		}
+		return labKnobs[i].Clamp(0)
+	}
+	out := sp
+	out.CapMbps = at(0)
+	out.DipFrac = at(1)
+	out.PeriodS = at(2)
+	out.RTTMs = at(3)
+	out.Cross = int(math.Round(at(4)))
+	if len(v) > len(labKnobs) {
+		out.Plan = faults.PlanFromVector(v[len(labKnobs):])
+	} else {
+		out.Plan = faults.PlanFromVector(nil)
+	}
+	if out.Plan.Empty() {
+		out.Plan = nil
+	}
+	return out
+}
+
+// WriteFile serializes the spec as an indented, replayable artifact.
+func (sp Spec) WriteFile(path string) error {
+	b, err := json.MarshalIndent(sp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lab: marshal spec: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadSpecFile loads and validates a spec artifact.
+func ReadSpecFile(path string) (Spec, error) {
+	var sp Spec
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return sp, fmt.Errorf("lab: %w", err)
+	}
+	if err := json.Unmarshal(b, &sp); err != nil {
+		return sp, fmt.Errorf("lab: parse spec %s: %w", path, err)
+	}
+	if err := sp.Validate(); err != nil {
+		return sp, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return sp, nil
+}

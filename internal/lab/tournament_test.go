@@ -1,0 +1,101 @@
+package lab
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"libra/internal/exp"
+)
+
+func runTournament(t *testing.T, workers int) (string, string) {
+	t.Helper()
+	rc := exp.NewRunContext(9)
+	rc.Workers = workers
+	lb, err := Tournament(rc, TournamentConfig{
+		CCAs:   []string{"cubic", "reno"},
+		Seed:   31,
+		Budget: 14,
+		DurS:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text, js bytes.Buffer
+	if err := lb.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	return text.String(), js.String()
+}
+
+// The tentpole guarantee (and an acceptance criterion): the leaderboard
+// is byte-identical at -parallel 1 vs 4 and across repeated runs at a
+// fixed seed.
+func TestTournamentDeterministic(t *testing.T) {
+	t1, j1 := runTournament(t, 1)
+	t4, j4 := runTournament(t, 4)
+	t4b, j4b := runTournament(t, 4)
+	if t1 != t4 {
+		t.Fatalf("leaderboard text differs at workers 1 vs 4:\n%s\n---\n%s", t1, t4)
+	}
+	if j1 != j4 {
+		t.Fatalf("leaderboard JSON differs at workers 1 vs 4:\n%s\n---\n%s", j1, j4)
+	}
+	if t4 != t4b || j4 != j4b {
+		t.Fatal("leaderboard differs across repeated runs at the same seed")
+	}
+}
+
+func TestTournamentShape(t *testing.T) {
+	rc := exp.NewRunContext(9)
+	rc.Workers = 4
+	ccas := []string{"cubic", "reno"}
+	lb, err := Tournament(rc, TournamentConfig{CCAs: ccas, Seed: 31, Budget: 14, DurS: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scenario pool = baseline + 8 presets + one worst case per CCA.
+	if want := 1 + 8 + len(ccas); len(lb.Scenarios) != want {
+		t.Fatalf("scenario pool has %d entries, want %d: %v", len(lb.Scenarios), want, lb.Scenarios)
+	}
+	if lb.Scenarios[0] != "baseline" {
+		t.Fatalf("pool must start with the baseline, got %v", lb.Scenarios)
+	}
+	if len(lb.Entries) != len(ccas) {
+		t.Fatalf("leaderboard has %d entries, want %d", len(lb.Entries), len(ccas))
+	}
+	for i := 1; i < len(lb.Entries); i++ {
+		if lb.Entries[i-1].MeanScore < lb.Entries[i].MeanScore {
+			t.Fatalf("entries not ranked by mean score: %+v", lb.Entries)
+		}
+	}
+	for _, e := range lb.Entries {
+		if e.WorstScenario == "" || e.WorstScore > e.MeanScore {
+			t.Fatalf("inconsistent entry: %+v", e)
+		}
+	}
+	for _, w := range lb.Worsts {
+		if err := w.Validate(); err != nil {
+			t.Fatalf("worst case %q does not validate: %v", w.Label, err)
+		}
+		if !strings.HasPrefix(w.Label, "worst:") {
+			t.Fatalf("worst case mislabelled: %q", w.Label)
+		}
+	}
+	if n := rc.Metrics.Counter("libra_lab_tournament_cells_total", "").Value(); n != int64(len(ccas)*len(lb.Scenarios)) {
+		t.Fatalf("cells counter = %d, want %d", n, len(ccas)*len(lb.Scenarios))
+	}
+}
+
+func TestTournamentRejectsUnknownCCA(t *testing.T) {
+	rc := exp.NewRunContext(1)
+	if _, err := Tournament(rc, TournamentConfig{CCAs: []string{"nope"}, Seed: 1}); err == nil {
+		t.Fatal("unknown CCA accepted")
+	}
+	if _, err := Tournament(rc, TournamentConfig{Seed: 1}); err == nil {
+		t.Fatal("empty contestant list accepted")
+	}
+}

@@ -1,0 +1,214 @@
+// Plan mutation/bounds API: the declared, bounded knob space the
+// adversarial lab (internal/lab) searches over. A Plan projects into a
+// fixed-length vector of bounded scalars (Vector), any vector decodes
+// back into a valid Plan (PlanFromVector), and MutatePlan perturbs a
+// plan inside the box. Every operation here is deterministic given its
+// inputs: decode gates and clamps use fixed thresholds, and all
+// randomness comes from the caller's rand source.
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Knob declares one bounded, continuous search dimension of a Plan.
+type Knob struct {
+	Name     string
+	Min, Max float64
+}
+
+// Clamp forces v into the knob's [Min, Max] box; NaN clamps to Min.
+func (k Knob) Clamp(v float64) float64 {
+	if math.IsNaN(v) || v < k.Min {
+		return k.Min
+	}
+	if v > k.Max {
+		return k.Max
+	}
+	return v
+}
+
+// planKnobs is the declared fault-plan knob space, in vector order.
+// The bounds box the lab's adversarial search: loss burstiness
+// (Gilbert-Elliott chain), blackout timing and length, jitter
+// amplitude and freeze spikes, capacity-flap cadence and depth, and
+// reordering. Dimensions a Plan can express but the box cannot
+// (multiple scheduled windows, stochastic blackouts, duplication) are
+// projected to their closest in-box equivalent by Vector.
+var planKnobs = []Knob{
+	{"ge.p_gb", 0, 0.05},
+	{"ge.p_bg", 0.02, 1},
+	{"ge.loss_bad", 0, 0.9},
+	{"blackout.start_s", 0, 40},
+	{"blackout.dur_s", 0, 5},
+	{"jitter.max_ms", 0, 100},
+	{"jitter.spike_prob", 0, 0.01},
+	{"jitter.spike_dur_ms", 0, 500},
+	{"flap.every_s", 2, 20},
+	{"flap.dur_s", 0, 4},
+	{"flap.factor", 0.05, 0.95},
+	{"reorder.prob", 0, 0.1},
+}
+
+// Decode gates: a knob under its gate switches the section off, so
+// every decoded plan passes Validate (which rejects empty or
+// half-configured sections).
+const (
+	gateGEPGB     = 1e-4
+	gateGELoss    = 1e-3
+	gateBlackoutS = 0.01
+	gateJitterMs  = 0.01
+	gateSpikeProb = 1e-5
+	gateSpikeMs   = 1
+	gateFlapS     = 0.05
+	gateReorder   = 1e-3
+)
+
+// reorderDelay is the fixed extra delay applied to reordered packets
+// when decoding from knob space (the knob controls only the rate).
+const reorderDelay = 40 * time.Millisecond
+
+// PlanKnobs returns the declared knob space (a fresh copy, fixed
+// order). len(PlanKnobs()) is the dimension of Vector/PlanFromVector.
+func PlanKnobs() []Knob {
+	return append([]Knob(nil), planKnobs...)
+}
+
+// Vector projects the plan into knob space: one bounded scalar per
+// declared knob, clamped into its box. Absent sections encode as their
+// knobs' gate-off values, so PlanFromVector(p.Vector()) reproduces any
+// plan the box can express. Plans outside the box (stochastic
+// blackouts, several scheduled windows) project to their first or mean
+// window — a best-effort seed for the search, not a lossless encoding.
+func (p *Plan) Vector() []float64 {
+	v := make([]float64, len(planKnobs))
+	if p != nil {
+		if ge := p.GE; ge != nil {
+			v[0], v[1], v[2] = ge.PGB, ge.PBG, ge.LossBad
+		}
+		if b := p.Blackouts; b != nil {
+			switch {
+			case len(b.Scheduled) > 0:
+				v[3] = b.Scheduled[0].Start.D().Seconds()
+				v[4] = b.Scheduled[0].Dur.D().Seconds()
+			case b.MeanEvery > 0:
+				v[3] = b.MeanEvery.D().Seconds()
+				v[4] = b.MeanDur.D().Seconds()
+			}
+		}
+		if j := p.Jitter; j != nil {
+			v[5] = float64(j.Max.D()) / float64(time.Millisecond)
+			v[6] = j.SpikeProb
+			v[7] = float64(j.SpikeDur.D()) / float64(time.Millisecond)
+		}
+		if c := p.CapFlaps; c != nil {
+			switch {
+			case c.MeanEvery > 0:
+				v[8] = c.MeanEvery.D().Seconds()
+				v[9] = c.MeanDur.D().Seconds()
+			case len(c.Scheduled) > 0:
+				v[8] = c.Scheduled[0].Start.D().Seconds()
+				v[9] = c.Scheduled[0].Dur.D().Seconds()
+			}
+			v[10] = c.Factor
+		}
+		if r := p.Reorder; r != nil {
+			v[11] = r.Prob
+		}
+	}
+	for i, k := range planKnobs {
+		v[i] = k.Clamp(v[i])
+	}
+	return v
+}
+
+// PlanFromVector decodes a knob vector into a Plan that always passes
+// Validate: values clamp into their declared bounds and sections whose
+// controlling knob sits under its gate are omitted entirely. Vectors
+// shorter than the knob space read as zero-padded; extra entries are
+// ignored.
+func PlanFromVector(v []float64) *Plan {
+	at := func(i int) float64 {
+		if i < len(v) {
+			return planKnobs[i].Clamp(v[i])
+		}
+		return planKnobs[i].Clamp(0)
+	}
+	// Round (not truncate) float→Duration so decode∘encode is the
+	// identity on decoded plans: integer nanoseconds survive the trip
+	// through seconds/milliseconds exactly for any duration the box
+	// allows.
+	secs := func(s float64) Duration { return Duration(math.Round(s * float64(time.Second))) }
+	millis := func(ms float64) Duration { return Duration(math.Round(ms * float64(time.Millisecond))) }
+	p := &Plan{}
+	if pgb, lossBad := at(0), at(2); pgb >= gateGEPGB && lossBad >= gateGELoss {
+		p.GE = &GilbertElliott{PGB: pgb, PBG: at(1), LossBad: lossBad}
+	}
+	if dur := at(4); dur >= gateBlackoutS {
+		p.Blackouts = &Blackouts{Scheduled: []Window{{
+			Start: secs(at(3)),
+			Dur:   secs(dur),
+		}}}
+	}
+	maxMs, spikeProb, spikeMs := at(5), at(6), at(7)
+	if spikeProb < gateSpikeProb || spikeMs < gateSpikeMs {
+		spikeProb, spikeMs = 0, 0 // spikes are all-or-nothing (Validate's pairing rule)
+	}
+	if maxMs >= gateJitterMs || spikeProb > 0 {
+		p.Jitter = &Jitter{
+			Max:       millis(maxMs),
+			SpikeProb: spikeProb,
+			SpikeDur:  millis(spikeMs),
+		}
+	}
+	if dur := at(9); dur >= gateFlapS {
+		p.CapFlaps = &CapFlaps{
+			MeanEvery: secs(at(8)),
+			MeanDur:   secs(dur),
+			Factor:    at(10),
+		}
+	}
+	if prob := at(11); prob >= gateReorder {
+		p.Reorder = &Reorder{Prob: prob, Delay: Duration(reorderDelay)}
+	}
+	return p
+}
+
+// MutateVector perturbs v in place inside the knob box: each knob
+// steps by a uniform draw in ±scale×range with probability 1/2, and at
+// least one knob always moves. Deterministic given rng.
+func MutateVector(v []float64, knobs []Knob, rng *rand.Rand, scale float64) {
+	if len(v) == 0 {
+		return
+	}
+	mutated := false
+	for i := range v {
+		if i >= len(knobs) {
+			break
+		}
+		if rng.Float64() < 0.5 {
+			v[i] = knobs[i].Clamp(v[i] + (2*rng.Float64()-1)*scale*(knobs[i].Max-knobs[i].Min))
+			mutated = true
+		}
+	}
+	if !mutated {
+		i := rng.Intn(len(v))
+		if i < len(knobs) {
+			v[i] = knobs[i].Clamp(v[i] + (2*rng.Float64()-1)*scale*(knobs[i].Max-knobs[i].Min))
+		}
+	}
+}
+
+// MutatePlan returns a bounded random perturbation of the plan: the
+// plan projects into knob space, steps inside the box (MutateVector),
+// and decodes back, so the result always validates and always stays
+// within the declared bounds regardless of the input plan. scale is
+// the step size as a fraction of each knob's range (0.25 explores a
+// quarter of the box per step).
+func MutatePlan(p *Plan, rng *rand.Rand, scale float64) *Plan {
+	v := p.Vector()
+	MutateVector(v, planKnobs, rng, scale)
+	return PlanFromVector(v)
+}

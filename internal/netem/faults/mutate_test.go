@@ -1,0 +1,231 @@
+package faults_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"libra/internal/netem/faults"
+)
+
+// marshalPlan renders a plan the way the lab serializes artifacts.
+func marshalPlan(t *testing.T, p *faults.Plan) []byte {
+	t.Helper()
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+// TestPlanJSONRoundTrip guards the lab's replay contract: every preset
+// and every mutated plan must survive marshal → ParsePlan → marshal
+// byte-for-byte, and must validate on both sides.
+func TestPlanJSONRoundTrip(t *testing.T) {
+	plans := map[string]*faults.Plan{}
+	for _, name := range faults.PresetNames() {
+		p, ok := faults.Preset(name)
+		if !ok {
+			t.Fatalf("preset %q vanished", name)
+		}
+		plans["preset:"+name] = p
+	}
+	rng := rand.New(rand.NewSource(7))
+	base, _ := faults.Preset("hostile")
+	for i := 0; i < 32; i++ {
+		base = faults.MutatePlan(base, rng, 0.3)
+		plans["mutant:"+string(rune('a'+i%26))+string(rune('0'+i/26))] = base
+	}
+	for name, p := range plans {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: invalid before round-trip: %v", name, err)
+		}
+		b1 := marshalPlan(t, p)
+		back, err := faults.ParsePlan(bytes.NewReader(b1))
+		if err != nil {
+			t.Fatalf("%s: ParsePlan(%s): %v", name, b1, err)
+		}
+		b2 := marshalPlan(t, back)
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("%s: round-trip not byte-identical:\n  %s\n  %s", name, b1, b2)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("%s: round-trip changed the plan:\n  %+v\n  %+v", name, p, back)
+		}
+	}
+}
+
+func TestPlanClone(t *testing.T) {
+	var nilPlan *faults.Plan
+	if nilPlan.Clone() != nil {
+		t.Fatal("nil plan must clone to nil")
+	}
+	for _, name := range faults.PresetNames() {
+		p, _ := faults.Preset(name)
+		q := p.Clone()
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("%s: clone differs", name)
+		}
+		// Mutating the clone must never reach the original.
+		if q.GE != nil {
+			q.GE.PGB = 0.99
+		}
+		if q.Blackouts != nil && len(q.Blackouts.Scheduled) > 0 {
+			q.Blackouts.Scheduled[0].Start = 0
+		}
+		orig, _ := faults.Preset(name)
+		if !reflect.DeepEqual(p, orig) {
+			t.Fatalf("%s: mutating clone leaked into original", name)
+		}
+	}
+}
+
+func TestPlanKnobsDeclaration(t *testing.T) {
+	knobs := faults.PlanKnobs()
+	if len(knobs) == 0 {
+		t.Fatal("no knobs declared")
+	}
+	seen := map[string]bool{}
+	for _, k := range knobs {
+		if k.Name == "" {
+			t.Fatal("unnamed knob")
+		}
+		if seen[k.Name] {
+			t.Fatalf("duplicate knob %q", k.Name)
+		}
+		seen[k.Name] = true
+		if !(k.Min < k.Max) {
+			t.Fatalf("knob %q: bad bounds [%v,%v]", k.Name, k.Min, k.Max)
+		}
+	}
+	// The returned slice is a copy: mutating it must not poison the
+	// package's declaration.
+	knobs[0].Max = -1
+	if faults.PlanKnobs()[0].Max == -1 {
+		t.Fatal("PlanKnobs returned shared backing storage")
+	}
+}
+
+// TestVectorRoundTrip checks the projection is a retraction: decoding a
+// vector and re-encoding it is the identity on decoded plans.
+func TestVectorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	knobs := faults.PlanKnobs()
+	for trial := 0; trial < 200; trial++ {
+		v := make([]float64, len(knobs))
+		for i, k := range knobs {
+			v[i] = k.Min + rng.Float64()*(k.Max-k.Min)
+		}
+		p := faults.PlanFromVector(v)
+		if err := p.Validate(); err != nil && !p.Empty() {
+			t.Fatalf("trial %d: decoded plan invalid: %v\nvector %v", trial, err, v)
+		}
+		w := p.Vector()
+		q := faults.PlanFromVector(w)
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("trial %d: vector round-trip changed plan:\n  %+v\n  %+v", trial, p, q)
+		}
+	}
+}
+
+// TestVectorBounds: whatever plan goes in, the projection lands inside
+// the declared box.
+func TestVectorBounds(t *testing.T) {
+	check := func(name string, p *faults.Plan) {
+		t.Helper()
+		v := p.Vector()
+		knobs := faults.PlanKnobs()
+		if len(v) != len(knobs) {
+			t.Fatalf("%s: vector dim %d, want %d", name, len(v), len(knobs))
+		}
+		for i, k := range knobs {
+			if v[i] < k.Min || v[i] > k.Max {
+				t.Fatalf("%s: knob %s = %v outside [%v,%v]", name, k.Name, v[i], k.Min, k.Max)
+			}
+		}
+	}
+	check("nil", nil)
+	check("empty", &faults.Plan{})
+	for _, name := range faults.PresetNames() {
+		p, _ := faults.Preset(name)
+		check("preset:"+name, p)
+	}
+}
+
+func TestMutatePlanDeterministicAndBounded(t *testing.T) {
+	base, _ := faults.Preset("bursty")
+	a := faults.MutatePlan(base, rand.New(rand.NewSource(42)), 0.25)
+	b := faults.MutatePlan(base, rand.New(rand.NewSource(42)), 0.25)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different mutants")
+	}
+	c := faults.MutatePlan(base, rand.New(rand.NewSource(43)), 0.25)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical mutants (suspicious)")
+	}
+	// A long mutation chain must stay valid and inside the box.
+	p := base
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		p = faults.MutatePlan(p, rng, 0.5)
+		if err := p.Validate(); err != nil && !p.Empty() {
+			t.Fatalf("step %d: mutant invalid: %v", i, err)
+		}
+		v := p.Vector()
+		for j, k := range faults.PlanKnobs() {
+			if v[j] < k.Min || v[j] > k.Max {
+				t.Fatalf("step %d: knob %s = %v escaped [%v,%v]", i, k.Name, v[j], k.Min, k.Max)
+			}
+		}
+	}
+}
+
+// FuzzPlanMutate: mutation must keep any parseable plan inside the
+// declared knob bounds, produce only valid (or empty) plans, and never
+// panic the injector built from the mutant.
+func FuzzPlanMutate(f *testing.F) {
+	for _, name := range faults.PresetNames() {
+		p, _ := faults.Preset(name)
+		b, err := json.Marshal(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(b), int64(1), 0.25)
+	}
+	f.Add(`{}`, int64(0), 0.0)
+	f.Add(`{"jitter":{"max":"15ms","spike_prob":0.002,"spike_dur":"200ms"}}`, int64(9), 1.5)
+	f.Add(`{"blackouts":{"mean_every":"10s","mean_dur":"600ms"}}`, int64(-3), -0.5)
+	f.Fuzz(func(t *testing.T, in string, seed int64, scale float64) {
+		plan, err := faults.ParsePlan(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		mut := faults.MutatePlan(plan, rand.New(rand.NewSource(seed)), scale)
+		if err := mut.Validate(); err != nil && !mut.Empty() {
+			t.Fatalf("mutant invalid: %v", err)
+		}
+		v := mut.Vector()
+		for i, k := range faults.PlanKnobs() {
+			if v[i] < k.Min || v[i] > k.Max {
+				t.Fatalf("knob %s = %v outside declared bounds [%v,%v]", k.Name, v[i], k.Min, k.Max)
+			}
+		}
+		if mut.Empty() {
+			return
+		}
+		inj, err := faults.New(mut, 1)
+		if err != nil {
+			t.Fatalf("valid mutant rejected by New: %v", err)
+		}
+		for i := 0; i < 10; i++ {
+			inj.Ingress(time.Duration(i)*time.Millisecond, int64(i), 1500)
+		}
+		if s := inj.RateScale(0); s < 0 || s > 1 {
+			t.Fatalf("rate scale out of range: %v", s)
+		}
+	})
+}

@@ -235,6 +235,42 @@ func (p *Plan) Validate() error {
 	return nil
 }
 
+// Clone returns a deep copy of the plan; mutating the copy never
+// touches the original. A nil plan clones to nil.
+func (p *Plan) Clone() *Plan {
+	if p == nil {
+		return nil
+	}
+	q := &Plan{}
+	if p.GE != nil {
+		ge := *p.GE
+		q.GE = &ge
+	}
+	if p.Blackouts != nil {
+		b := *p.Blackouts
+		b.Scheduled = append([]Window(nil), p.Blackouts.Scheduled...)
+		q.Blackouts = &b
+	}
+	if p.Reorder != nil {
+		r := *p.Reorder
+		q.Reorder = &r
+	}
+	if p.Duplicate != nil {
+		d := *p.Duplicate
+		q.Duplicate = &d
+	}
+	if p.Jitter != nil {
+		j := *p.Jitter
+		q.Jitter = &j
+	}
+	if p.CapFlaps != nil {
+		c := *p.CapFlaps
+		c.Scheduled = append([]Window(nil), p.CapFlaps.Scheduled...)
+		q.CapFlaps = &c
+	}
+	return q
+}
+
 // Empty reports whether the plan injects nothing.
 func (p *Plan) Empty() bool {
 	return p == nil || (p.GE == nil && p.Blackouts == nil && p.Reorder == nil &&

@@ -110,3 +110,12 @@ func SubSeed(base int64, i int) int64 {
 	z ^= z >> 31
 	return int64(z)
 }
+
+// SubSeed2 derives a seed from a two-dimensional index (round, member),
+// for callers whose job space is a grid rather than a line — the lab's
+// search rounds and tournament cells. Composing two SubSeed mixes keeps
+// streams independent across both axes without the (i,j)→k flattening
+// errors that invite collisions.
+func SubSeed2(base int64, i, j int) int64 {
+	return SubSeed(SubSeed(base, i), j)
+}

@@ -113,3 +113,26 @@ func TestSubSeedDistinctAndStable(t *testing.T) {
 		t.Fatal("SubSeed(1, 0) should not echo its base")
 	}
 }
+
+func TestSubSeed2DistinctAndStable(t *testing.T) {
+	seen := map[int64]bool{}
+	for _, base := range []int64{0, 7, -13} {
+		for i := 0; i < 40; i++ {
+			for j := 0; j < 40; j++ {
+				s := SubSeed2(base, i, j)
+				if seen[s] {
+					t.Fatalf("collision at base=%d i=%d j=%d (seed %d)", base, i, j, s)
+				}
+				seen[s] = true
+				if s != SubSeed2(base, i, j) {
+					t.Fatalf("SubSeed2 not deterministic at base=%d i=%d j=%d", base, i, j)
+				}
+			}
+		}
+	}
+	// The grid must not collapse onto the 1-D stream: (i,j) and the
+	// flattened index must generally disagree.
+	if SubSeed2(1, 0, 3) == SubSeed(1, 3) {
+		t.Fatal("SubSeed2(1,0,j) must not alias SubSeed(1,j)")
+	}
+}

@@ -89,6 +89,10 @@ const (
 	AnomalyCollapse    = "rate_collapse"
 	AnomalyNoAckStreak = "no_ack_streak"
 	AnomalyRegression  = "utility_regression"
+	// AnomalyLabWorst marks the replay of a lab-discovered worst case:
+	// emitted at the end of the final evaluation so the flight recorder
+	// dumps the full forensic ring for the scenario.
+	AnomalyLabWorst = "lab_worst_case"
 )
 
 // Drop reasons carried by TypeDrop events.

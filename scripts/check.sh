@@ -20,6 +20,7 @@ go test -race -count=1 ./internal/exp/ ./internal/sweep/
 BENCH_SWEEP=1 go test ./internal/exp/ -run TestBenchSweep -count=1 -v
 go test -run=NONE -fuzz=FuzzParseMahimahi -fuzztime=10s ./internal/trace/
 go test -run=NONE -fuzz=FuzzParsePlan -fuzztime=10s ./internal/netem/faults/
+go test -run=NONE -fuzz=FuzzPlanMutate -fuzztime=10s ./internal/netem/faults/
 TELEMETRY_BENCH_GUARD=1 go test ./internal/telemetry/ -run TestNopTracerBudget -count=1 -v
 ANALYZE_BENCH_GUARD=1 go test ./internal/analyze/ -run TestFeedBudget -count=1 -v
 # Event-engine hot path: 0 allocs/event + ns/event budget on the pooled
@@ -40,3 +41,13 @@ go run ./cmd/libra-sim -cca c-libra,c-libra -capacity 24 -dur 5s -seed 7 -trace-
 go run ./cmd/libra-trace -validate "$tmp/events.jsonl"
 go run ./cmd/libra-trace analyze -json "$tmp/events.jsonl" | go run ./scripts/analyzecheck -flows 2
 rm -rf "$tmp"
+# Robustness-lab smoke (tiny budgets, 2 CCAs): adversarial search, a
+# replay of the discovered spec with a forensic flight dump, and a
+# deterministic tournament leaderboard. Then record the lab's
+# scenarios/sec into BENCH_lab.json with the throughput floor armed.
+tmp=$(mktemp -d)
+go run ./cmd/libra-lab search -cca cubic -budget 16 -dur 3s -seed 7 -o "$tmp/worst.json" -flight-out "$tmp/dumps"
+go run ./cmd/libra-lab replay -spec "$tmp/worst.json"
+go run ./cmd/libra-lab tournament -cca cubic,bbr -budget 14 -dur 3s -seed 7
+rm -rf "$tmp"
+LAB_BENCH=1 LAB_BENCH_GUARD=1 go test ./internal/lab/ -run TestBenchLab -count=1 -v
