@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench-guard bench-core bench-sweep bench-lab analyze lab check clean
+.PHONY: all build vet test race fuzz bench-guard bench-core bench-topo bench-sweep bench-lab analyze lab check clean
 
 all: check
 
@@ -38,6 +38,13 @@ bench-core:
 	CORE_BENCH=1 CORE_BENCH_GUARD=1 $(GO) test ./internal/netem/ -run TestBenchCore -count=1 -v
 	FLIGHT_BENCH_GUARD=1 $(GO) test ./internal/telemetry/ -run TestFlightEmitBudget -count=1 -v
 
+# Multi-hop hot path: records hop traversals/sec and allocs/packet over
+# a 3-hop chain as the "topo" block of BENCH_core.json; the guard
+# enforces <1 alloc/packet and a conservative throughput floor. Runs
+# after bench-core, which rewrites the file without the extra blocks.
+bench-topo:
+	TOPO_BENCH=1 TOPO_BENCH_GUARD=1 $(GO) test ./internal/netem/ -run TestBenchTopo -count=1 -v
+
 # Sweep-engine wall-clock: times a fixed classic-CCA suite at
 # workers=1 vs workers=GOMAXPROCS and records serial/parallel seconds
 # (and the core count) into BENCH_sweep.json. Run in isolation for the
@@ -53,12 +60,14 @@ bench-lab:
 	LAB_BENCH=1 LAB_BENCH_GUARD=1 $(GO) test ./internal/lab/ -run TestBenchLab -count=1 -v
 
 # Short fuzz pass over the parsers that accept external input (the
-# Mahimahi trace reader and the FaultPlan JSON decoder) and the lab's
-# plan mutation operator (bounds + injector safety).
+# Mahimahi trace reader, the FaultPlan JSON decoder, and the TopoSpec
+# JSON decoder) and the lab's plan mutation operator (bounds +
+# injector safety).
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzParseMahimahi -fuzztime=10s ./internal/trace/
 	$(GO) test -run=NONE -fuzz=FuzzParsePlan -fuzztime=10s ./internal/netem/faults/
 	$(GO) test -run=NONE -fuzz=FuzzPlanMutate -fuzztime=10s ./internal/netem/faults/
+	$(GO) test -run=NONE -fuzz=FuzzParseTopo -fuzztime=10s ./internal/exp/
 
 # Trace→analytics smoke: record a short two-flow run with -trace-out,
 # pipe it through `libra-trace analyze -json`, and assert the report
@@ -79,7 +88,7 @@ lab:
 	$(GO) run ./cmd/libra-lab tournament -cca cubic,bbr -budget 14 -dur 3s -seed 7 && \
 	rm -rf $$tmp
 
-check: vet build race fuzz bench-guard bench-core bench-sweep bench-lab analyze lab
+check: vet build race fuzz bench-guard bench-core bench-topo bench-sweep bench-lab analyze lab
 
 clean:
 	$(GO) clean ./...

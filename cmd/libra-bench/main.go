@@ -33,6 +33,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		models     = flag.String("models", "", "directory of trained models (from libra-train)")
 		faultSpec  = flag.String("fault", "", "apply a fault plan to every run: a preset name ("+strings.Join(faults.PresetNames(), "|")+") or a JSON plan file")
+		topoArg    = flag.String("topo", "", "run every experiment over a multi-hop topology: a preset name ("+strings.Join(exp.TopoPresetNames(), "|")+") or a JSON topology file")
 		traceOut   = flag.String("trace-out", "", "write a JSONL telemetry event stream of every run to this file")
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file after the runs")
 		metricsFmt = flag.String("metrics-format", "auto", "metrics snapshot format: auto|json|prom")
@@ -68,6 +69,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	topo, err := exp.LoadTopo(*topoArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	tracer, closeTracer, err := cliutil.OpenTracer(*traceOut)
 	if err != nil {
@@ -79,6 +85,7 @@ func main() {
 	rc.Quick = *quick
 	rc.Workers = *parallel
 	rc.FaultPlan = plan
+	rc.Topo = topo
 	rc.Tracer = tracer
 	if *models != "" {
 		set, err := exp.LoadAgentSet(*models, *seed)

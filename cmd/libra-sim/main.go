@@ -8,6 +8,7 @@
 //	libra-sim -cca c-libra -trace lte:walking -trace-out events.jsonl \
 //	          -metrics-out metrics.prom -pprof localhost:6060
 //	libra-sim -cca c-libra -reps 8 -parallel 4   # seed sweep
+//	libra-sim -cca cubic -topo parking-lot       # multi-hop topology
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		reps       = flag.Int("reps", 1, "repeat the run this many times with derived seeds")
 		faultSpec  = flag.String("fault", "", "fault plan: a preset name ("+strings.Join(faults.PresetNames(), "|")+") or a JSON plan file")
+		topoArg    = flag.String("topo", "", "multi-hop topology: a preset name ("+strings.Join(exp.TopoPresetNames(), "|")+") or a JSON topology file; overrides -capacity/-trace/-rtt/-buffer/-loss")
 		traceOut   = flag.String("trace-out", "", "write a JSONL telemetry event stream to this file")
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file after the run")
 		metricsFmt = flag.String("metrics-format", "auto", "metrics snapshot format: auto|json|prom")
@@ -48,6 +50,11 @@ func main() {
 	flag.Parse()
 
 	plan, err := faults.Load(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	topo, err := exp.LoadTopo(*topoArg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -98,8 +105,55 @@ func main() {
 		flows []flowSummary
 		util  float64
 		drops netem.DropStats
+		topo  *netem.Topology
+	}
+	// runTopo drives all controllers down the topology's main route via
+	// the experiment harness (cross traffic and ACK paths come from the
+	// spec) and reports per-hop drop/utilization attribution.
+	runTopo := func(jc *exp.RunContext, verbose bool) repResult {
+		name := topo.Name
+		if name == "" {
+			name = *topoArg
+		}
+		mks := make([]exp.Maker, len(names))
+		for i, nm := range names {
+			mks[i], _ = exp.MakerFor(nm, nil, nil)
+		}
+		s := exp.Scenario{Name: "topo:" + name, Duration: *dur, Faults: plan, Topo: topo}
+		ms := jc.RunFlows(s, mks, nil, time.Second)
+		var res repResult
+		for _, m := range ms {
+			if m.Failed {
+				fmt.Fprintln(os.Stderr, m.Err)
+				os.Exit(1)
+			}
+			res.flows = append(res.flows, flowSummary{
+				thrMbps: m.ThrMbps, lossRate: m.LossRate, rtt: m.Flow.Stats.AvgRTT(),
+			})
+		}
+		res.util = ms[0].Util
+		res.topo = ms[0].Topo
+		if verbose {
+			fmt.Printf("%-6s", "t(s)")
+			for _, nm := range names {
+				fmt.Printf("  %-18s", nm+" thr/delay")
+			}
+			fmt.Println()
+			for t := 0; t < int(*dur/time.Second); t++ {
+				fmt.Printf("%-6d", t)
+				for _, m := range ms {
+					fmt.Printf("  %6.2f / %-6.0fms ", trace.ToMbps(m.Flow.Stats.Throughput.Rate(t)), m.Flow.Stats.Delay.Mean(t))
+				}
+				fmt.Println()
+			}
+			fmt.Println()
+		}
+		return res
 	}
 	runOnce := func(jc *exp.RunContext, verbose bool) repResult {
+		if topo != nil {
+			return runTopo(jc, verbose)
+		}
 		capacity, err := buildTrace(*traceSpec, *capMbps, *dur, jc.Seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -182,7 +236,15 @@ func main() {
 				names[i], fs.thrMbps, fs.rtt.Round(time.Millisecond), fs.lossRate*100)
 		}
 		fmt.Printf("link utilisation: %.3f\n", res.util)
-		if ds := res.drops; ds.Total() > 0 {
+		if res.topo != nil {
+			fmt.Println("per-link:")
+			for _, l := range res.topo.Links() {
+				ds := l.DropStats()
+				fmt.Printf("  %-8s util %.3f  drops: %d tail, %d channel, %d aqm, %d blackout, %d burst (%d bytes, %d marked)\n",
+					l.Label(), res.topo.LinkUtilization(l, *dur),
+					ds.Tail, ds.Channel, ds.AQM, ds.Blackout, ds.Burst, ds.Bytes, ds.Marked)
+			}
+		} else if ds := res.drops; ds.Total() > 0 {
 			fmt.Printf("drops: %d tail, %d channel, %d aqm, %d blackout, %d burst (%d bytes)\n",
 				ds.Tail, ds.Channel, ds.AQM, ds.Blackout, ds.Burst, ds.Bytes)
 		}

@@ -173,7 +173,10 @@ type flowState struct {
 	regressions     int64
 }
 
-// linkState aggregates the link-level (flow -1) events.
+// linkState aggregates the link-level (flow -1) events. The analyzer
+// keeps one aggregate instance fed by every link event (the
+// single-bottleneck view) plus one per labelled link in a multi-hop
+// trace, so drops and queueing attribute to the hop that caused them.
 type linkState struct {
 	queueBytes *stats.Sketch
 	capMbps    *stats.Sketch
@@ -182,6 +185,14 @@ type linkState struct {
 	faultWin   int64
 	faultPkt   int64
 	blackouts  int64
+}
+
+func newLinkState() linkState {
+	return linkState{
+		queueBytes: stats.NewSketch(0),
+		capMbps:    stats.NewSketch(0),
+		drops:      make(map[string]int64, 8),
+	}
 }
 
 // window accumulates per-flow bytes enqueued inside one fairness
@@ -201,6 +212,7 @@ type Analyzer struct {
 	byType map[telemetry.Type]int64
 	flows  map[int]*flowState
 	link   linkState
+	links  map[string]*linkState // per labelled link, multi-hop traces only
 	wins   map[int64]*window
 	lastT  int64
 }
@@ -211,12 +223,9 @@ func New(cfg Config) *Analyzer {
 		cfg:    cfg.withDefaults(),
 		byType: make(map[telemetry.Type]int64, 16),
 		flows:  make(map[int]*flowState, 8),
-		link: linkState{
-			queueBytes: stats.NewSketch(0),
-			capMbps:    stats.NewSketch(0),
-			drops:      make(map[string]int64, 8),
-		},
-		wins: make(map[int64]*window, 64),
+		link:   newLinkState(),
+		links:  make(map[string]*linkState, 4),
+		wins:   make(map[int64]*window, 64),
 	}
 }
 
@@ -256,6 +265,18 @@ func (a *Analyzer) flow(id int) *flowState {
 		a.flows[id] = fs
 	}
 	return fs
+}
+
+// linkFor returns (creating on first sight) the per-label link state.
+// Callers hold a.mu; label must be non-empty.
+func (a *Analyzer) linkFor(label string) *linkState {
+	ls, ok := a.links[label]
+	if !ok {
+		ls = &linkState{}
+		*ls = newLinkState()
+		a.links[label] = ls
+	}
+	return ls
 }
 
 // feed is the single-pass state update. Callers hold a.mu.
@@ -306,6 +327,11 @@ func (a *Analyzer) feed(e *telemetry.Event) {
 	case telemetry.TypeDrop:
 		a.link.drops[e.Reason]++
 		a.link.dropBytes += e.Bytes
+		if e.Link != "" {
+			ls := a.linkFor(e.Link)
+			ls.drops[e.Reason]++
+			ls.dropBytes += e.Bytes
+		}
 		if e.Flow >= 0 {
 			fs := a.flow(e.Flow)
 			fs.events++
@@ -316,19 +342,34 @@ func (a *Analyzer) feed(e *telemetry.Event) {
 		if e.Rate > 0 {
 			a.link.capMbps.Add(e.Rate * 8 / 1e6)
 		}
+		if e.Link != "" {
+			ls := a.linkFor(e.Link)
+			ls.queueBytes.Add(float64(e.Queue))
+			if e.Rate > 0 {
+				ls.capMbps.Add(e.Rate * 8 / 1e6)
+			}
+		}
 	case telemetry.TypeFault:
-		switch e.Reason {
-		case telemetry.FaultBlackoutStart:
-			a.link.faultWin++
-			a.link.blackouts++
-		case telemetry.FaultBlackoutEnd, telemetry.FaultFlapStart, telemetry.FaultFlapEnd:
-			a.link.faultWin++
-		default: // reorder / dup / spike — per-packet mutations
-			a.link.faultPkt++
+		feedFault(&a.link, e.Reason)
+		if e.Link != "" {
+			feedFault(a.linkFor(e.Link), e.Reason)
 		}
 	case telemetry.TypeAction:
 		fs := a.flow(e.Flow)
 		fs.events++
+	}
+}
+
+// feedFault classifies one fault event into a link state's counters.
+func feedFault(ls *linkState, reason string) {
+	switch reason {
+	case telemetry.FaultBlackoutStart:
+		ls.faultWin++
+		ls.blackouts++
+	case telemetry.FaultBlackoutEnd, telemetry.FaultFlapStart, telemetry.FaultFlapEnd:
+		ls.faultWin++
+	default: // reorder / dup / spike — per-packet mutations
+		ls.faultPkt++
 	}
 }
 
@@ -555,6 +596,18 @@ func (a *Analyzer) Merge(b *Analyzer) {
 	a.link.faultWin += b.link.faultWin
 	a.link.faultPkt += b.link.faultPkt
 	a.link.blackouts += b.link.blackouts
+	for label, bl := range b.links {
+		al := a.linkFor(label)
+		al.queueBytes.Merge(bl.queueBytes)
+		al.capMbps.Merge(bl.capMbps)
+		for r, n := range bl.drops {
+			al.drops[r] += n
+		}
+		al.dropBytes += bl.dropBytes
+		al.faultWin += bl.faultWin
+		al.faultPkt += bl.faultPkt
+		al.blackouts += bl.blackouts
+	}
 	for idx, bw := range b.wins {
 		aw, ok := a.wins[idx]
 		if !ok {

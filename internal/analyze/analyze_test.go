@@ -334,3 +334,69 @@ func TestEmptyAnalyzer(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Per-link attribution: labelled link events populate Report.Links
+// (sorted by label) alongside the aggregate Link view; unlabelled
+// traces leave Links empty so pre-topology reports are unchanged.
+func TestPerLinkAttribution(t *testing.T) {
+	a := New(Config{})
+	emit := func(e telemetry.Event) { a.Emit(&e) }
+	emit(telemetry.Event{T: 1e6, Type: telemetry.TypeQueue, Link: "h0", Flow: -1, Queue: 1000, Rate: 12e6})
+	emit(telemetry.Event{T: 2e6, Type: telemetry.TypeQueue, Link: "h1", Flow: -1, Queue: 9000, Rate: 6e6})
+	emit(telemetry.Event{T: 3e6, Type: telemetry.TypeDrop, Link: "h1", Flow: 0, Seq: 7, Bytes: 1500, Reason: "tail"})
+	emit(telemetry.Event{T: 4e6, Type: telemetry.TypeDrop, Link: "h1", Flow: 0, Seq: 9, Bytes: 1500, Reason: "aqm"})
+	emit(telemetry.Event{T: 5e6, Type: telemetry.TypeFault, Link: "h0", Flow: -1, Reason: telemetry.FaultBlackoutStart})
+	a.Finalize()
+	r := a.Report()
+
+	if len(r.Links) != 2 || r.Links[0].Label != "h0" || r.Links[1].Label != "h1" {
+		t.Fatalf("Links = %+v, want h0,h1 sorted", r.Links)
+	}
+	h1 := r.Links[1]
+	if h1.Drops["tail"] != 1 || h1.Drops["aqm"] != 1 || h1.DropBytes != 3000 {
+		t.Errorf("h1 drops = %v (%d bytes), want tail 1 aqm 1 (3000 bytes)", h1.Drops, h1.DropBytes)
+	}
+	if r.Links[0].Blackouts != 1 || r.Links[1].Blackouts != 0 {
+		t.Errorf("blackout attribution wrong: h0=%d h1=%d", r.Links[0].Blackouts, r.Links[1].Blackouts)
+	}
+	// The aggregate view still sees everything.
+	if r.Link.Drops["tail"] != 1 || r.Link.DropBytes != 3000 || r.Link.Blackouts != 1 {
+		t.Errorf("aggregate link view lost events: %+v", r.Link)
+	}
+	if r.Link.QueueBytes.N != 2 || r.Links[0].QueueBytes.N != 1 {
+		t.Errorf("queue sample counts: aggregate %d, h0 %d", r.Link.QueueBytes.N, r.Links[0].QueueBytes.N)
+	}
+
+	// Merging a shard with overlapping and new labels adds exactly.
+	b := New(Config{})
+	emit2 := func(e telemetry.Event) { b.Emit(&e) }
+	emit2(telemetry.Event{T: 6e6, Type: telemetry.TypeDrop, Link: "h1", Flow: 1, Bytes: 1500, Reason: "tail"})
+	emit2(telemetry.Event{T: 7e6, Type: telemetry.TypeQueue, Link: "h2", Flow: -1, Queue: 50})
+	b.Finalize()
+	a.Merge(b)
+	r = a.Report()
+	if len(r.Links) != 3 || r.Links[2].Label != "h2" {
+		t.Fatalf("merged Links = %d entries, want 3 with h2 last", len(r.Links))
+	}
+	if r.Links[1].Drops["tail"] != 2 {
+		t.Errorf("merged h1 tail drops = %d, want 2", r.Links[1].Drops["tail"])
+	}
+
+	// Text report gains a per-link section only when labels exist.
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "per-link attribution:") {
+		t.Error("text report missing per-link attribution section")
+	}
+	empty := New(Config{})
+	empty.Emit(&telemetry.Event{T: 1e6, Type: telemetry.TypeQueue, Flow: -1, Queue: 10})
+	var ebuf bytes.Buffer
+	if err := empty.Report().WriteText(&ebuf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(ebuf.String(), "per-link") {
+		t.Error("unlabelled trace grew a per-link section")
+	}
+}

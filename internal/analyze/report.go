@@ -88,8 +88,11 @@ type FlowReport struct {
 	Anomalies     []string `json:"anomalies"`
 }
 
-// LinkReport aggregates the bottleneck-level events.
+// LinkReport aggregates the link-level events — either the whole
+// trace's aggregate view (Label empty) or one labelled hop of a
+// multi-hop topology.
 type LinkReport struct {
+	Label        string           `json:"label,omitempty"`
 	QueueBytes   Quantiles        `json:"queue_bytes"`
 	CapacityMbps Quantiles        `json:"capacity_mbps"`
 	Drops        map[string]int64 `json:"drops"`
@@ -112,12 +115,15 @@ type FairnessReport struct {
 
 // Report is the full machine-readable analysis.
 type Report struct {
-	Events   int64            `json:"events"`
-	ByType   map[string]int64 `json:"events_by_type"`
-	SpanMs   float64          `json:"span_ms"` // virtual time of the last event
-	Flows    []FlowReport     `json:"flows"`
-	Link     LinkReport       `json:"link"`
-	Fairness FairnessReport   `json:"fairness"`
+	Events int64            `json:"events"`
+	ByType map[string]int64 `json:"events_by_type"`
+	SpanMs float64          `json:"span_ms"` // virtual time of the last event
+	Flows  []FlowReport     `json:"flows"`
+	Link   LinkReport       `json:"link"`
+	// Links attributes drops/queueing/faults to individual labelled
+	// hops; empty for single-bottleneck traces, sorted by label.
+	Links    []LinkReport   `json:"links,omitempty"`
+	Fairness FairnessReport `json:"fairness"`
 }
 
 // Report snapshots the analysis into a Report. Safe to call while a
@@ -147,21 +153,37 @@ func (a *Analyzer) Report() *Report {
 		r.Flows = append(r.Flows, a.flowReport(a.flows[id]))
 	}
 
-	r.Link = LinkReport{
-		QueueBytes:   QuantilesOf(a.link.queueBytes),
-		CapacityMbps: QuantilesOf(a.link.capMbps),
-		Drops:        make(map[string]int64, len(a.link.drops)),
-		DropBytes:    a.link.dropBytes,
-		FaultWindows: a.link.faultWin,
-		FaultPackets: a.link.faultPkt,
-		Blackouts:    a.link.blackouts,
+	r.Link = linkReport("", &a.link)
+
+	labels := make([]string, 0, len(a.links))
+	for label := range a.links {
+		labels = append(labels, label)
 	}
-	for reason, n := range a.link.drops {
-		r.Link.Drops[reason] = n
+	sort.Strings(labels)
+	for _, label := range labels {
+		r.Links = append(r.Links, linkReport(label, a.links[label]))
 	}
 
 	r.Fairness = a.fairnessReport(ids)
 	return r
+}
+
+// linkReport snapshots one link state.
+func linkReport(label string, ls *linkState) LinkReport {
+	lr := LinkReport{
+		Label:        label,
+		QueueBytes:   QuantilesOf(ls.queueBytes),
+		CapacityMbps: QuantilesOf(ls.capMbps),
+		Drops:        make(map[string]int64, len(ls.drops)),
+		DropBytes:    ls.dropBytes,
+		FaultWindows: ls.faultWin,
+		FaultPackets: ls.faultPkt,
+		Blackouts:    ls.blackouts,
+	}
+	for reason, n := range ls.drops {
+		lr.Drops[reason] = n
+	}
+	return lr
 }
 
 // flowReport derives one flow's report. Callers hold a.mu.
@@ -396,6 +418,30 @@ func (r *Report) WriteText(w io.Writer) error {
 	if r.Link.FaultWindows > 0 || r.Link.FaultPackets > 0 {
 		pf("  faults:        %d window events (%d blackouts), %d packet mutations\n",
 			r.Link.FaultWindows, r.Link.Blackouts, r.Link.FaultPackets)
+	}
+
+	if len(r.Links) > 0 {
+		pf("\nper-link attribution:\n")
+		for _, l := range r.Links {
+			pf("  %s: queue B p50 %.0f p95 %.0f  cap Mbps p50 %.2f  drops:",
+				l.Label, l.QueueBytes.P50, l.QueueBytes.P95, l.CapacityMbps.P50)
+			reasons := make([]string, 0, len(l.Drops))
+			for reason := range l.Drops {
+				reasons = append(reasons, reason)
+			}
+			sort.Strings(reasons)
+			if len(reasons) == 0 {
+				pf(" none")
+			}
+			for _, reason := range reasons {
+				pf(" %s %d", reason, l.Drops[reason])
+			}
+			pf(" (%d bytes)", l.DropBytes)
+			if l.FaultWindows > 0 || l.FaultPackets > 0 {
+				pf("  faults: %d windows, %d packet mutations", l.FaultWindows, l.FaultPackets)
+			}
+			pf("\n")
+		}
 	}
 
 	if r.Fairness.Flows > 1 && r.Fairness.Windows > 0 {

@@ -44,6 +44,9 @@ type RunContext struct {
 	// FaultPlan applies to scenarios that don't carry their own
 	// (libra-bench -fault). Nil means no faults.
 	FaultPlan *faults.Plan
+	// Topo applies to scenarios that don't carry their own topology
+	// (libra-bench -topo). Nil means the single-bottleneck path.
+	Topo *TopoSpec
 	// Agents supplies pre-trained policies; a small quick-trained set is
 	// built lazily (cached per seed) when nil and an experiment needs
 	// one. Sweep jobs always work on a private clone, because the
@@ -172,6 +175,7 @@ func (rc *RunContext) child(i int) *RunContext {
 		Workers:   1,
 		Metrics:   telemetry.NewRegistry(),
 		FaultPlan: rc.FaultPlan,
+		Topo:      rc.Topo,
 		Live:      rc.Live,
 		Health:    rc.Health,
 		parent:    rc,

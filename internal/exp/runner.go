@@ -39,6 +39,13 @@ type Scenario struct {
 	// Nil falls back to the RunContext's plan (itself nil by default:
 	// no faults).
 	Faults *faults.Plan
+	// Topo, when set, runs the scenario over a multi-hop topology
+	// instead of the single bottleneck: the flows under test ride the
+	// spec's main route, cross traffic is placed per the spec, and
+	// Capacity/MinRTT/Buffer/Loss are ignored in favour of the per-link
+	// parameters. Nil falls back to the RunContext's spec (itself nil
+	// by default: single bottleneck).
+	Topo *TopoSpec
 }
 
 // WiredScenarios returns the paper's wired trace set (Fig. 1 uses
@@ -85,8 +92,11 @@ type Metrics struct {
 	// the overhead metric (Fig. 2c / Fig. 12).
 	CPUFrac float64
 	Flow    *netem.Flow
-	Net     *netem.Network
-	Ctrl    cc.Controller
+	// Net is the single-bottleneck network (nil for topology runs);
+	// Topo is the multi-hop topology (nil for single-bottleneck runs).
+	Net  *netem.Network
+	Topo *netem.Topology
+	Ctrl cc.Controller
 	// Failed marks a run aborted by a controller panic or an invalid
 	// configuration; Err carries the cause and every other field is
 	// zero. The harness records the failure and keeps going instead of
@@ -280,6 +290,9 @@ func (rc *RunContext) failedRun(s Scenario, err error) Metrics {
 // (Metrics.Failed/Err) instead of unwinding the whole experiment.
 func (rc *RunContext) RunFlow(s Scenario, mk Maker, bucket time.Duration) (m Metrics) {
 	rc.WithDefaults()
+	if ts := rc.topoFor(s); ts != nil {
+		return rc.runTopoFlows(s, ts, []Maker{mk}, nil, bucket, []int64{rc.Seed})[0]
+	}
 	var n *netem.Network
 	defer func() {
 		if r := recover(); r != nil {
@@ -328,6 +341,9 @@ func (rc *RunContext) RunFlow(s Scenario, mk Maker, bucket time.Duration) (m Met
 // every flow of the run failed rather than escaping.
 func (rc *RunContext) RunFlows(s Scenario, mks []Maker, starts []time.Duration, bucket time.Duration) (out []Metrics) {
 	rc.WithDefaults()
+	if ts := rc.topoFor(s); ts != nil {
+		return rc.runTopoFlows(s, ts, mks, starts, bucket, nil)
+	}
 	var n *netem.Network
 	flows := make([]*netem.Flow, 0, len(mks))
 	defer func() {

@@ -1,0 +1,190 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"libra/internal/netem"
+	"libra/internal/sweep"
+	"libra/internal/telemetry"
+	"libra/internal/trace"
+)
+
+// topoFor resolves the scenario's topology spec, falling back to the
+// context's (libra-bench -topo); nil means the single-bottleneck path.
+func (rc *RunContext) topoFor(s Scenario) *TopoSpec {
+	if s.Topo != nil {
+		return s.Topo
+	}
+	return rc.Topo
+}
+
+// runTopoFlows drives the makers' controllers down the spec's main
+// route, places the spec's cross traffic, runs for the scenario
+// duration, and returns metrics for the main flows (in maker order).
+// seeds[i] overrides the i-th controller's seed; a nil slice
+// sub-derives per flow index like RunFlows. Panics are contained the
+// same way as the single-bottleneck runners.
+func (rc *RunContext) runTopoFlows(s Scenario, ts *TopoSpec, mks []Maker, starts []time.Duration, bucket time.Duration, seeds []int64) (out []Metrics) {
+	rc.WithDefaults()
+	var tp *netem.Topology
+	nMain := 0
+	defer func() {
+		if r := recover(); r != nil {
+			var t int64
+			if tp != nil {
+				t = int64(tp.Eng.Now())
+			}
+			for i := 0; i < nMain; i++ {
+				rc.EmitAnomaly(t, i, telemetry.AnomalyPanic)
+			}
+			if nMain == 0 {
+				rc.EmitAnomaly(t, -1, telemetry.AnomalyPanic)
+			}
+			m := rc.failedRun(s, fmt.Errorf("panic: %v", r))
+			out = make([]Metrics, len(mks))
+			for i := range out {
+				out[i] = m
+			}
+		}
+	}()
+	fail := func(err error) []Metrics {
+		m := rc.failedRun(s, err)
+		out := make([]Metrics, len(mks))
+		for i := range out {
+			out[i] = m
+		}
+		return out
+	}
+	plan := s.Faults
+	if plan == nil {
+		plan = rc.FaultPlan
+	}
+	tp, routes, err := ts.Build(TopoBuild{
+		Seed:         rc.Seed,
+		Tracer:       rc.Tracer,
+		Health:       rc.Health,
+		RecordSeries: bucket > 0,
+		SeriesBucket: bucket,
+		ExtraFaults:  plan,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	main := routes[ts.Main]
+
+	rc.EmitSpan(0, -1, "scenario:"+s.Name, true)
+	names := make([]string, len(mks))
+	flows := make([]*netem.Flow, 0, len(mks))
+	for i, mk := range mks {
+		seed := sweep.SubSeed(rc.Seed, i)
+		if i < len(seeds) {
+			seed = seeds[i]
+		}
+		var start time.Duration
+		if i < len(starts) {
+			start = starts[i]
+		}
+		ctrl := mk(seed)
+		names[i] = ctrl.Name()
+		rc.EmitSpan(0, i, "flow:"+names[i], true)
+		rc.AttachTracer(ctrl, i)
+		flows = append(flows, tp.AddFlowOn(main, ctrl, start, 0))
+		nMain++
+	}
+	// Cross traffic after the main flows, so main flow IDs are stable
+	// 0..len(mks)-1 regardless of placement.
+	idx := len(mks)
+	for _, cf := range ts.Cross {
+		cca := cf.CCA
+		if cca == "" {
+			cca = "cubic"
+		}
+		mk, err := MakerFor(cca, nil, nil)
+		if err != nil {
+			return fail(err) // unreachable after Validate; defensive
+		}
+		count := cf.Count
+		if count == 0 {
+			count = 1
+		}
+		start := time.Duration(cf.StartS * float64(time.Second))
+		for k := 0; k < count; k++ {
+			ctrl := mk(sweep.SubSeed(rc.Seed, idx))
+			rc.AttachTracer(ctrl, idx)
+			f := tp.AddFlowOn(routes[cf.Route], ctrl, start, 0)
+			if cf.RateMbps > 0 {
+				f.SetAppRate(trace.Mbps(cf.RateMbps))
+			}
+			idx++
+		}
+	}
+
+	tp.Run(s.Duration)
+	for i := range flows {
+		rc.EmitSpan(s.Duration.Nanoseconds(), i, "flow:"+names[i], false)
+	}
+	rc.EmitSpan(s.Duration.Nanoseconds(), -1, "scenario:"+s.Name, false)
+	rc.recordTopoLinks(tp, main, s.Duration)
+
+	out = make([]Metrics, len(flows))
+	for i, f := range flows {
+		out[i] = rc.observeTopo(tp, main, f, s.Duration)
+	}
+	return out
+}
+
+// observeTopo is Observe for topology runs: utilization comes from the
+// main route's bottleneck hop, and Metrics.Topo is set instead of Net.
+func (rc *RunContext) observeTopo(tp *netem.Topology, main *netem.Route, f *netem.Flow, d time.Duration) Metrics {
+	m := Metrics{
+		Util:     tp.LinkUtilization(tp.RouteBottleneck(main, d), d),
+		ThrMbps:  trace.ToMbps(f.Stats.AvgThroughput()),
+		DelayMs:  float64(f.Stats.AvgRTT()) / float64(time.Millisecond),
+		LossRate: f.Stats.LossRate(),
+		CPUFrac:  float64(f.Stats.ComputeNs) / float64(d.Nanoseconds()),
+		Flow:     f,
+		Topo:     tp,
+		Ctrl:     f.Controller(),
+	}
+	rc.recordFlow(f, m)
+	return m
+}
+
+// recordTopoLinks pushes every hop's summary into the registry with
+// link-labelled series, in construction order with reasons in a fixed
+// order, so metric registration never depends on map iteration.
+func (rc *RunContext) recordTopoLinks(tp *netem.Topology, main *netem.Route, d time.Duration) {
+	reg := rc.Metrics
+	for _, l := range tp.Links() {
+		ds := l.DropStats()
+		for _, rv := range []struct {
+			reason string
+			v      int64
+		}{
+			{telemetry.ReasonTail, ds.Tail},
+			{telemetry.ReasonChannel, ds.Channel},
+			{telemetry.ReasonAQM, ds.AQM},
+			{telemetry.ReasonBlackout, ds.Blackout},
+			{telemetry.ReasonBurst, ds.Burst},
+		} {
+			reg.Counter(fmt.Sprintf("libra_link_drops_total{link=%q,reason=%q}", l.Label(), rv.reason),
+				"per-hop drops by reason").Add(rv.v)
+		}
+		reg.Counter(fmt.Sprintf("libra_link_dropped_bytes_total{link=%q}", l.Label()),
+			"bytes dropped per hop").Add(ds.Bytes)
+		reg.Counter(fmt.Sprintf("libra_link_marked_total{link=%q}", l.Label()),
+			"packets CE-marked per hop").Add(ds.Marked)
+		reg.Counter(fmt.Sprintf("libra_link_delivered_bytes_total{link=%q}", l.Label()),
+			"bytes serialized per hop").Add(l.DeliveredBytes())
+		reg.Gauge(fmt.Sprintf("libra_link_utilization{link=%q}", l.Label()),
+			"per-hop delivered bytes / mean capacity of the last recorded run").
+			Set(tp.LinkUtilization(l, d))
+	}
+	if b := tp.RouteBottleneck(main, d); b != nil {
+		reg.Gauge("libra_link_utilization", "delivered bytes / mean capacity of the last recorded run").
+			Set(tp.LinkUtilization(b, d))
+		reg.Gauge("libra_link_mean_queue_bytes", "time-averaged bottleneck occupancy of the last recorded run").
+			Set(b.MeanQueueBytes(tp.Eng.Now()))
+	}
+}

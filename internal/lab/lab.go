@@ -57,8 +57,12 @@ func Eval(jc *exp.RunContext, sp Spec, u utility.Libra) Outcome {
 
 	mks := make([]exp.Maker, 0, 1+sp.Cross)
 	mks = append(mks, exp.CCAMaker(sp.Target, u)(jc))
-	for c := 0; c < sp.Cross; c++ {
-		mks = append(mks, exp.CCAMaker("cubic", nil)(jc))
+	// With a topology, cross flows ride their own routes via the spec's
+	// CrossAt placement; without one they share the single bottleneck.
+	if sp.Topo == "" {
+		for c := 0; c < sp.Cross; c++ {
+			mks = append(mks, exp.CCAMaker("cubic", nil)(jc))
+		}
 	}
 	ms := jc.RunFlows(sp.Scenario(), mks, nil, time.Second)
 

@@ -56,6 +56,8 @@ func TestSpecValidateRejects(t *testing.T) {
 		"neg cross":      func(s *Spec) { s.Cross = -1 },
 		"zero duration":  func(s *Spec) { s.DurS = 0 },
 		"bad plan":       func(s *Spec) { s.Plan = &faults.Plan{Blackouts: &faults.Blackouts{}} },
+		"unknown topo":   func(s *Spec) { s.Topo = "moebius-strip" },
+		"bad cross_at":   func(s *Spec) { s.CrossAt = 1.5 },
 	} {
 		sp := good
 		mut(&sp)
@@ -71,13 +73,17 @@ func TestSpecValidateRejects(t *testing.T) {
 func TestSpecVectorRoundTrip(t *testing.T) {
 	base := DefaultSpec("cubic", 9, 4)
 	knobs := Knobs()
-	if want := 5 + len(faults.PlanKnobs()); len(knobs) != want {
+	if want := 7 + len(faults.PlanKnobs()); len(knobs) != want {
 		t.Fatalf("combined knob space has %d dims, want %d", len(knobs), want)
 	}
 	hostile, _ := faults.Preset("hostile")
 	withPlan := base
 	withPlan.Plan = hostile
-	for _, sp := range []Spec{base, withPlan} {
+	withTopo := base
+	withTopo.Topo = "parking-lot"
+	withTopo.Cross = 2
+	withTopo.CrossAt = 0.5
+	for _, sp := range []Spec{base, withPlan, withTopo} {
 		dec := sp.FromVector(sp.Vector())
 		if err := dec.Validate(); err != nil {
 			t.Fatalf("decoded spec invalid: %v", err)
@@ -124,6 +130,28 @@ func TestEvalFaultsHurt(t *testing.T) {
 	dOut := Eval(rc, dark, u)
 	if !(dOut.Score < cOut.Score) {
 		t.Fatalf("blackout did not hurt: clean %.3f vs dark %.3f", cOut.Score, dOut.Score)
+	}
+}
+
+// TestEvalTopology: a spec with a topology preset evaluates cleanly,
+// deterministically, and actually routes through the multi-hop engine
+// (cross flows placed by cross_at, not as extra bottleneck makers).
+func TestEvalTopology(t *testing.T) {
+	sp := DefaultSpec("cubic", 99, 3)
+	sp.Topo = "parking-lot"
+	sp.Cross = 1
+	sp.CrossAt = 1
+	u := utility.Default()
+	a := Eval(exp.NewRunContext(4), sp, u)
+	b := Eval(exp.NewRunContext(4), sp, u)
+	if a.Failed || a.Score == FailScore {
+		t.Fatalf("topo eval failed: %+v", a)
+	}
+	if a.Score != b.Score || a.ThrMbps != b.ThrMbps {
+		t.Fatalf("topo eval not deterministic: %+v vs %+v", a, b)
+	}
+	if a.ThrMbps <= 0 || a.ThrMbps > sp.CapMbps+1 {
+		t.Fatalf("topo eval throughput %.2f Mbps out of range", a.ThrMbps)
 	}
 }
 

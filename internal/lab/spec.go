@@ -46,6 +46,16 @@ type Spec struct {
 	DurS float64 `json:"dur_s"`
 	// Plan is the exact fault plan (nil = clean link).
 	Plan *faults.Plan `json:"plan,omitempty"`
+	// Topo names a topology preset (exp.TopoPresetNames); empty runs
+	// the classic single bottleneck. With a topology, CapMbps/DipFrac/
+	// PeriodS reshape the main route's bottleneck hop, RTTMs rescales
+	// every propagation delay so the main route's two-way delay matches,
+	// and the fault plan lands on the bottleneck hop.
+	Topo string `json:"topo,omitempty"`
+	// CrossAt places the Cross flows on the topology: a fraction mapped
+	// over the preset's route list (0 = first route, 1 = last). Only
+	// meaningful with Topo set.
+	CrossAt float64 `json:"cross_at,omitempty"`
 }
 
 // labKnobs is the scenario-shape half of the search space; the plan
@@ -56,6 +66,11 @@ var labKnobs = []faults.Knob{
 	{Name: "period_s", Min: 2, Max: 10},
 	{Name: "rtt_ms", Min: 10, Max: 120},
 	{Name: "cross", Min: 0, Max: 3},
+	// topo selects the fabric: 0 is the single bottleneck, i >= 1 is
+	// exp.TopoPresetNames()[i-1]. cross_at places the cross flows on
+	// the chosen topology's route list.
+	{Name: "topo", Min: 0, Max: float64(len(exp.TopoPresetNames()))},
+	{Name: "cross_at", Min: 0, Max: 1},
 }
 
 // Knobs returns the combined search space — scenario knobs followed by
@@ -108,6 +123,14 @@ func (sp *Spec) Validate() error {
 	if !(sp.DurS > 0) || math.IsInf(sp.DurS, 0) {
 		return bad("dur_s", sp.DurS)
 	}
+	if sp.Topo != "" {
+		if _, ok := exp.TopoPreset(sp.Topo); !ok {
+			return fmt.Errorf("lab: spec topo %q is not a preset (have %v)", sp.Topo, exp.TopoPresetNames())
+		}
+	}
+	if sp.CrossAt < 0 || sp.CrossAt > 1 || math.IsNaN(sp.CrossAt) {
+		return fmt.Errorf("lab: spec cross_at = %v outside [0,1]", sp.CrossAt)
+	}
 	return sp.Plan.Validate()
 }
 
@@ -139,17 +162,95 @@ func (sp Spec) Scenario() exp.Scenario {
 		Buffer:   150_000,
 		Duration: time.Duration(sp.DurS * float64(time.Second)),
 		Faults:   sp.Plan,
+		Topo:     sp.topoSpec(),
 	}
+}
+
+// topoSpec materialises the topology half of the spec: the preset
+// reshaped by the scenario knobs. The bottleneck hop takes the spec's
+// trace shape, every propagation delay scales so the main route's
+// two-way delay matches RTTMs, and the preset's cross traffic is
+// replaced by the spec's own (Cross cubic flows on the CrossAt route).
+// Nil when the spec runs the classic single bottleneck. The fault plan
+// is NOT attached here — it flows through Scenario.Faults and lands on
+// the bottleneck hop inside exp's topology builder.
+func (sp Spec) topoSpec() *exp.TopoSpec {
+	if sp.Topo == "" {
+		return nil
+	}
+	ts, ok := exp.TopoPreset(sp.Topo)
+	if !ok {
+		return nil // Validate rejects this; defensive for raw specs
+	}
+	if bi := ts.MainBottleneck(); bi >= 0 {
+		ts.Links[bi].CapMbps = sp.CapMbps
+		if sp.DipFrac < 1 && sp.PeriodS > 0 {
+			ts.Links[bi].DipFrac = sp.DipFrac
+			ts.Links[bi].PeriodS = sp.PeriodS
+		} else {
+			ts.Links[bi].DipFrac = 0
+			ts.Links[bi].PeriodS = 0
+		}
+	}
+	// Scale delays so the main route's symmetric two-way propagation
+	// matches the spec's RTT.
+	if main := ts.RouteByName(ts.Main); main != nil {
+		var oneWay float64
+		for _, lbl := range main.Links {
+			for i := range ts.Links {
+				if ts.Links[i].Label == lbl {
+					oneWay += ts.Links[i].DelayMs
+					break
+				}
+			}
+		}
+		if oneWay > 0 {
+			k := sp.RTTMs / (2 * oneWay)
+			for i := range ts.Links {
+				ts.Links[i].DelayMs *= k
+			}
+		}
+	}
+	ts.Cross = nil
+	if sp.Cross > 0 && len(ts.Routes) > 0 {
+		idx := int(math.Round(sp.CrossAt * float64(len(ts.Routes)-1)))
+		ts.Cross = []exp.CrossFlow{{Route: ts.Routes[idx].Name, CCA: "cubic", Count: sp.Cross}}
+	}
+	return ts
 }
 
 // Vector projects the spec into the combined knob space (lab knobs,
 // then plan knobs), clamped into the declared box.
 func (sp Spec) Vector() []float64 {
-	v := []float64{sp.CapMbps, sp.DipFrac, sp.PeriodS, sp.RTTMs, float64(sp.Cross)}
+	v := []float64{sp.CapMbps, sp.DipFrac, sp.PeriodS, sp.RTTMs, float64(sp.Cross),
+		float64(topoIndex(sp.Topo)), sp.CrossAt}
 	for i, k := range labKnobs {
 		v[i] = k.Clamp(v[i])
 	}
 	return append(v, sp.Plan.Vector()...)
+}
+
+// topoIndex maps a preset name into the topo knob: 0 is the single
+// bottleneck, i >= 1 is exp.TopoPresetNames()[i-1].
+func topoIndex(name string) int {
+	if name == "" {
+		return 0
+	}
+	for i, n := range exp.TopoPresetNames() {
+		if n == name {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// topoName inverts topoIndex.
+func topoName(idx int) string {
+	names := exp.TopoPresetNames()
+	if idx < 1 || idx > len(names) {
+		return ""
+	}
+	return names[idx-1]
 }
 
 // FromVector decodes a combined knob vector into a runnable spec,
@@ -170,6 +271,8 @@ func (sp Spec) FromVector(v []float64) Spec {
 	out.PeriodS = at(2)
 	out.RTTMs = at(3)
 	out.Cross = int(math.Round(at(4)))
+	out.Topo = topoName(int(math.Round(at(5))))
+	out.CrossAt = at(6)
 	if len(v) > len(labKnobs) {
 		out.Plan = faults.PlanFromVector(v[len(labKnobs):])
 	} else {

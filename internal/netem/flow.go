@@ -69,12 +69,15 @@ func (s *FlowStats) LossRate() float64 {
 	return float64(s.LostBytes) / float64(tot)
 }
 
-// Flow is one sender/receiver pair attached to the network's bottleneck.
+// Flow is one sender/receiver pair attached to a topology route; its
+// packets traverse every link of the route in order and ACKs return
+// after the route's ACK delay on an uncongested reverse path.
 type Flow struct {
-	ID   int
-	net  *Network
-	ctrl cc.Controller
-	mss  int
+	ID    int
+	topo  *Topology
+	route *Route
+	ctrl  cc.Controller
+	mss   int
 
 	startAt, stopAt time.Duration
 	running         bool
@@ -113,6 +116,9 @@ type Flow struct {
 // Controller returns the flow's congestion controller.
 func (f *Flow) Controller() cc.Controller { return f.ctrl }
 
+// Route returns the route the flow's packets traverse.
+func (f *Flow) Route() *Route { return f.route }
+
 // SRTT returns the current smoothed RTT estimate.
 func (f *Flow) SRTT() time.Duration { return f.srtt }
 
@@ -150,7 +156,7 @@ func (f *Flow) appAllows(now time.Duration) bool {
 
 func (f *Flow) start() {
 	f.running = true
-	f.nextSend = f.net.Eng.Now()
+	f.nextSend = f.topo.Eng.Now()
 	if tk, ok := f.ctrl.(cc.Ticker); ok {
 		f.ticker = tk
 		f.runTicker()
@@ -167,11 +173,11 @@ func (f *Flow) runTicker() {
 		return
 	}
 	t0 := nanotime()
-	d := f.ticker.OnTick(f.net.Eng.Now())
+	d := f.ticker.OnTick(f.topo.Eng.Now())
 	f.Stats.ComputeNs += nanotime() - t0
 	f.trySend()
 	if d > 0 {
-		f.net.Eng.AfterCall(d, tickCb, f)
+		f.topo.Eng.AfterCall(d, tickCb, f)
 	}
 }
 
@@ -180,11 +186,11 @@ func (f *Flow) stop() {
 		return
 	}
 	f.running = false
-	f.Stats.Active = f.net.Eng.Now() - f.startAt
-	f.net.Eng.Cancel(f.paceTimer)
-	f.net.Eng.Cancel(f.rtoTimer)
+	f.Stats.Active = f.topo.Eng.Now() - f.startAt
+	f.topo.Eng.Cancel(f.paceTimer)
+	f.topo.Eng.Cancel(f.rtoTimer)
 	if st, ok := f.ctrl.(cc.Stopper); ok {
-		st.Stop(f.net.Eng.Now())
+		st.Stop(f.topo.Eng.Now())
 	}
 }
 
@@ -194,7 +200,7 @@ func (f *Flow) trySend() {
 	if !f.running {
 		return
 	}
-	now := f.net.Eng.Now()
+	now := f.topo.Eng.Now()
 	for {
 		cwnd := f.ctrl.Window()
 		// Anti-deadlock: always allow one packet when nothing is in
@@ -247,11 +253,11 @@ func (f *Flow) armPacing(at time.Duration) {
 		return
 	}
 	f.paceArmed = true
-	f.paceTimer = f.net.Eng.AtCall(at, paceCb, f)
+	f.paceTimer = f.topo.Eng.AtCall(at, paceCb, f)
 }
 
 func (f *Flow) sendPacket(now time.Duration) {
-	p := f.net.pool.get()
+	p := f.topo.pool.get()
 	p.Flow = f
 	p.Seq = f.nextSeq
 	p.Size = f.mss
@@ -262,7 +268,7 @@ func (f *Flow) sendPacket(now time.Duration) {
 	f.inflightBytes += p.Size
 	f.Stats.SentBytes += int64(p.Size)
 	f.armRTO(now)
-	f.net.link.Enqueue(p)
+	f.route.links[0].Enqueue(p)
 }
 
 // onDelivered runs when a data packet reaches the receiver; the ACK
@@ -270,7 +276,7 @@ func (f *Flow) sendPacket(now time.Duration) {
 // the reverse path as the ACK carrier — no separate ACK struct, no
 // boxing — and is returned to the pool when the sender processes it.
 func (f *Flow) onDelivered(p *Packet) {
-	f.net.Eng.AfterCall(f.net.ackDelay, ackCb, p)
+	f.topo.Eng.AfterCall(f.route.ackDelay, ackCb, p)
 }
 
 // ackCb delivers the returning ACK to its sender.
@@ -281,8 +287,8 @@ func ackCb(arg any) {
 
 func (f *Flow) onAck(p *Packet) {
 	seq, size, sentAt, deliveredAtSend, ce := p.Seq, p.Size, p.SentAt, p.DeliveredAtSend, p.CE
-	f.net.pool.put(p)
-	now := f.net.Eng.Now()
+	f.topo.pool.put(p)
+	now := f.topo.Eng.Now()
 	idx := int(seq - f.headSeq)
 	if idx < 0 || idx >= len(f.inflight) || f.inflight[idx].done {
 		return // duplicate or already resolved
@@ -405,11 +411,11 @@ func (f *Flow) armRTO(now time.Duration) {
 		return
 	}
 	f.rtoArmed = true
-	f.rtoTimer = f.net.Eng.AtCall(now+f.rto(), rtoCb, f)
+	f.rtoTimer = f.topo.Eng.AtCall(now+f.rto(), rtoCb, f)
 }
 
 func (f *Flow) rearmRTO(now time.Duration) {
-	f.net.Eng.Cancel(f.rtoTimer)
+	f.topo.Eng.Cancel(f.rtoTimer)
 	f.rtoArmed = false
 	if f.inflightBytes > 0 {
 		f.armRTO(now)
@@ -421,7 +427,7 @@ func (f *Flow) onRTO() {
 	if !f.running && f.inflightBytes == 0 {
 		return
 	}
-	now := f.net.Eng.Now()
+	now := f.topo.Eng.Now()
 	lost := 0
 	var lostSentAt time.Duration
 	for i := range f.inflight {

@@ -13,11 +13,15 @@ import (
 // times stay finite during deep fades (1 kbit/s).
 const minLinkRate = 125.0
 
-// Link is a droptail FIFO bottleneck with time-varying capacity, an
+// Link is a droptail FIFO queue with time-varying capacity, an
 // optional iid stochastic loss process at ingress, and a fixed one-way
-// propagation delay applied after serialization.
+// propagation delay applied after serialization. Links are the edges
+// of a Topology; the telemetry events a link emits carry its label so
+// multi-hop traces attribute drops and queueing to the hop that caused
+// them.
 type Link struct {
 	eng    *sim.Engine
+	label  string
 	cap    trace.Trace
 	prop   time.Duration
 	buf    int // queue limit in bytes (excluding the packet in service)
@@ -68,6 +72,16 @@ func (d DropStats) Total() int64 { return d.Tail + d.Channel + d.AQM + d.Blackou
 // DropStats returns the current drop/mark counters.
 func (l *Link) DropStats() DropStats { return l.drops }
 
+// Label returns the link's telemetry identity ("" for the degenerate
+// single-bottleneck link).
+func (l *Link) Label() string { return l.label }
+
+// PropDelay returns the link's one-way propagation delay.
+func (l *Link) PropDelay() time.Duration { return l.prop }
+
+// Capacity returns the link's rate trace.
+func (l *Link) Capacity() trace.Trace { return l.cap }
+
 // DeliveredBytes returns the bytes serialized through the bottleneck.
 func (l *Link) DeliveredBytes() int64 { return l.delivered }
 
@@ -81,7 +95,7 @@ func (l *Link) SetTracer(t telemetry.Tracer) {
 
 // emitDrop records a packet drop with its reason.
 func (l *Link) emitDrop(p *Packet, reason string) {
-	l.evBuf = telemetry.Event{T: int64(l.eng.Now()), Type: telemetry.TypeDrop,
+	l.evBuf = telemetry.Event{T: int64(l.eng.Now()), Type: telemetry.TypeDrop, Link: l.label,
 		Flow: p.Flow.ID, Seq: p.Seq, Bytes: int64(p.Size), Queue: int64(l.qByte), Reason: reason}
 	l.tracer.Emit(&l.evBuf)
 }
@@ -101,6 +115,8 @@ type LinkConfig struct {
 	// extra delay) and at service time (capacity scaling).
 	Faults FaultInjector
 	Seed   int64
+	// Label is the link's telemetry identity (see Link).
+	Label string
 }
 
 // newLink wires a link into the engine. sink receives packets after
@@ -109,6 +125,7 @@ type LinkConfig struct {
 func newLink(eng *sim.Engine, cfg LinkConfig, sink func(*Packet), drop func(*Packet, bool), dup func(*Packet) *Packet) *Link {
 	l := &Link{
 		eng:    eng,
+		label:  cfg.Label,
 		cap:    cfg.Capacity,
 		prop:   cfg.PropDelay,
 		buf:    cfg.BufferBytes,
@@ -196,7 +213,7 @@ func (l *Link) Enqueue(p *Packet) {
 	}
 	l.qByte += p.Size
 	if l.traceOn {
-		l.evBuf = telemetry.Event{T: int64(now), Type: telemetry.TypeEnqueue,
+		l.evBuf = telemetry.Event{T: int64(now), Type: telemetry.TypeEnqueue, Link: l.label,
 			Flow: p.Flow.ID, Seq: p.Seq, Bytes: int64(p.Size), Queue: int64(l.qByte)}
 		l.tracer.Emit(&l.evBuf)
 	}

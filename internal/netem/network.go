@@ -4,12 +4,12 @@ import (
 	"time"
 
 	"libra/internal/cc"
-	"libra/internal/sim"
 	"libra/internal/telemetry"
 	"libra/internal/trace"
 )
 
-// Config describes the emulated path.
+// Config describes a single-bottleneck emulated path — the degenerate
+// two-node/one-link topology every original paper experiment runs on.
 type Config struct {
 	// Capacity is the bottleneck capacity trace.
 	Capacity trace.Trace
@@ -53,24 +53,21 @@ type Config struct {
 	Health *telemetry.Health
 }
 
-// Network is a single-bottleneck emulated topology.
+// Network is the single-bottleneck view of a two-node/one-link
+// Topology: N senders share one droptail FIFO bottleneck and ACKs
+// return on an uncongested reverse path. It exists as the degenerate
+// case of the topology engine — its one link stays unlabelled, so the
+// event stream, stochastic draws, and reports are identical to the
+// pre-topology emulator.
 type Network struct {
-	Eng      *sim.Engine
-	cfg      Config
-	link     *Link
-	flows    []*Flow
-	pool     packetPool
-	ackDelay time.Duration
-	qEvBuf   telemetry.Event // reused queue-sample event buffer
-
-	// Queue-sampler state; the sampler re-arms itself through the
-	// engine's pooled callback path.
-	sampleTracer telemetry.Tracer
-	sampleEvery  time.Duration
+	*Topology
+	cfg   Config
+	link  *Link
+	route *Route
 }
 
-// New builds a network. The engine is created internally and owned by
-// the network.
+// New builds a single-bottleneck network. The engine is created
+// internally and owned by the underlying topology.
 func New(cfg Config) *Network {
 	if cfg.MSS == 0 {
 		cfg.MSS = cc.DefaultMSS
@@ -78,56 +75,35 @@ func New(cfg Config) *Network {
 	if cfg.BufferBytes <= 0 {
 		cfg.BufferBytes = 150 * 1000
 	}
-	eng := sim.New(cfg.Seed)
-	n := &Network{Eng: eng, cfg: cfg, ackDelay: cfg.MinRTT / 2}
-	var cd *CoDel
-	if cfg.CoDel {
-		cd = NewCoDel()
+	tp, err := newTopology(TopologyConfig{
+		Nodes: []string{"src", "dst"},
+		Links: []LinkSpec{{
+			From:         "src",
+			To:           "dst",
+			Capacity:     cfg.Capacity,
+			PropDelay:    cfg.MinRTT - cfg.MinRTT/2,
+			BufferBytes:  cfg.BufferBytes,
+			LossRate:     cfg.LossRate,
+			ECNThreshold: cfg.ECNThreshold,
+			CoDel:        cfg.CoDel,
+			Faults:       cfg.Faults,
+		}},
+		MSS:                 cfg.MSS,
+		Seed:                cfg.Seed,
+		RecordSeries:        cfg.RecordSeries,
+		SeriesBucket:        cfg.SeriesBucket,
+		Tracer:              cfg.Tracer,
+		QueueSampleInterval: cfg.QueueSampleInterval,
+		Health:              cfg.Health,
+	})
+	if err != nil {
+		panic("netem: degenerate topology rejected: " + err.Error()) // unreachable: spec is built here
 	}
-	if cfg.Faults != nil {
-		t := cfg.Tracer
-		if !telemetry.Enabled(t) {
-			t = telemetry.Nop{}
-		}
-		cfg.Faults.Bind(eng, t)
+	route, err := tp.AddRoute("", []string{""}, cfg.MinRTT/2)
+	if err != nil {
+		panic("netem: degenerate route rejected: " + err.Error()) // unreachable
 	}
-	n.link = newLink(eng, LinkConfig{
-		CoDel:        cd,
-		Capacity:     cfg.Capacity,
-		PropDelay:    cfg.MinRTT - cfg.MinRTT/2,
-		BufferBytes:  cfg.BufferBytes,
-		LossRate:     cfg.LossRate,
-		ECNThreshold: cfg.ECNThreshold,
-		Faults:       cfg.Faults,
-		Seed:         cfg.Seed,
-	}, n.deliver, n.dropped, n.clonePacket)
-	if telemetry.Enabled(cfg.Tracer) {
-		n.link.SetTracer(cfg.Tracer)
-		n.sampleTracer = cfg.Tracer
-		n.sampleEvery = cfg.QueueSampleInterval
-		if n.sampleEvery <= 0 {
-			n.sampleEvery = 100 * time.Millisecond
-		}
-		n.sampleQueue()
-	}
-	return n
-}
-
-// sampleCb re-arms the periodic queue-occupancy sampler.
-func sampleCb(arg any) { arg.(*Network).sampleQueue() }
-
-// sampleQueue emits one queue-occupancy event and reschedules itself;
-// the engine stops dispatching past the run horizon.
-func (n *Network) sampleQueue() {
-	now := n.Eng.Now()
-	rate := 0.0
-	if n.cfg.Capacity != nil {
-		rate = n.cfg.Capacity.RateAt(now)
-	}
-	n.qEvBuf = telemetry.Event{T: int64(now), Type: telemetry.TypeQueue, Flow: -1,
-		Queue: int64(n.link.QueuedBytes()), Rate: rate}
-	n.sampleTracer.Emit(&n.qEvBuf)
-	n.Eng.AfterCall(n.sampleEvery, sampleCb, n)
+	return &Network{Topology: tp, cfg: cfg, link: tp.links[0], route: route}
 }
 
 // Link exposes the bottleneck for queue statistics.
@@ -136,70 +112,11 @@ func (n *Network) Link() *Link { return n.link }
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
 
-func (n *Network) deliver(p *Packet) {
-	p.Flow.onDelivered(p)
-}
-
-func (n *Network) dropped(p *Packet, _ bool) {
-	n.pool.put(p)
-}
-
-// clonePacket duplicates a packet for fault-injected duplication; the
-// copy is marked injected so it bypasses the injector.
-func (n *Network) clonePacket(p *Packet) *Packet {
-	c := n.pool.get()
-	*c = *p
-	c.injected = true
-	return c
-}
-
-// AddFlow attaches a sender driven by ctrl, active on [start, stop).
-// A zero stop means "until the end of the run".
+// AddFlow attaches a sender driven by ctrl to the bottleneck path,
+// active on [start, stop). A zero stop means "until the end of the
+// run".
 func (n *Network) AddFlow(ctrl cc.Controller, start, stop time.Duration) *Flow {
-	f := &Flow{
-		ID:      len(n.flows),
-		net:     n,
-		ctrl:    ctrl,
-		mss:     n.cfg.MSS,
-		startAt: start,
-		stopAt:  stop,
-	}
-	if n.cfg.RecordSeries {
-		b := n.cfg.SeriesBucket
-		if b <= 0 {
-			b = 100 * time.Millisecond
-		}
-		f.Stats.Throughput = NewSeries(b)
-		f.Stats.Delay = NewSeries(b)
-	}
-	n.flows = append(n.flows, f)
-	n.Eng.AtCall(start, flowStartCb, f)
-	if stop > 0 {
-		n.Eng.AtCall(stop, flowStopCb, f)
-	}
-	return f
-}
-
-func flowStartCb(arg any) { arg.(*Flow).start() }
-func flowStopCb(arg any)  { arg.(*Flow).stop() }
-
-// Flows returns the attached flows in creation order.
-func (n *Network) Flows() []*Flow { return n.flows }
-
-// Run advances the simulation to time d and finalises flow statistics.
-// When a Health sampler is configured, the engine is registered for the
-// duration of the run so its progress counters feed the health gauges.
-func (n *Network) Run(d time.Duration) {
-	if n.cfg.Health != nil {
-		n.cfg.Health.Register(n.Eng)
-		defer n.cfg.Health.Unregister(n.Eng)
-	}
-	n.Eng.Run(d)
-	for _, f := range n.flows {
-		if f.running {
-			f.stop()
-		}
-	}
+	return n.AddFlowOn(n.route, ctrl, start, stop)
 }
 
 // Utilization returns delivered bytes at the bottleneck divided by the

@@ -1,20 +1,26 @@
-// Package netem emulates a network path at packet granularity on top of
-// the discrete-event engine in internal/sim.
+// Package netem emulates a network topology at packet granularity on
+// top of the discrete-event engine in internal/sim.
 //
-// The topology every experiment in the paper needs is a single shared
-// bottleneck: N senders feed one droptail FIFO link with (possibly
-// trace-driven, time-varying) capacity, followed by a fixed one-way
-// propagation delay; receivers acknowledge each packet and ACKs return
-// after the reverse propagation delay on an uncongested path. This is the
-// Mahimahi model re-expressed as a discrete-event simulation, and it is
-// the substitution for the paper's Linux-kernel + Mahimahi + live
-// Internet testbeds (see DESIGN.md).
+// The model is a graph: a Topology of named nodes joined by directed
+// Links — each with its own (possibly trace-driven, time-varying)
+// capacity, droptail buffer, propagation delay, loss process, AQM/ECN,
+// fault injector, and telemetry identity — and per-flow Routes, ordered
+// link lists packets traverse hop by hop with per-link serialization
+// and queueing. Receivers acknowledge each packet and ACKs return after
+// the route's ACK delay on an uncongested reverse path.
+//
+// The single shared bottleneck every original paper experiment needs —
+// N senders feeding one droptail FIFO link, the Mahimahi model
+// re-expressed as a discrete-event simulation — survives as the
+// degenerate case: Network builds a two-node/one-link topology whose
+// event stream and stochastic draws are identical to the pre-topology
+// emulator (see DESIGN.md).
 package netem
 
 import "time"
 
-// Packet is one data segment traversing the emulated path. Packets are
-// pooled by the Network to keep the per-packet hot path allocation-free.
+// Packet is one data segment traversing a route. Packets are pooled by
+// the Topology to keep the per-packet hot path allocation-free.
 type Packet struct {
 	Flow   *Flow
 	Seq    int64
@@ -23,15 +29,20 @@ type Packet struct {
 	// DeliveredAtSend snapshots the sender's delivered-bytes counter at
 	// transmission time, enabling BBR-style delivery-rate samples.
 	DeliveredAtSend int64
-	// CE is set when the bottleneck marked the packet (ECN congestion
-	// experienced); the receiver echoes it on the ACK.
+	// CE is set when any link on the route marked the packet (ECN
+	// congestion experienced); the receiver echoes it on the ACK.
 	CE bool
 	// ExtraDelay is additional egress delay a fault injector imposed on
 	// this packet (jitter, reordering, delay spikes); it is applied on
 	// top of the propagation delay after serialization.
 	ExtraDelay time.Duration
+	// hop indexes the route link currently carrying the packet; the
+	// topology advances it as each hop's serialization + propagation
+	// completes.
+	hop int32
 	// injected marks a duplicate created by a fault injector; injected
-	// copies bypass the injector so duplication cannot cascade.
+	// copies bypass every injector on the route so duplication cannot
+	// cascade.
 	injected bool
 }
 
@@ -51,7 +62,7 @@ func (p *packetPool) get() *Packet {
 		p.free[n-1] = nil
 		p.free = p.free[:n-1]
 		// Full reset: recycled packets must not leak CE marks, fault
-		// delays, or injected flags into their next life.
+		// delays, hop positions, or injected flags into their next life.
 		*pk = Packet{}
 		return pk
 	}

@@ -127,6 +127,10 @@ type Event struct {
 	Type Type `json:"type"`
 	// Flow is the emitting flow ID; -1 for link-level events.
 	Flow int `json:"flow"`
+	// Link labels link-level events (enqueue/drop/queue/fault) with the
+	// emitting link's topology identity. Empty on the degenerate
+	// single-bottleneck path, whose encoding predates topologies.
+	Link string `json:"link,omitempty"`
 
 	Stage  string `json:"stage,omitempty"`
 	Reason string `json:"reason,omitempty"`
@@ -186,6 +190,7 @@ func (e *Event) AppendJSON(b []byte) []byte {
 	b = append(b, e.Type...)
 	b = append(b, `","flow":`...)
 	b = strconv.AppendInt(b, int64(e.Flow), 10)
+	b = appendStr(b, "link", e.Link)
 	b = appendStr(b, "stage", e.Stage)
 	b = appendStr(b, "reason", e.Reason)
 	b = appendStr(b, "winner", e.Winner)

@@ -119,7 +119,8 @@ func LatencyOriented(level int) Utility {
 	return utility.Latency1()
 }
 
-// NetworkConfig describes an emulated single-bottleneck path.
+// NetworkConfig describes an emulated single-bottleneck path — the
+// two-node/one-link degenerate case of netem's multi-hop Topology.
 type NetworkConfig = netem.Config
 
 // Network is the packet-level network emulation.

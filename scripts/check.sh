@@ -21,6 +21,7 @@ BENCH_SWEEP=1 go test ./internal/exp/ -run TestBenchSweep -count=1 -v
 go test -run=NONE -fuzz=FuzzParseMahimahi -fuzztime=10s ./internal/trace/
 go test -run=NONE -fuzz=FuzzParsePlan -fuzztime=10s ./internal/netem/faults/
 go test -run=NONE -fuzz=FuzzPlanMutate -fuzztime=10s ./internal/netem/faults/
+go test -run=NONE -fuzz=FuzzParseTopo -fuzztime=10s ./internal/exp/
 TELEMETRY_BENCH_GUARD=1 go test ./internal/telemetry/ -run TestNopTracerBudget -count=1 -v
 ANALYZE_BENCH_GUARD=1 go test ./internal/analyze/ -run TestFeedBudget -count=1 -v
 # Event-engine hot path: 0 allocs/event + ns/event budget on the pooled
@@ -32,6 +33,10 @@ CORE_BENCH=1 CORE_BENCH_GUARD=1 go test ./internal/netem/ -run TestBenchCore -co
 # allocs and <= 50 ns/event; the measurement is recorded as the
 # "flight" block of BENCH_core.json.
 FLIGHT_BENCH_GUARD=1 go test ./internal/telemetry/ -run TestFlightEmitBudget -count=1 -v
+# Multi-hop hot path: hop traversals/sec and allocs/packet over a
+# 3-hop chain, recorded as the "topo" block of BENCH_core.json with
+# the <1 alloc/packet bound and throughput floor armed.
+TOPO_BENCH=1 TOPO_BENCH_GUARD=1 go test ./internal/netem/ -run TestBenchTopo -count=1 -v
 # Trace→analytics smoke: record a short two-flow run with -trace-out,
 # validate the stream against the event schema, pipe it through
 # `libra-trace analyze -json`, and assert the report parses and covers
