@@ -37,6 +37,7 @@ bench-core:
 	CORE_BENCH_GUARD=1 $(GO) test ./internal/sim/ -run TestEngineBudget -count=1 -v
 	CORE_BENCH=1 CORE_BENCH_GUARD=1 $(GO) test ./internal/netem/ -run TestBenchCore -count=1 -v
 	FLIGHT_BENCH_GUARD=1 $(GO) test ./internal/telemetry/ -run TestFlightEmitBudget -count=1 -v
+	TIMESERIES_BENCH_GUARD=1 $(GO) test ./internal/telemetry/ -run TestTimeSeriesBudget -count=1 -v
 
 # Multi-hop hot path: records hop traversals/sec and allocs/packet over
 # a 3-hop chain as the "topo" block of BENCH_core.json; the guard

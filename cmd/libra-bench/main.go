@@ -41,6 +41,7 @@ func main() {
 		httpAddr   = flag.String("http", "", "serve the live flow dashboard (plus pprof and /metrics) on this address")
 		parallel   = cliutil.ParallelFlag()
 		flightOut  = cliutil.FlightFlag()
+		tsOut      = cliutil.TimeSeriesFlag()
 	)
 	flag.Parse()
 
@@ -105,11 +106,18 @@ func main() {
 	// Order matters: the flight recorder precedes the anomaly tap so a
 	// detector-triggered dump already holds the event that tripped it.
 	rc.Tracer = telemetry.Multi(rc.Tracer, cliutil.FlightTap(flight), cliutil.AnomalyTap(flight))
+	// The time-series collector taps the same stream whenever anything
+	// consumes it: a snapshot file, the debug server, or the dashboard.
+	var ts *telemetry.TSCollector
+	if *tsOut != "" || *pprofAddr != "" || *httpAddr != "" {
+		ts = telemetry.NewTSCollector(0, 0)
+		rc.Tracer = telemetry.Multi(rc.Tracer, ts)
+	}
 	health, stopHealth := cliutil.StartHealth(rc.Metrics)
 	rc.Health = health
 
-	cliutil.StartPprof(*pprofAddr, rc.Metrics)
-	if live := cliutil.StartDashboard(*httpAddr, rc.Metrics); live != nil {
+	cliutil.StartPprof(*pprofAddr, rc.Metrics, ts)
+	if live := cliutil.StartDashboard(*httpAddr, rc.Metrics, ts, topo); live != nil {
 		rc.Tracer = telemetry.Multi(rc.Tracer, live)
 		rc.Live = live
 		fmt.Printf("live dashboard: http://%s/\n", *httpAddr)
@@ -140,6 +148,13 @@ func main() {
 		os.Exit(1)
 	}
 	stopHealth()
+	if ts != nil {
+		ts.ExportProm(rc.Metrics)
+	}
+	if err := cliutil.WriteTimeSeries(ts, *tsOut); err != nil {
+		fmt.Fprintf(os.Stderr, "timeseries-out: %v\n", err)
+		os.Exit(1)
+	}
 	if err := cliutil.WriteMetrics(rc.Metrics, *metricsOut, *metricsFmt); err != nil {
 		fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
 		os.Exit(1)

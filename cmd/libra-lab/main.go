@@ -59,7 +59,7 @@ func usage() {
   libra-lab tournament -cca <a,b,..|all> [-budget N] [-seed N] [-dur 4s] [-json] [-specs-dir dir]
 
 shared flags: -parallel N, -trace-out f.jsonl, -metrics-out f, -metrics-format auto|json|prom,
-              -flight-out dir, -pprof addr`)
+              -flight-out dir, -pprof addr, -timeseries-out f.json`)
 }
 
 func fatal(err error) {
@@ -76,6 +76,7 @@ type obsFlags struct {
 	metricsFmt *string
 	flightOut  *string
 	pprofAddr  *string
+	tsOut      *string
 }
 
 func addObs(fs *flag.FlagSet) *obsFlags {
@@ -86,6 +87,7 @@ func addObs(fs *flag.FlagSet) *obsFlags {
 		metricsFmt: fs.String("metrics-format", "auto", "metrics snapshot format: auto|json|prom"),
 		flightOut:  fs.String("flight-out", "", "directory for flight-recorder dumps on detected anomalies (empty = off)"),
 		pprofAddr:  fs.String("pprof", "", "serve net/http/pprof and /metrics on this address"),
+		tsOut:      fs.String("timeseries-out", "", "write the downsampled time-series snapshot (JSON) to this file after the run"),
 	}
 }
 
@@ -106,9 +108,16 @@ func (o *obsFlags) rig(seed int64) (*exp.RunContext, func()) {
 		fatal(err)
 	}
 	rc.Tracer = telemetry.Multi(tracer, cliutil.FlightTap(flight), cliutil.AnomalyTap(flight))
+	// The time-series collector taps the same stream whenever anything
+	// consumes it: a snapshot file or the debug server.
+	var ts *telemetry.TSCollector
+	if *o.tsOut != "" || *o.pprofAddr != "" {
+		ts = telemetry.NewTSCollector(0, 0)
+		rc.Tracer = telemetry.Multi(rc.Tracer, ts)
+	}
 	health, stopHealth := cliutil.StartHealth(rc.Metrics)
 	rc.Health = health
-	cliutil.StartPprof(*o.pprofAddr, rc.Metrics)
+	cliutil.StartPprof(*o.pprofAddr, rc.Metrics, ts)
 	return rc, func() {
 		if err := closeTracer(); err != nil {
 			fatal(fmt.Errorf("trace-out: %w", err))
@@ -117,6 +126,12 @@ func (o *obsFlags) rig(seed int64) (*exp.RunContext, func()) {
 			fatal(fmt.Errorf("flight-out: %w", err))
 		}
 		stopHealth()
+		if ts != nil {
+			ts.ExportProm(rc.Metrics)
+		}
+		if err := cliutil.WriteTimeSeries(ts, *o.tsOut); err != nil {
+			fatal(fmt.Errorf("timeseries-out: %w", err))
+		}
 		if err := cliutil.WriteMetrics(rc.Metrics, *o.metricsOut, *o.metricsFmt); err != nil {
 			fatal(fmt.Errorf("metrics-out: %w", err))
 		}

@@ -39,6 +39,7 @@ func main() {
 		reps       = flag.Int("reps", 1, "repeat the run this many times with derived seeds")
 		faultSpec  = flag.String("fault", "", "fault plan: a preset name ("+strings.Join(faults.PresetNames(), "|")+") or a JSON plan file")
 		topoArg    = flag.String("topo", "", "multi-hop topology: a preset name ("+strings.Join(exp.TopoPresetNames(), "|")+") or a JSON topology file; overrides -capacity/-trace/-rtt/-buffer/-loss")
+		profSpec   = flag.String("profiles", "", "comma-separated utility profiles ("+strings.Join(exp.ProfileNames(), "|")+"); one flow per profile, overrides -cca")
 		traceOut   = flag.String("trace-out", "", "write a JSONL telemetry event stream to this file")
 		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot to this file after the run")
 		metricsFmt = flag.String("metrics-format", "auto", "metrics snapshot format: auto|json|prom")
@@ -46,6 +47,7 @@ func main() {
 		httpAddr   = flag.String("http", "", "serve the live flow dashboard (plus pprof and /metrics) on this address")
 		parallel   = cliutil.ParallelFlag()
 		flightOut  = cliutil.FlightFlag()
+		tsOut      = cliutil.TimeSeriesFlag()
 	)
 	flag.Parse()
 
@@ -76,22 +78,56 @@ func main() {
 	// Order matters: the flight recorder precedes the anomaly tap so a
 	// detector-triggered dump already holds the event that tripped it.
 	rc.Tracer = telemetry.Multi(tracer, cliutil.FlightTap(flight), cliutil.AnomalyTap(flight))
+	// The time-series collector taps the same stream whenever anything
+	// consumes it: a snapshot file, the debug server, or the dashboard.
+	var ts *telemetry.TSCollector
+	if *tsOut != "" || *pprofAddr != "" || *httpAddr != "" {
+		ts = telemetry.NewTSCollector(0, 0)
+		rc.Tracer = telemetry.Multi(rc.Tracer, ts)
+	}
 	health, stopHealth := cliutil.StartHealth(rc.Metrics)
 	rc.Health = health
-	cliutil.StartPprof(*pprofAddr, rc.Metrics)
-	if live := cliutil.StartDashboard(*httpAddr, rc.Metrics); live != nil {
+	cliutil.StartPprof(*pprofAddr, rc.Metrics, ts)
+	if live := cliutil.StartDashboard(*httpAddr, rc.Metrics, ts, topo); live != nil {
 		rc.Tracer = telemetry.Multi(rc.Tracer, live)
 		rc.Live = live
 		fmt.Printf("live dashboard: http://%s/\n", *httpAddr)
 	}
 
-	names := strings.Split(*ccas, ",")
-	for i, name := range names {
-		names[i] = strings.TrimSpace(name)
-		if _, err := exp.MakerFor(names[i], nil, nil); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+	profs, err := exp.ParseProfiles(*profSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var names, profNames []string
+	if len(profs) > 0 {
+		for _, p := range profs {
+			if _, err := p.Maker(nil); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			names = append(names, p.Name)
+			profNames = append(profNames, p.Name)
 		}
+	} else {
+		names = strings.Split(*ccas, ",")
+		for i, name := range names {
+			names[i] = strings.TrimSpace(name)
+			if _, err := exp.MakerFor(names[i], nil, nil); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+	}
+	// makerAt resolves flow i's controller factory: the profile's
+	// (utility-parameterised) maker with -profiles, else the plain CCA.
+	makerAt := func(i int) exp.Maker {
+		if len(profs) > 0 {
+			mk, _ := profs[i].Maker(nil)
+			return mk
+		}
+		mk, _ := exp.MakerFor(names[i], nil, nil)
+		return mk
 	}
 
 	// One rep = one emulated run; its capacity trace, fault schedule and
@@ -116,10 +152,10 @@ func main() {
 			name = *topoArg
 		}
 		mks := make([]exp.Maker, len(names))
-		for i, nm := range names {
-			mks[i], _ = exp.MakerFor(nm, nil, nil)
+		for i := range names {
+			mks[i] = makerAt(i)
 		}
-		s := exp.Scenario{Name: "topo:" + name, Duration: *dur, Faults: plan, Topo: topo}
+		s := exp.Scenario{Name: "topo:" + name, Duration: *dur, Faults: plan, Topo: topo, Profiles: profNames}
 		ms := jc.RunFlows(s, mks, nil, time.Second)
 		var res repResult
 		for _, m := range ms {
@@ -187,12 +223,14 @@ func main() {
 		jc.EmitSpan(0, -1, "scenario:"+scenario, true)
 		flows := make([]*netem.Flow, len(names))
 		ctrlNames := make([]string, len(names))
-		for i, name := range names {
-			mk, _ := exp.MakerFor(name, nil, nil)
-			ctrl := mk(jc.Seed + int64(i)*31)
+		for i := range names {
+			ctrl := makerAt(i)(jc.Seed + int64(i)*31)
 			ctrlNames[i] = ctrl.Name()
 			jc.EmitSpan(0, i, "flow:"+ctrlNames[i], true)
 			jc.AttachTracer(ctrl, i)
+			if i < len(profNames) {
+				jc.EmitProfile(0, i, profNames[i])
+			}
 			flows[i] = n.AddFlow(ctrl, 0, 0)
 		}
 		n.Run(*dur)
@@ -275,6 +313,13 @@ func main() {
 		os.Exit(1)
 	}
 	stopHealth()
+	if ts != nil {
+		ts.ExportProm(rc.Metrics)
+	}
+	if err := cliutil.WriteTimeSeries(ts, *tsOut); err != nil {
+		fmt.Fprintf(os.Stderr, "timeseries-out: %v\n", err)
+		os.Exit(1)
+	}
 	if err := cliutil.WriteMetrics(rc.Metrics, *metricsOut, *metricsFmt); err != nil {
 		fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
 		os.Exit(1)

@@ -12,7 +12,9 @@
 //	libra-trace analyze events.jsonl
 //	libra-trace analyze -json -parallel 4 run1.jsonl run2.jsonl
 //	libra-trace analyze -flight-out dumps/ events.jsonl
+//	libra-trace analyze -slo 'bulk:mean_thr_mbps>=5' events.jsonl
 //	libra-trace spans -o trace.json events.jsonl
+//	libra-trace timeline -o series.json events.jsonl
 package main
 
 import (
@@ -42,6 +44,9 @@ func main() {
 			return
 		case "spans":
 			runSpans(os.Args[2:])
+			return
+		case "timeline":
+			runTimeline(os.Args[2:])
 			return
 		}
 	}
@@ -229,6 +234,75 @@ func runSpans(args []string) {
 	}
 }
 
+// runTimeline is the `libra-trace timeline` subcommand: reconstruct
+// the downsampled time-series snapshot offline from recorded JSONL
+// event streams. Buckets key on virtual event time, files are
+// collected in parallel and merged in argument order, so the output is
+// byte-identical to a live run's -timeseries-out at any -parallel
+// setting.
+func runTimeline(args []string) {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	bucket := fs.Duration("bucket", telemetry.DefaultTSBucket, "base bucket width")
+	capacity := fs.Int("buckets", telemetry.DefaultTSCapacity, "per-series bucket capacity (downsamples 2x when exceeded)")
+	parallel := fs.Int("parallel", 0, "per-file collection worker count (0 = GOMAXPROCS)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: libra-trace timeline [-o series.json] [-bucket 100ms] [-buckets 512] [-parallel N] <events.jsonl>...")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fs.Usage()
+		fatal(errors.New("timeline: no trace files given (record one with libra-sim/libra-bench -trace-out)"))
+	}
+
+	type result struct {
+		ts  *telemetry.TSCollector
+		err error
+	}
+	results := sweep.Map(sweep.Workers(*parallel), len(paths), func(i int) result {
+		f, err := os.Open(paths[i])
+		if err != nil {
+			return result{err: err}
+		}
+		defer f.Close()
+		ts := telemetry.NewTSCollector(*bucket, *capacity)
+		dec := telemetry.NewDecoder(f)
+		for {
+			e, err := dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return result{err: fmt.Errorf("%s: %w", paths[i], err)}
+			}
+			ts.Emit(&e)
+		}
+		return result{ts: ts}
+	})
+	total := telemetry.NewTSCollector(*bucket, *capacity)
+	for _, r := range results {
+		if r.err != nil {
+			fatal(r.err)
+		}
+		total.Merge(r.ts)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := total.WriteJSON(w); err != nil {
+		fatal(err)
+	}
+}
+
 // runAnalyze is the `libra-trace analyze` subcommand: run every JSONL
 // event stream through the streaming analytics engine — files in
 // parallel — and merge the per-file analyses in argument order, so
@@ -239,8 +313,9 @@ func runAnalyze(args []string) {
 	window := fs.Duration("window", time.Second, "Jain fairness window width")
 	parallel := fs.Int("parallel", 0, "per-file analysis worker count (0 = GOMAXPROCS)")
 	flightOut := fs.String("flight-out", "", "replay the streams through a flight recorder, dumping anomaly snapshots into this directory")
+	sloSpec := fs.String("slo", "", "comma-separated SLO specs, e.g. 'bulk:mean_thr_mbps>=5,low-latency:p95_rtt_ms<=100' (empty = profile defaults)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: libra-trace analyze [-json] [-window 1s] [-parallel N] [-flight-out dir] <events.jsonl>...")
+		fmt.Fprintln(os.Stderr, "usage: libra-trace analyze [-json] [-window 1s] [-parallel N] [-flight-out dir] [-slo specs] <events.jsonl>...")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -249,8 +324,12 @@ func runAnalyze(args []string) {
 		fs.Usage()
 		fatal(errors.New("analyze: no trace files given (record one with libra-sim/libra-bench -trace-out)"))
 	}
+	slos, err := analyze.ParseSLOs(*sloSpec)
+	if err != nil {
+		fatal(err)
+	}
 
-	rep, err := analyzeFiles(paths, analyze.Config{Window: *window}, *parallel)
+	rep, err := analyzeFiles(paths, analyze.Config{Window: *window, SLOs: slos}, *parallel)
 	if err != nil {
 		fatal(err)
 	}

@@ -33,6 +33,7 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and /metrics on this address")
 		parallel   = cliutil.ParallelFlag()
 		flightOut  = cliutil.FlightFlag()
+		tsOut      = cliutil.TimeSeriesFlag()
 	)
 	flag.Parse()
 
@@ -47,9 +48,16 @@ func main() {
 	// Order matters: the flight recorder precedes the anomaly tap so a
 	// detector-triggered dump already holds the event that tripped it.
 	tap := telemetry.Multi(cliutil.FlightTap(flight), cliutil.AnomalyTap(flight))
+	// The time-series collector taps the same stream whenever anything
+	// consumes it: a snapshot file or the debug server.
+	var ts *telemetry.TSCollector
+	if *tsOut != "" || *pprofAddr != "" {
+		ts = telemetry.NewTSCollector(0, 0)
+		tap = telemetry.Multi(tap, ts)
+	}
 	health, stopHealth := cliutil.StartHealth(rc.Metrics)
 	rc.Health = health
-	cliutil.StartPprof(*pprofAddr, rc.Metrics)
+	cliutil.StartPprof(*pprofAddr, rc.Metrics, ts)
 
 	spec := exp.QuickTrainSpec(*seed)
 	if *paper {
@@ -108,6 +116,13 @@ func main() {
 		os.Exit(1)
 	}
 	stopHealth()
+	if ts != nil {
+		ts.ExportProm(rc.Metrics)
+	}
+	if err := cliutil.WriteTimeSeries(ts, *tsOut); err != nil {
+		fmt.Fprintf(os.Stderr, "timeseries-out: %v\n", err)
+		os.Exit(1)
+	}
 	if err := cliutil.WriteMetrics(rc.Metrics, *metricsOut, *metricsFmt); err != nil {
 		fmt.Fprintf(os.Stderr, "metrics-out: %v\n", err)
 		os.Exit(1)

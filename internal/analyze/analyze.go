@@ -51,6 +51,11 @@ type Config struct {
 	// not call back into the analyzer; the CLIs wire it to the flight
 	// recorder's TriggerDump.
 	OnAnomaly func(flow int, t int64, reason string)
+	// SLOs are the per-profile objectives evaluated per fairness
+	// window. Nil selects DefaultSLOs(); an empty non-nil slice
+	// disables SLO tracking. Shards being merged must share the same
+	// spec list (like Window).
+	SLOs []SLOSpec
 }
 
 // withDefaults fills zero fields.
@@ -63,6 +68,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RecoveryWindow <= 0 {
 		c.RecoveryWindow = 10 * time.Second
+	}
+	if c.SLOs == nil {
+		c.SLOs = DefaultSLOs()
 	}
 	return c
 }
@@ -120,6 +128,17 @@ func stageIndex(s string) int {
 type flowState struct {
 	id   int
 	name string
+	// profile is the utility-profile label bound by a TypeProfile
+	// event; rttSpecs indexes the RTT-based SLO specs that apply.
+	profile  string
+	rttSpecs []int
+	// firstLink pins the flow's ingress hop: multi-hop streams
+	// re-enqueue the same packet at every hop, so send accounting and
+	// fairness windows count only events on the first link the flow was
+	// seen on (every hop for single-bottleneck traces, whose label is
+	// empty everywhere).
+	firstLink     string
+	haveFirstLink bool
 
 	events int64
 
@@ -214,12 +233,13 @@ type Analyzer struct {
 	link   linkState
 	links  map[string]*linkState // per labelled link, multi-hop traces only
 	wins   map[int64]*window
+	slo    []map[int64]*sloWin // per RTT-based spec, by window index
 	lastT  int64
 }
 
 // New returns an empty analyzer.
 func New(cfg Config) *Analyzer {
-	return &Analyzer{
+	a := &Analyzer{
 		cfg:    cfg.withDefaults(),
 		byType: make(map[telemetry.Type]int64, 16),
 		flows:  make(map[int]*flowState, 8),
@@ -227,6 +247,11 @@ func New(cfg Config) *Analyzer {
 		links:  make(map[string]*linkState, 4),
 		wins:   make(map[int64]*window, 64),
 	}
+	a.slo = make([]map[int64]*sloWin, len(a.cfg.SLOs))
+	for i := range a.slo {
+		a.slo[i] = make(map[int64]*sloWin, 16)
+	}
+	return a
 }
 
 // Enabled implements telemetry.Tracer.
@@ -315,8 +340,14 @@ func (a *Analyzer) feed(e *telemetry.Event) {
 	case telemetry.TypeEnqueue:
 		fs := a.flow(e.Flow)
 		fs.events++
-		fs.sentBytes += e.Bytes
 		fs.queueBytes.Add(float64(e.Queue))
+		if !fs.haveFirstLink {
+			fs.firstLink, fs.haveFirstLink = e.Link, true
+		}
+		if e.Link != fs.firstLink {
+			break // downstream hop of a packet already counted
+		}
+		fs.sentBytes += e.Bytes
 		idx := e.T / int64(a.cfg.Window)
 		w, ok := a.wins[idx]
 		if !ok {
@@ -357,6 +388,8 @@ func (a *Analyzer) feed(e *telemetry.Event) {
 	case telemetry.TypeAction:
 		fs := a.flow(e.Flow)
 		fs.events++
+	case telemetry.TypeProfile:
+		a.bindProfile(a.flow(e.Flow), e.Name)
 	}
 }
 
@@ -397,6 +430,7 @@ func (a *Analyzer) feedDecision(e *telemetry.Event) {
 
 	if e.RTT > 0 {
 		fs.rttMs.Add(float64(e.RTT) / 1e6)
+		a.feedSLORtt(fs, e.T, float64(e.RTT)/1e6)
 	}
 
 	// Winner utility and its Eq. 1 decomposition. The traced triple is
@@ -492,6 +526,7 @@ func (a *Analyzer) feedNoAck(e *telemetry.Event) {
 	fs.haveCycleStart = true
 	if e.RTT > 0 {
 		fs.rttMs.Add(float64(e.RTT) / 1e6)
+		a.feedSLORtt(fs, e.T, float64(e.RTT)/1e6)
 	}
 }
 
@@ -556,6 +591,12 @@ func (a *Analyzer) Merge(b *Analyzer) {
 		if af.name == "" {
 			af.name = bf.name
 		}
+		if af.profile == "" {
+			a.bindProfile(af, bf.profile)
+		}
+		if !af.haveFirstLink {
+			af.firstLink, af.haveFirstLink = bf.firstLink, bf.haveFirstLink
+		}
 		af.events += bf.events
 		for i := range af.stageNs {
 			af.stageNs[i] += bf.stageNs[i]
@@ -616,6 +657,21 @@ func (a *Analyzer) Merge(b *Analyzer) {
 		}
 		for f, n := range bw.bytes {
 			aw.bytes[f] += n
+		}
+	}
+	for si := range b.slo {
+		if si >= len(a.slo) {
+			break // differing configs; keep a's spec view
+		}
+		for idx, bw := range b.slo[si] {
+			aw, ok := a.slo[si][idx]
+			if !ok {
+				aw = &sloWin{}
+				a.slo[si][idx] = aw
+			}
+			aw.n += bw.n
+			aw.over += bw.over
+			aw.sum += bw.sum
 		}
 	}
 }

@@ -6,9 +6,14 @@ import "net/http"
 // returns the analyzer's current Report as JSON (a consistent
 // snapshot taken under the analyzer lock, so it is safe while the
 // simulation is still emitting), and GET / serves a single-page HTML
-// view that polls /flows.
+// view that polls /flows. Non-GET methods get 405.
 func ServeLive(mux *http.ServeMux, a *Analyzer) {
 	mux.HandleFunc("/flows", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Cache-Control", "no-store")
 		if err := a.Report().WriteJSON(w); err != nil {
@@ -20,13 +25,22 @@ func ServeLive(mux *http.ServeMux, a *Analyzer) {
 			http.NotFound(w, r)
 			return
 		}
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		w.Write([]byte(livePage))
 	})
 }
 
 // livePage is the self-contained dashboard: no external assets, one
-// fetch("/flows") per second, rendered into tables. Winner shares and
+// fetch("/flows") per second, rendered into tables, plus the topology
+// weathermap fed by /topo (hidden when the server doesn't serve it).
+// Pollers back off exponentially (1 s doubling to 30 s) on repeated
+// fetch errors and snap back to 1 s on the first success, so an
+// abandoned tab doesn't hammer a dead server. Winner shares and
 // anomalies mirror the text report's columns.
 const livePage = `<!doctype html>
 <html lang="en">
@@ -36,11 +50,14 @@ const livePage = `<!doctype html>
 <style>
   body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto; max-width: 75em; color: #222; }
   h1 { font-size: 1.3em; } h1 small { color: #888; font-weight: normal; }
+  h2 { font-size: 1.05em; margin: 1.2em 0 .3em; }
   table { border-collapse: collapse; margin: 1em 0; width: 100%; }
   th, td { border: 1px solid #ddd; padding: .35em .6em; text-align: right; white-space: nowrap; }
   th { background: #f5f5f5; } td.l, th.l { text-align: left; }
   td.anom { color: #b00020; text-align: left; white-space: normal; }
+  td.empty { color: #888; text-align: center; font-style: italic; }
   #status { color: #888; } #status.err { color: #b00020; }
+  #map svg { background: #fafafa; border: 1px solid #ddd; width: 100%; height: auto; }
   .bar { display: inline-block; height: .7em; background: #4a78c2; vertical-align: baseline; }
 </style>
 </head>
@@ -48,6 +65,10 @@ const livePage = `<!doctype html>
 <h1>libra live flows <small id="status">connecting…</small></h1>
 <div id="summary"></div>
 <div id="health"></div>
+<div id="topo" style="display:none">
+  <h2>topology weathermap <small style="color:#888;font-weight:normal">link color = utilization, width = queue depth</small></h2>
+  <div id="map"></div>
+</div>
 <table id="flows"><thead><tr>
   <th class="l">flow</th><th>cycles</th><th>early exit</th>
   <th>x_prev</th><th>x_cl</th><th>x_rl</th>
@@ -62,20 +83,45 @@ function winner(ws, name) {
   const w = (ws || []).find(x => x.winner === name);
   return w ? pct(w.share) : "–";
 }
+// poll runs fn every second, backing off (×2, capped at 30 s) while fn
+// keeps throwing and resetting to 1 s on the first success.
+function poll(fn) {
+  let delay = 1000;
+  const run = async () => {
+    try { await fn(); delay = 1000; }
+    catch (e) { delay = Math.min(delay * 2, 30000); }
+    setTimeout(run, delay);
+  };
+  run();
+}
+function placeholder(body, msg) {
+  const tr = document.createElement("tr");
+  const td = document.createElement("td");
+  td.className = "empty";
+  td.colSpan = 11;
+  td.textContent = msg;
+  tr.appendChild(td);
+  body.appendChild(tr);
+}
 async function tick() {
   const status = document.getElementById("status");
   let r;
   try {
-    r = await (await fetch("/flows", {cache: "no-store"})).json();
-    status.textContent = r.events + " events, " + (r.span_ms / 1000).toFixed(1) + " s virtual";
-    status.className = "";
+    const resp = await fetch("/flows", {cache: "no-store"});
+    if (!resp.ok) throw new Error("HTTP " + resp.status);
+    r = await resp.json();
   } catch (e) {
-    status.textContent = "poll failed: " + e;
+    status.textContent = "poll failed: " + e + " (backing off)";
     status.className = "err";
-    return;
+    throw e;
   }
+  status.textContent = r.events + " events, " + (r.span_ms / 1000).toFixed(1) + " s virtual";
+  status.className = "";
   const body = document.querySelector("#flows tbody");
   body.innerHTML = "";
+  if (!r.flows || !r.flows.length) {
+    placeholder(body, "no data yet — waiting for the first decision events");
+  }
   for (const f of r.flows || []) {
     const tr = document.createElement("tr");
     const anoms = (f.anomalies || []).join("; ");
@@ -111,23 +157,71 @@ async function tick() {
 }
 async function health() {
   // Served by cliutil's debug mux when a health sampler runs; absent
-  // endpoints (404 or fetch failure) just leave the line empty.
-  try {
-    const r = await fetch("/health", {cache: "no-store"});
-    if (!r.ok) return;
-    const h = await r.json();
-    if (h.sim_wall_ratio === undefined) return;
-    document.getElementById("health").textContent =
-      "health: " + fmt(h.sim_wall_ratio, 1) + "x realtime · " +
-      fmt(h.events_per_second / 1e6, 2) + " M events/s · " +
-      (h.pending_timers || 0) + " pending timers · heap " +
-      fmt(h.heap_bytes / 1e6, 1) + " MB · " + (h.goroutines || 0) + " goroutines";
-  } catch (e) { /* no health sampler */ }
+  // endpoints (404) just leave the line empty.
+  const r = await fetch("/health", {cache: "no-store"});
+  if (!r.ok) return;
+  const h = await r.json();
+  if (h.sim_wall_ratio === undefined) return;
+  document.getElementById("health").textContent =
+    "health: " + fmt(h.sim_wall_ratio, 1) + "x realtime · " +
+    fmt(h.events_per_second / 1e6, 2) + " M events/s · " +
+    (h.pending_timers || 0) + " pending timers · heap " +
+    fmt(h.heap_bytes / 1e6, 1) + " MB · " + (h.goroutines || 0) + " goroutines";
 }
-tick();
-health();
-setInterval(tick, 1000);
-setInterval(health, 1000);
+// The weathermap: nodes on an ellipse, one line per directed link,
+// hue from green (idle) to red (saturated), width from queue depth.
+let topoGone = false;
+function esc(s) {
+  return String(s).replace(/&/g, "&amp;").replace(/</g, "&lt;").replace(/>/g, "&gt;").replace(/"/g, "&quot;");
+}
+function drawTopo(t) {
+  const W = 900, H = 320, cx = W / 2, cy = H / 2;
+  const nodes = t.nodes || [];
+  const posOf = {};
+  nodes.forEach((n, i) => {
+    const a = 2 * Math.PI * i / nodes.length - Math.PI / 2;
+    posOf[n] = [cx + 0.42 * W * Math.cos(a), cy + 0.36 * H * Math.sin(a)];
+  });
+  let s = "";
+  for (const l of t.links || []) {
+    const p = posOf[l.from], q = posOf[l.to];
+    if (!p || !q) continue;
+    const u = Math.max(0, Math.min(1, l.utilization || 0));
+    const width = 2 + Math.min(8, (l.queue_bytes || 0) / 20000);
+    const hue = Math.round(120 * (1 - u));
+    // Offset the line sideways so a reverse link doesn't overlap.
+    const dx = q[0] - p[0], dy = q[1] - p[1], len = Math.hypot(dx, dy) || 1;
+    const ox = -dy / len * 5, oy = dx / len * 5;
+    const x1 = p[0] + ox, y1 = p[1] + oy, x2 = q[0] + ox, y2 = q[1] + oy;
+    const tip = esc(l.label) + ": " + pct(u) + " of " + fmt(l.capacity_mbps, 1) +
+      " Mbps · queue " + fmt((l.queue_bytes || 0) / 1e3, 1) + " KB · " +
+      fmt(l.drops_per_s, 1) + " drops/s · " + fmt(l.marks_per_s, 1) + " CE/s";
+    s += '<line x1="' + x1 + '" y1="' + y1 + '" x2="' + x2 + '" y2="' + y2 +
+      '" stroke="hsl(' + hue + ',70%,45%)" stroke-width="' + width +
+      '" stroke-linecap="round"><title>' + tip + "</title></line>";
+    s += '<text x="' + ((x1 + x2) / 2 + ox * 2.2) + '" y="' + ((y1 + y2) / 2 + oy * 2.2) +
+      '" font-size="11" fill="#555" text-anchor="middle">' +
+      esc(l.label) + " " + pct(u) + "</text>";
+  }
+  for (const n of nodes) {
+    const p = posOf[n];
+    s += '<circle cx="' + p[0] + '" cy="' + p[1] + '" r="14" fill="#fff" stroke="#666" stroke-width="1.5"/>';
+    s += '<text x="' + p[0] + '" y="' + (p[1] + 4) + '" font-size="11" text-anchor="middle">' + esc(n) + "</text>";
+  }
+  document.getElementById("map").innerHTML =
+    '<svg viewBox="0 0 ' + W + " " + H + '" xmlns="http://www.w3.org/2000/svg">' + s + "</svg>";
+}
+async function topo() {
+  if (topoGone) return;
+  const r = await fetch("/topo", {cache: "no-store"});
+  if (r.status === 404 || r.status === 405) { topoGone = true; return; }
+  if (!r.ok) throw new Error("HTTP " + r.status);
+  drawTopo(await r.json());
+  document.getElementById("topo").style.display = "";
+}
+poll(tick);
+poll(health);
+poll(topo);
 </script>
 </body>
 </html>

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"libra/internal/stats"
+	"libra/internal/telemetry"
 )
 
 // Quantiles summarises one sketched quantity.
@@ -124,6 +125,13 @@ type Report struct {
 	// hops; empty for single-bottleneck traces, sorted by label.
 	Links    []LinkReport   `json:"links,omitempty"`
 	Fairness FairnessReport `json:"fairness"`
+	// Profiles/SLOs/ProfileFairness appear when the stream bound flows
+	// to utility profiles (TypeProfile events): per-profile aggregates,
+	// windowed SLO attainment in config order, and the cross-profile
+	// Jain index over mean throughput.
+	Profiles        []ProfileReport  `json:"profiles,omitempty"`
+	SLOs            []SLOReport      `json:"slos,omitempty"`
+	ProfileFairness *ProfileFairness `json:"profile_fairness,omitempty"`
 }
 
 // Report snapshots the analysis into a Report. Safe to call while a
@@ -165,6 +173,8 @@ func (a *Analyzer) Report() *Report {
 	}
 
 	r.Fairness = a.fairnessReport(ids)
+	r.Profiles, r.ProfileFairness = a.profileReports()
+	r.SLOs = a.sloReports()
 	return r
 }
 
@@ -449,6 +459,58 @@ func (r *Report) WriteText(w io.Writer) error {
 			r.Fairness.Flows, r.Fairness.WindowMs, r.Fairness.Mean,
 			r.Fairness.Min, r.Fairness.P50, r.Fairness.Below90, r.Fairness.Windows)
 	}
+
+	if len(r.Profiles) > 0 {
+		pf("\nprofiles:\n")
+		for _, p := range r.Profiles {
+			pf("  %-12s flows %v  mean thr %.2f Mbps", p.Profile, p.Flows, p.MeanThrMbps)
+			if p.RTTMs.N > 0 {
+				pf("  rtt ms p50 %.2f p95 %.2f", p.RTTMs.P50, p.RTTMs.P95)
+			}
+			pf("\n")
+		}
+		if r.ProfileFairness != nil && r.ProfileFairness.Profiles > 1 {
+			pf("  cross-profile Jain (mean thr): %.4f over %d profiles\n",
+				r.ProfileFairness.Jain, r.ProfileFairness.Profiles)
+		}
+	}
+	if len(r.SLOs) > 0 {
+		pf("\nSLO attainment:\n")
+		for _, s := range r.SLOs {
+			pf("  %-36s %5.1f%%  (%d/%d windows", s.Spec.String(), 100*s.Attainment, s.Met, s.Windows)
+			if s.FirstViolationMs >= 0 {
+				pf(", first violation at %.0f ms)", s.FirstViolationMs)
+			} else {
+				pf(", never violated)")
+			}
+			pf("\n")
+		}
+	}
 	_, err := fmt.Fprintln(w)
 	return err
+}
+
+// ExportMetrics mirrors the report's SLO attainment and cross-profile
+// fairness into a metrics registry as libra_slo_* / libra_profile_*
+// gauges, so Prometheus scrapes see the same numbers the report
+// prints.
+func (r *Report) ExportMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, s := range r.SLOs {
+		base := fmt.Sprintf("{profile=%q,metric=%q}", s.Spec.Profile, s.Spec.Metric)
+		reg.Gauge("libra_slo_attainment"+base,
+			"fraction of windows meeting the SLO").Set(s.Attainment)
+		reg.Gauge("libra_slo_first_violation_ms"+base,
+			"start of the earliest violating window (-1 = never)").Set(s.FirstViolationMs)
+	}
+	for _, p := range r.Profiles {
+		reg.Gauge(fmt.Sprintf("libra_profile_mean_thr_mbps{profile=%q}", p.Profile),
+			"per-flow mean throughput of the profile").Set(p.MeanThrMbps)
+	}
+	if r.ProfileFairness != nil {
+		reg.Gauge("libra_profile_jain",
+			"cross-profile Jain fairness over mean throughput").Set(r.ProfileFairness.Jain)
+	}
 }

@@ -10,10 +10,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"libra/internal/analyze"
+	"libra/internal/exp"
 	"libra/internal/telemetry"
 )
 
@@ -144,14 +146,30 @@ func WriteMetrics(reg *telemetry.Registry, path, format string) error {
 	return fmt.Errorf("unknown metrics format %q (want auto, json or prom)", format)
 }
 
+// getOnly rejects everything but GET/HEAD with 405 so the read-only
+// JSON endpoints can't be POSTed to by accident.
+func getOnly(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
 // DebugMux returns a dedicated mux wired with the pprof handlers and,
-// when reg is non-nil, the registry at /metrics. Routes are explicit
+// when reg is non-nil, the registry at /metrics. A non-nil ts adds
+// /timeseries (the full downsampled-series snapshot as JSON) and
+// refreshes the libra_ts_* gauges into reg on every /metrics scrape,
+// so Prometheus always sees the latest buckets. Routes are explicit
 // rather than inherited from http.DefaultServeMux, so importing this
 // package never leaks debug handlers into an application's default
 // mux (and nothing another package hangs on the default mux leaks
 // into the debug server). Callers may add their own routes — the live
 // flow dashboard does — before passing the mux to Serve.
-func DebugMux(reg *telemetry.Registry) *http.ServeMux {
+func DebugMux(reg *telemetry.Registry, ts *telemetry.TSCollector) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -159,10 +177,87 @@ func DebugMux(reg *telemetry.Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	if reg != nil {
-		mux.Handle("/metrics", reg.Handler())
-		mux.Handle("/health", healthHandler(reg))
+		metrics := reg.Handler()
+		if ts != nil {
+			inner := metrics
+			metrics = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				ts.ExportProm(reg)
+				inner.ServeHTTP(w, r)
+			})
+		}
+		mux.Handle("/metrics", getOnly(metrics))
+		mux.Handle("/health", getOnly(healthHandler(reg)))
+	}
+	if ts != nil {
+		mux.Handle("/timeseries", getOnly(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Cache-Control", "no-store")
+			if err := ts.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})))
 	}
 	return mux
+}
+
+// TopoLinkView is one /topo link: the spec's geometry joined with the
+// collector's live stats (zero-valued until traffic reaches the link).
+type TopoLinkView struct {
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	telemetry.LinkLive
+}
+
+// TopoView is the /topo JSON body the dashboard weathermap renders.
+type TopoView struct {
+	Name  string         `json:"name,omitempty"`
+	Nodes []string       `json:"nodes"`
+	Links []TopoLinkView `json:"links"`
+}
+
+// BuildTopoView joins a topology spec with the collector's live link
+// stats. A nil topo synthesises the two-node single-bottleneck shape
+// so runs without -topo still get a (one-link) weathermap.
+func BuildTopoView(ts *telemetry.TSCollector, topo *exp.TopoSpec) TopoView {
+	live := map[string]telemetry.LinkLive{}
+	for _, ll := range ts.LinksLive() {
+		live[ll.Label] = ll
+	}
+	if topo == nil {
+		v := TopoView{Nodes: []string{"src", "dst"}}
+		labels := make([]string, 0, len(live))
+		for label := range live {
+			labels = append(labels, label)
+		}
+		sort.Strings(labels)
+		for _, label := range labels {
+			v.Links = append(v.Links, TopoLinkView{From: "src", To: "dst", LinkLive: live[label]})
+		}
+		return v
+	}
+	v := TopoView{Name: topo.Name, Nodes: topo.Nodes}
+	for _, l := range topo.Links {
+		lv := TopoLinkView{From: l.From, To: l.To}
+		if ll, ok := live[l.Label]; ok {
+			lv.LinkLive = ll
+		} else {
+			lv.Label = l.Label
+			lv.CapacityMbps = l.CapMbps
+		}
+		v.Links = append(v.Links, lv)
+	}
+	return v
+}
+
+// topoHandler serves the live topology view as JSON.
+func topoHandler(ts *telemetry.TSCollector, topo *exp.TopoSpec) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(BuildTopoView(ts, topo))
+	})
 }
 
 // Serve serves mux on addr in the background for the life of the
@@ -178,26 +273,54 @@ func Serve(addr string, mux *http.ServeMux) {
 	}()
 }
 
-// StartPprof serves net/http/pprof plus reg at /metrics on addr in the
-// background. Empty addr is a no-op.
-func StartPprof(addr string, reg *telemetry.Registry) {
-	Serve(addr, DebugMux(reg))
+// StartPprof serves net/http/pprof plus reg at /metrics (and, with a
+// collector, /timeseries) on addr in the background. Empty addr is a
+// no-op.
+func StartPprof(addr string, reg *telemetry.Registry, ts *telemetry.TSCollector) {
+	Serve(addr, DebugMux(reg, ts))
 }
 
 // StartDashboard serves the live flow dashboard — /flows JSON
 // snapshots and a polling HTML view at / — plus pprof and /metrics on
 // addr, and returns the analyzer the caller must tap into the run's
 // event stream (telemetry.Multi with any file recorder) and register
-// flow names on (RunContext.Live). Nil when addr is empty.
-func StartDashboard(addr string, reg *telemetry.Registry) *analyze.Analyzer {
+// flow names on (RunContext.Live). A non-nil ts additionally serves
+// /timeseries and /topo, and the HTML view renders the topology
+// weathermap from the latter (topo may be nil: single-bottleneck runs
+// get a synthetic two-node view). Nil when addr is empty.
+func StartDashboard(addr string, reg *telemetry.Registry, ts *telemetry.TSCollector, topo *exp.TopoSpec) *analyze.Analyzer {
 	if addr == "" {
 		return nil
 	}
 	a := analyze.New(analyze.Config{})
-	mux := DebugMux(reg)
+	mux := DebugMux(reg, ts)
 	analyze.ServeLive(mux, a)
+	if ts != nil {
+		mux.Handle("/topo", getOnly(topoHandler(ts, topo)))
+	}
 	Serve(addr, mux)
 	return a
+}
+
+// TimeSeriesFlag registers the shared -timeseries-out flag.
+func TimeSeriesFlag() *string {
+	return flag.String("timeseries-out", "",
+		"write the downsampled time-series snapshot (JSON) to this file after the run")
+}
+
+// WriteTimeSeries writes ts's snapshot JSON to path. Either a nil
+// collector or an empty path is a no-op, so callers can wire it
+// unconditionally.
+func WriteTimeSeries(ts *telemetry.TSCollector, path string) error {
+	if ts == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return ts.WriteJSON(f)
 }
 
 // ParallelFlag registers the shared -parallel flag: the worker count

@@ -46,6 +46,11 @@ type Scenario struct {
 	// parameters. Nil falls back to the RunContext's spec (itself nil
 	// by default: single bottleneck).
 	Topo *TopoSpec
+	// Profiles labels flows with utility-profile names, index-aligned
+	// with the makers passed to RunFlows ("" = unlabelled). Labelled
+	// flows are stamped with a TypeProfile event at start, keying
+	// per-profile time series and SLO attainment.
+	Profiles []string
 }
 
 // WiredScenarios returns the paper's wired trace set (Fig. 1 uses
@@ -327,6 +332,9 @@ func (rc *RunContext) RunFlow(s Scenario, mk Maker, bucket time.Duration) (m Met
 	rc.EmitSpan(0, -1, "scenario:"+s.Name, true)
 	rc.EmitSpan(0, 0, "flow:"+ctrl.Name(), true)
 	rc.AttachTracer(ctrl, 0)
+	if len(s.Profiles) > 0 {
+		rc.EmitProfile(0, 0, s.Profiles[0])
+	}
 	f := n.AddFlow(ctrl, 0, 0)
 	n.Run(s.Duration)
 	rc.EmitSpan(s.Duration.Nanoseconds(), 0, "flow:"+ctrl.Name(), false)
@@ -399,6 +407,9 @@ func (rc *RunContext) RunFlows(s Scenario, mks []Maker, starts []time.Duration, 
 		names[i] = ctrl.Name()
 		rc.EmitSpan(0, i, "flow:"+names[i], true)
 		rc.AttachTracer(ctrl, i)
+		if i < len(s.Profiles) {
+			rc.EmitProfile(0, i, s.Profiles[i])
+		}
 		flows = append(flows, n.AddFlow(ctrl, start, 0))
 	}
 	n.Run(s.Duration)

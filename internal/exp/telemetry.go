@@ -144,6 +144,18 @@ func (rc *RunContext) EmitSpan(t int64, flow int, name string, begin bool) {
 	rc.Tracer.Emit(&e)
 }
 
+// EmitProfile binds a flow to a utility-profile label in the event
+// stream (TypeProfile). Emit once per flow, before its first control
+// event, so the time-series collector and the analyzer aggregate the
+// whole flow under the profile. No-op when tracing is off.
+func (rc *RunContext) EmitProfile(t int64, flow int, profile string) {
+	if profile == "" || !telemetry.Enabled(rc.Tracer) {
+		return
+	}
+	e := telemetry.Event{T: t, Type: telemetry.TypeProfile, Flow: flow, Name: profile}
+	rc.Tracer.Emit(&e)
+}
+
 // EmitAnomaly emits an anomaly marker (reason per the telemetry
 // Anomaly* constants) into the event stream, where the flight recorder
 // picks it up as a dump trigger. No-op when tracing is off.

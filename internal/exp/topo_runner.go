@@ -89,6 +89,9 @@ func (rc *RunContext) runTopoFlows(s Scenario, ts *TopoSpec, mks []Maker, starts
 		names[i] = ctrl.Name()
 		rc.EmitSpan(0, i, "flow:"+names[i], true)
 		rc.AttachTracer(ctrl, i)
+		if i < len(s.Profiles) {
+			rc.EmitProfile(0, i, s.Profiles[i])
+		}
 		flows = append(flows, tp.AddFlowOn(main, ctrl, start, 0))
 		nMain++
 	}

@@ -207,14 +207,21 @@ func (l *Link) Enqueue(p *Packet) {
 		return
 	}
 	l.sampleQueue(now)
+	marked := false
 	if l.ecn > 0 && l.qByte > l.ecn {
 		p.CE = true
 		l.drops.Marked++
+		marked = true
 	}
 	l.qByte += p.Size
 	if l.traceOn {
 		l.evBuf = telemetry.Event{T: int64(now), Type: telemetry.TypeEnqueue, Link: l.label,
 			Flow: p.Flow.ID, Seq: p.Seq, Bytes: int64(p.Size), Queue: int64(l.qByte)}
+		if marked {
+			// CE-marked admissions carry a reason so mark-rate series can
+			// be rebuilt from the stream alone.
+			l.evBuf.Reason = telemetry.ReasonCE
+		}
 		l.tracer.Emit(&l.evBuf)
 	}
 	if l.qhead > 0 && l.qhead*2 >= len(l.queue) {

@@ -24,8 +24,9 @@ import (
 // one already), so a JSONL file self-describes which schema produced
 // it and `libra-trace -validate` can reject streams from the future.
 // History: 1 = PR 1 flat event set; 2 = adds v/name fields and the
-// span/anomaly event types.
-const SchemaVersion = 2
+// span/anomaly event types; 3 = adds the profile event type and the
+// "ce" enqueue reason for ECN-marked packets.
+const SchemaVersion = 3
 
 // Type discriminates the payload of an Event.
 type Type string
@@ -74,6 +75,12 @@ const (
 	// passes through, so the seconds leading up to the incident are
 	// preserved even when full tracing is off.
 	TypeAnomaly Type = "anomaly"
+	// TypeProfile binds a flow to a utility profile for the rest of the
+	// stream (Flow, Name = profile name, e.g. "bulk" or "low-latency").
+	// Emitted once per flow at scenario setup; the time-series collector
+	// and the analyzer key per-profile aggregates and SLO attainment on
+	// it.
+	TypeProfile Type = "profile"
 )
 
 // Span boundary reasons carried by TypeSpan events.
@@ -104,6 +111,10 @@ const (
 	// ReasonBurst tags drops from the Gilbert-Elliott bursty-loss chain.
 	ReasonBlackout = "blackout"
 	ReasonBurst    = "burst"
+	// ReasonCE tags *enqueue* events (not drops) whose packet was
+	// ECN CE-marked by the AQM on admission — the basis of per-link
+	// mark-rate series.
+	ReasonCE = "ce"
 )
 
 // Fault-window reasons carried by TypeFault events.

@@ -44,6 +44,33 @@ func goldenRegistry() *Registry {
 	reg.Gauge("libra_health_heap_bytes", "").Set(16_777_216)
 	reg.Gauge("libra_health_gc_total", "").Set(7)
 	reg.Gauge("libra_health_goroutines", "").Set(9)
+
+	// Time-series export: a deterministic collector feed, mirrored into
+	// the registry as libra_ts_* gauges — every per-link family carries
+	// a link label (the unlabelled bottleneck renders as link="bn").
+	ts := NewTSCollector(0, 0)
+	for _, e := range []Event{
+		{T: 2e6, Type: TypeProfile, Flow: 0, Name: "bulk"},
+		{T: 3e6, Type: TypeEnqueue, Flow: 0, Seq: 1, Bytes: 1500, Queue: 1500},
+		{T: 4e6, Type: TypeQueue, Flow: -1, Queue: 1500, Rate: 6e6},
+		{T: 5e6, Type: TypeDecision, Flow: 0, Winner: "x_prev", XPrev: 6e6, UPrev: 1.25, RTT: 40e6},
+	} {
+		ev := e
+		ts.Emit(&ev)
+	}
+	ts.ExportProm(reg)
+
+	// SLO / profile gauges, named exactly as analyze's Report.ExportMetrics
+	// emits them (set directly here: analyze cannot be imported from
+	// telemetry's tests without a cycle).
+	reg.Gauge(`libra_slo_attainment{profile="bulk",metric="mean_thr_mbps"}`,
+		"fraction of windows meeting the SLO").Set(0.97)
+	reg.Gauge(`libra_slo_first_violation_ms{profile="bulk",metric="mean_thr_mbps"}`,
+		"start of the earliest violating window (-1 = never)").Set(4000)
+	reg.Gauge(`libra_profile_mean_thr_mbps{profile="bulk"}`,
+		"per-flow mean throughput of the profile").Set(18.4)
+	reg.Gauge("libra_profile_jain",
+		"cross-profile Jain fairness over mean throughput").Set(0.9812)
 	return reg
 }
 
@@ -127,11 +154,21 @@ func TestPrometheusHistogramSumCountConsistent(t *testing.T) {
 
 	// The new observability families must be present with their traffic.
 	for name, want := range map[string]float64{
-		"libra_flight_dumps_total":     1,
-		"libra_flight_evictions_total": 2,
+		"libra_flight_dumps_total":      1,
+		"libra_flight_evictions_total":  2,
 		"libra_health_sim_time_seconds": 5,
 		"libra_health_pending_timers":   3,
 		"libra_health_sim_wall_ratio":   250,
+		// Time-series and SLO families: per-link series must carry the
+		// link label, per-flow the flow label, per-profile the profile
+		// label — the naming contract the dashboards scrape against.
+		`libra_ts_link_queue_bytes{link="bn"}`:                        1500,
+		`libra_ts_flow_rtt_ms{flow="0"}`:                              40,
+		`libra_ts_flow_utility{flow="0"}`:                             1.25,
+		`libra_ts_profile_utility{profile="bulk"}`:                    1.25,
+		`libra_slo_attainment{profile="bulk",metric="mean_thr_mbps"}`: 0.97,
+		`libra_profile_mean_thr_mbps{profile="bulk"}`:                 18.4,
+		"libra_profile_jain":                                          0.9812,
 	} {
 		if got, ok := vals[name]; !ok || got != want {
 			t.Errorf("%s = %v (present=%v), want %v", name, got, ok, want)

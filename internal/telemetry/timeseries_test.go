@@ -1,0 +1,248 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTSeriesGaugeBucketing(t *testing.T) {
+	db := NewTSDB(100*time.Millisecond, 16)
+	s := db.Series("q", TSGauge, 1)
+	ms := int64(time.Millisecond)
+	s.Add(10*ms, 5)
+	s.Add(90*ms, 15) // same bucket
+	s.Add(150*ms, 8) // next bucket
+	s.Add(-5, 1)     // clamps to bucket 0
+
+	snap := s.snapshot()
+	if len(snap.Points) != 2 {
+		t.Fatalf("points = %d, want 2:\n%+v", len(snap.Points), snap.Points)
+	}
+	p0 := snap.Points[0]
+	if p0.TMs != 0 || p0.N != 3 || p0.Min != 1 || p0.Max != 15 || p0.Mean != 7 {
+		t.Errorf("bucket 0 = %+v, want t=0 n=3 min=1 mean=7 max=15", p0)
+	}
+	p1 := snap.Points[1]
+	if p1.TMs != 100 || p1.N != 1 || p1.Mean != 8 {
+		t.Errorf("bucket 1 = %+v, want t=100ms n=1 mean=8", p1)
+	}
+	if p0.Rate != 0 {
+		t.Errorf("gauge bucket carries rate %v, want 0 (omitted)", p0.Rate)
+	}
+}
+
+func TestTSeriesRateScaling(t *testing.T) {
+	db := NewTSDB(100*time.Millisecond, 16)
+	s := db.Series("thr", TSRate, 8e-6) // bytes → Mbit
+	s.Add(0, 1500)
+	s.Add(50*int64(time.Millisecond), 1500)
+	p := s.snapshot().Points[0]
+	// 3000 bytes in a 0.1 s bucket = 30 KB/s = 0.24 Mbit/s.
+	if want := 3000 * 8e-6 / 0.1; math.Abs(p.Rate-want) > 1e-12 {
+		t.Errorf("rate = %v, want %v", p.Rate, want)
+	}
+}
+
+// A sample past the ring's extent must fold the series (width doubles)
+// rather than grow or drop, preserving every prior sample.
+func TestTSeriesFold(t *testing.T) {
+	db := NewTSDB(100*time.Millisecond, 8) // covers 800 ms before folding
+	s := db.Series("q", TSGauge, 1)
+	ms := int64(time.Millisecond)
+	for i := int64(0); i < 8; i++ {
+		s.Add(i*100*ms, float64(i))
+	}
+	s.Add(900*ms, 100) // one past the end → fold to 200 ms buckets
+
+	if got := s.Width(); got != 200*time.Millisecond {
+		t.Fatalf("width after fold = %v, want 200ms", got)
+	}
+	snap := s.snapshot()
+	var n int64
+	for _, p := range snap.Points {
+		n += p.N
+	}
+	if n != 9 {
+		t.Errorf("sample count after fold = %d, want 9 (no samples lost)", n)
+	}
+	// Old buckets 0 and 1 merged: min 0, max 1, mean 0.5.
+	p0 := snap.Points[0]
+	if p0.N != 2 || p0.Min != 0 || p0.Max != 1 || p0.Mean != 0.5 {
+		t.Errorf("folded bucket 0 = %+v, want n=2 min=0 max=1 mean=0.5", p0)
+	}
+	last := snap.Points[len(snap.Points)-1]
+	if last.TMs != 800 || last.Max != 100 {
+		t.Errorf("new sample landed at %+v, want t=800ms max=100", last)
+	}
+}
+
+// Merging shards of a stream (in shard order) must reproduce the
+// single-pass snapshot byte-for-byte, including when the shards folded
+// to different widths.
+func TestTSDBMergeMatchesSinglePass(t *testing.T) {
+	feed := func(s *TSeries, lo, hi int64) {
+		for i := lo; i < hi; i++ {
+			s.Add(i*50*int64(time.Millisecond), float64(i%17))
+		}
+	}
+	single := NewTSDB(100*time.Millisecond, 8)
+	feed(single.Series("g", TSGauge, 1), 0, 64)
+	feed(single.Series("r", TSRate, 2), 0, 64)
+
+	// Shard 1 covers a short prefix (stays at base width); shard 2 the
+	// long tail (folds several times).
+	s1 := NewTSDB(100*time.Millisecond, 8)
+	feed(s1.Series("g", TSGauge, 1), 0, 8)
+	feed(s1.Series("r", TSRate, 2), 0, 8)
+	s2 := NewTSDB(100*time.Millisecond, 8)
+	feed(s2.Series("g", TSGauge, 1), 8, 64)
+	feed(s2.Series("r", TSRate, 2), 8, 64)
+
+	merged := NewTSDB(100*time.Millisecond, 8)
+	merged.Merge(s1)
+	merged.Merge(s2)
+
+	var a, b bytes.Buffer
+	if err := single.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("merged snapshot differs from single-pass:\n--- single ---\n%s\n--- merged ---\n%s", a.String(), b.String())
+	}
+}
+
+// tsEvents is a deterministic mixed stream: two links, two flows (one
+// profiled), queue samples, CE marks, drops, decisions.
+func tsEvents() []Event {
+	ms := func(n int64) int64 { return n * int64(time.Millisecond) }
+	var evs []Event
+	evs = append(evs, Event{T: ms(1), Type: TypeProfile, Flow: 1, Name: "bulk"})
+	for i := int64(0); i < 400; i++ {
+		link := "a"
+		if i%3 == 0 {
+			link = "b"
+		}
+		fl := int(i % 2)
+		evs = append(evs,
+			Event{T: ms(i * 10), Type: TypeEnqueue, Flow: fl, Link: link, Seq: i, Bytes: 1500, Queue: 1500 * (i%8 + 1)},
+			Event{T: ms(i*10 + 2), Type: TypeQueue, Flow: -1, Link: link, Queue: 1500 * (i % 8), Rate: 3e6},
+		)
+		if i%7 == 0 {
+			evs = append(evs, Event{T: ms(i*10 + 3), Type: TypeEnqueue, Flow: fl, Link: link, Seq: i, Bytes: 1500, Queue: 1500, Reason: ReasonCE})
+		}
+		if i%13 == 0 {
+			evs = append(evs, Event{T: ms(i*10 + 4), Type: TypeDrop, Flow: fl, Link: link, Reason: "tail", Bytes: 1500, Queue: 12000})
+		}
+		if i%5 == 0 {
+			evs = append(evs, Event{
+				T: ms(i*10 + 5), Type: TypeDecision, Flow: fl, Winner: "x_cl",
+				XPrev: 2e6, XCl: 2.5e6, XRl: 1.5e6, UPrev: 1, UCl: 1.2, URl: 0.8,
+				RTT: ms(40 + i%9),
+			})
+		}
+	}
+	return evs
+}
+
+// The collector's merge contract: sharding a stream across collectors
+// by flow (each shard sees its flows' events in stream order, the way
+// sweep jobs and timeline's per-file collectors do) and merging in
+// shard order reproduces the single-pass snapshot byte-for-byte, and a
+// replay of the same events (the offline timeline path) matches too.
+func TestTSCollectorMergeAndReplay(t *testing.T) {
+	evs := tsEvents()
+	single := NewTSCollector(0, 0)
+	for i := range evs {
+		single.Emit(&evs[i])
+	}
+
+	shards := []*TSCollector{NewTSCollector(0, 0), NewTSCollector(0, 0), NewTSCollector(0, 0)}
+	route := func(e *Event) int {
+		if e.Flow < 0 {
+			return 2
+		}
+		return e.Flow % 2
+	}
+	for i := range evs {
+		shards[route(&evs[i])].Emit(&evs[i])
+	}
+	merged := NewTSCollector(0, 0)
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+
+	var a, b bytes.Buffer
+	if err := single.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("sharded+merged collector snapshot differs from single-pass")
+	}
+
+	replay := NewTSCollector(0, 0)
+	for i := range evs {
+		replay.Emit(&evs[i])
+	}
+	var c bytes.Buffer
+	if err := replay.WriteJSON(&c); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != c.String() {
+		t.Fatal("replayed collector snapshot differs from live capture")
+	}
+}
+
+func TestTSCollectorLinksLive(t *testing.T) {
+	c := NewTSCollector(0, 0)
+	for _, e := range tsEvents() {
+		ev := e
+		c.Emit(&ev)
+	}
+	links := c.LinksLive()
+	if len(links) != 2 || links[0].Label != "a" || links[1].Label != "b" {
+		t.Fatalf("links = %+v, want labels [a b]", links)
+	}
+	for _, l := range links {
+		if l.CapacityMbps != 3e6*8e-6 {
+			t.Errorf("link %s capacity = %v, want 24", l.Label, l.CapacityMbps)
+		}
+		if l.ThroughputMbps <= 0 {
+			t.Errorf("link %s throughput = %v, want > 0", l.Label, l.ThroughputMbps)
+		}
+		if l.Utilization < 0 || l.Utilization > 1 {
+			t.Errorf("link %s utilization = %v, want within [0,1]", l.Label, l.Utilization)
+		}
+		if l.QueueBytes <= 0 {
+			t.Errorf("link %s queue = %v, want > 0", l.Label, l.QueueBytes)
+		}
+	}
+}
+
+// The single-bottleneck pseudo-label and the label extractor.
+func TestTSNameAndLabels(t *testing.T) {
+	if got := tsName("link_queue_bytes", "link", "wan-1"); got != `link_queue_bytes{link="wan-1"}` {
+		t.Errorf("tsName = %q", got)
+	}
+	if got := tsLabelValue(`link_queue_bytes{link="wan-1"}`); got != "wan-1" {
+		t.Errorf("tsLabelValue = %q, want wan-1", got)
+	}
+	if got := tsLabelValue("plain"); got != "" {
+		t.Errorf("tsLabelValue(plain) = %q, want empty", got)
+	}
+
+	c := NewTSCollector(0, 0)
+	ev := Event{T: 1, Type: TypeEnqueue, Flow: 0, Bytes: 1500, Queue: 1500}
+	c.Emit(&ev)
+	links := c.LinksLive()
+	if len(links) != 1 || links[0].Label != "bn" {
+		t.Fatalf("unlabelled bottleneck = %+v, want one link labelled bn", links)
+	}
+}

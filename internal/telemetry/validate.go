@@ -21,6 +21,7 @@ var knownTypes = map[Type]bool{
 	TypeFault:     true,
 	TypeSpan:      true,
 	TypeAnomaly:   true,
+	TypeProfile:   true,
 }
 
 // ValidateStream checks a JSONL event stream against the current

@@ -33,6 +33,10 @@ CORE_BENCH=1 CORE_BENCH_GUARD=1 go test ./internal/netem/ -run TestBenchCore -co
 # allocs and <= 50 ns/event; the measurement is recorded as the
 # "flight" block of BENCH_core.json.
 FLIGHT_BENCH_GUARD=1 go test ./internal/telemetry/ -run TestFlightEmitBudget -count=1 -v
+# Time-series collector hot path: the per-event downsampling feed must
+# stay 0 allocs in steady state and <= 50 ns/event; the measurement is
+# recorded as the "timeseries" block of BENCH_core.json.
+TIMESERIES_BENCH_GUARD=1 go test ./internal/telemetry/ -run TestTimeSeriesBudget -count=1 -v
 # Multi-hop hot path: hop traversals/sec and allocs/packet over a
 # 3-hop chain, recorded as the "topo" block of BENCH_core.json with
 # the <1 alloc/packet bound and throughput floor armed.
