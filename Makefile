@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench-guard bench-core bench-topo bench-sweep bench-lab analyze lab check clean
+.PHONY: all build vet test race fuzz bench-guard bench-core bench-nn bench-topo bench-sweep bench-lab analyze lab check clean
 
 all: check
 
@@ -38,6 +38,16 @@ bench-core:
 	CORE_BENCH=1 CORE_BENCH_GUARD=1 $(GO) test ./internal/netem/ -run TestBenchCore -count=1 -v
 	FLIGHT_BENCH_GUARD=1 $(GO) test ./internal/telemetry/ -run TestFlightEmitBudget -count=1 -v
 	TIMESERIES_BENCH_GUARD=1 $(GO) test ./internal/telemetry/ -run TestTimeSeriesBudget -count=1 -v
+
+# Agent-inference hot path: the per-flow PPO.Act baseline (exact-tanh
+# nets, actor+critic+sampling per decision — the pre-batching
+# semantics) against the batched evaluation path (one actor GEMM per
+# cohort plus seeded noise) at batch 1/16/256, recorded into
+# BENCH_nn.json. The guard enforces the >=4x inferences/sec floor at
+# batch 256 and the steady-state zero-alloc invariant on the batched
+# path. Run in isolation for the same reason as bench-guard.
+bench-nn:
+	NN_BENCH=1 NN_BENCH_GUARD=1 $(GO) test ./internal/rl/ -run TestBenchNN -count=1 -v
 
 # Multi-hop hot path: records hop traversals/sec and allocs/packet over
 # a 3-hop chain as the "topo" block of BENCH_core.json; the guard
@@ -89,7 +99,7 @@ lab:
 	$(GO) run ./cmd/libra-lab tournament -cca cubic,bbr -budget 14 -dur 3s -seed 7 && \
 	rm -rf $$tmp
 
-check: vet build race fuzz bench-guard bench-core bench-topo bench-sweep bench-lab analyze lab
+check: vet build race fuzz bench-guard bench-core bench-nn bench-topo bench-sweep bench-lab analyze lab
 
 clean:
 	$(GO) clean ./...

@@ -29,7 +29,11 @@ type Orca struct {
 	started  bool
 	stateBuf []float64
 	featBuf  []float64
+	actBuf   []float64 // reused inference action buffer
 	width    int
+	// noiseBase seeds per-decision exploration noise at evaluation time
+	// (see rlcc: actions must not depend on other flows' RNG draws).
+	noiseBase uint64
 
 	haveAction bool
 	prevObs    []float64
@@ -60,15 +64,20 @@ func New(cfg rlcc.Config) *Orca {
 	norm := cfg.Norm
 	if norm == nil {
 		norm = rl.NewRunningNorm(width)
+	} else if !cfg.Train {
+		// Evaluation flows must not mutate shared trained statistics:
+		// see rlcc.New. Each flow observes into a private copy.
+		norm = norm.Clone()
 	}
 	return &Orca{
-		cfg:      cfg,
-		cubic:    cubic.New(cfg.CC),
-		agent:    agent,
-		ext:      rlcc.NewExtractor(cfg.Features),
-		norm:     norm,
-		stateBuf: make([]float64, width*cfg.History),
-		width:    width,
+		cfg:       cfg,
+		cubic:     cubic.New(cfg.CC),
+		agent:     agent,
+		ext:       rlcc.NewExtractor(cfg.Features),
+		norm:      norm,
+		stateBuf:  make([]float64, width*cfg.History),
+		width:     width,
+		noiseBase: rl.Mix(uint64(cfg.Seed)),
 	}
 }
 
@@ -158,12 +167,23 @@ func (o *Orca) OnTick(now time.Duration) time.Duration {
 	copy(o.stateBuf, o.stateBuf[o.width:])
 	o.norm.Normalize(o.featBuf, o.stateBuf[len(o.stateBuf)-o.width:])
 
+	// Training keeps the shared-RNG Act path its rollouts were built
+	// on; evaluation runs the actor only (logp/value feed nothing but
+	// Store) with per-decision seeded noise, so an action is a pure
+	// function of (flow seed, decision index) regardless of which other
+	// flows share the agent.
 	var act []float64
 	var logp, val float64
-	if o.cfg.Deterministic {
-		act = append([]float64(nil), o.agent.Policy.Mean(o.stateBuf)...)
-	} else {
+	switch {
+	case o.cfg.Deterministic:
+		o.actBuf = append(o.actBuf[:0], o.agent.Policy.Mean(o.stateBuf)...)
+		act = o.actBuf
+	case o.cfg.Train:
 		act, logp, val = o.agent.Act(o.stateBuf)
+	default:
+		mean := o.agent.Policy.Mean(o.stateBuf)
+		o.actBuf = o.agent.Policy.SampleFrom(mean, rl.Mix(o.noiseBase+uint64(o.decisions)), o.actBuf)
+		act = o.actBuf
 	}
 	a := act[0]
 	if a > 1 {
@@ -218,8 +238,19 @@ func (o *Orca) EpisodeReward() float64 { return o.episodeReward }
 // Decisions returns the number of DRL interventions taken.
 func (o *Orca) Decisions() int { return o.decisions }
 
-// MemBytes estimates controller-resident memory (agent models plus
-// state buffers); CUBIC's contribution is negligible.
+// MemBytes estimates controller-resident memory assuming the agent is
+// owned outright; see rlcc.Controller.MemBytes for the shared-agent
+// caveat.
 func (o *Orca) MemBytes() int {
-	return o.agent.MemBytes() + 8*(len(o.stateBuf)+len(o.featBuf)) + 256
+	return o.agent.MemBytes() + o.OwnMemBytes()
 }
+
+// OwnMemBytes estimates the per-flow residual beyond the (possibly
+// shared) agent; CUBIC's contribution is a few scalars.
+func (o *Orca) OwnMemBytes() int {
+	return 8*(len(o.stateBuf)+len(o.featBuf)) + 256
+}
+
+// SharesAgent reports whether the controller runs on an agent supplied
+// from outside (and therefore possibly shared with other flows).
+func (o *Orca) SharesAgent() bool { return o.cfg.Agent != nil }

@@ -790,7 +790,17 @@ func (l *Libra) Stop(now time.Duration) {
 }
 
 // MemBytes estimates controller-resident memory: the RL component's
-// models plus the framework's interval bookkeeping.
+// models plus the framework's interval bookkeeping. Assumes the agent
+// is owned outright; see rlcc.Controller.MemBytes for the shared-agent
+// caveat.
 func (l *Libra) MemBytes() int {
 	return l.rl.MemBytes() + 1024
 }
+
+// OwnMemBytes is the per-flow residual beyond a possibly shared agent:
+// the RL component's buffers plus ~1 KB of framework scalars.
+func (l *Libra) OwnMemBytes() int { return l.rl.OwnMemBytes() + 1024 }
+
+// SharesAgent reports whether the RL component runs on an externally
+// supplied (possibly shared) agent.
+func (l *Libra) SharesAgent() bool { return l.rl.SharesAgent() }

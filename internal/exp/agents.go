@@ -64,6 +64,34 @@ func (a *AgentSet) Clone(seed int64) *AgentSet {
 	}
 }
 
+// MemBytes reports the resident bytes of the set's models and
+// normaliser statistics, counting each distinct object exactly once.
+// Controllers deployed on a shared set each claim the full agent in
+// their own MemBytes, so summing per-controller estimates over N flows
+// counts the weights N times; the honest total for a shared deployment
+// is this once plus each flow's OwnMemBytes residual.
+func (a *AgentSet) MemBytes() int {
+	if a == nil {
+		return 0
+	}
+	total := 0
+	seenAgent := map[*rl.PPO]bool{}
+	for _, p := range []*rl.PPO{a.LibraRL, a.Orca, a.Aurora, a.ModRL} {
+		if p != nil && !seenAgent[p] {
+			seenAgent[p] = true
+			total += p.MemBytes()
+		}
+	}
+	seenNorm := map[*rl.RunningNorm]bool{}
+	for _, n := range []*rl.RunningNorm{a.LibraNorm, a.OrcaNorm, a.AuroraNorm, a.ModRLNorm} {
+		if n != nil && !seenNorm[n] {
+			seenNorm[n] = true
+			total += n.MemBytes()
+		}
+	}
+	return total
+}
+
 // TrainSpec parameterises TrainAgentSet.
 type TrainSpec struct {
 	Seed       int64

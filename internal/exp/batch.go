@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"sync"
+
+	"libra/internal/cc"
+	"libra/internal/rlcc"
+)
+
+// The runner gives every engine run a private rlcc.Batcher, so flows
+// that share a PPO agent are served by one batched forward pass (a
+// GEMM) per simulated instant instead of one vector pass per flow.
+// Only top-level rlcc controllers register: their MI ticks are driven
+// directly by the engine, which is what lets the batcher predict a
+// whole cohort's instants. Everything else — classic CCAs, Orca's
+// hybrid, and core.Libra (whose inner RL component is ticked at the
+// core's discretion, not the engine's) — stays on the sequential
+// path, which is bit-identical anyway.
+
+// BatchCounters aggregates rlcc.BatchStats across engine runs. Safe
+// for concurrent use: parallel Sweep jobs fold into their parent's
+// accumulator (see RunContext.Batch).
+type BatchCounters struct {
+	mu sync.Mutex
+	s  rlcc.BatchStats
+}
+
+func (b *BatchCounters) add(s rlcc.BatchStats) {
+	if s == (rlcc.BatchStats{}) {
+		return
+	}
+	b.mu.Lock()
+	b.s.Instants += s.Instants
+	b.s.Batches += s.Batches
+	b.s.Rows += s.Rows
+	if s.MaxBatch > b.s.MaxBatch {
+		b.s.MaxBatch = s.MaxBatch
+	}
+	b.mu.Unlock()
+}
+
+// Snapshot returns the counters accumulated so far.
+func (b *BatchCounters) Snapshot() rlcc.BatchStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.s
+}
+
+// newBatcher returns the inference batcher for one engine run, or nil
+// when the context disables batching.
+func (rc *RunContext) newBatcher() *rlcc.Batcher {
+	if rc.NoBatch {
+		return nil
+	}
+	return rlcc.NewBatcher()
+}
+
+// attachBatcher registers a freshly built controller with the run's
+// batcher when it qualifies (see the package comment above).
+func (rc *RunContext) attachBatcher(b *rlcc.Batcher, ctrl cc.Controller, flowID int) {
+	if b == nil {
+		return
+	}
+	if c, ok := ctrl.(*rlcc.Controller); ok {
+		c.AttachBatcher(b, flowID)
+	}
+}
+
+// recordBatch folds one finished run's batcher counters into the
+// context's accumulator. They live beside — never inside — the metrics
+// registry: a snapshot must not depend on whether batching was on.
+func (rc *RunContext) recordBatch(b *rlcc.Batcher) {
+	if b == nil {
+		return
+	}
+	rc.Batch.add(b.Stats())
+}

@@ -64,6 +64,17 @@ type RunContext struct {
 	// its wall-clock-derived gauges are deliberately outside the
 	// determinism guarantees that cover Metrics and Tracer.
 	Health *telemetry.Health
+	// NoBatch disables the shared-agent inference batcher, forcing
+	// every learning flow onto the sequential per-flow forward-pass
+	// path. The batched and unbatched paths are bit-identical by
+	// construction; the knob exists for A/B benchmarking and for the
+	// equivalence tests that prove it.
+	NoBatch bool
+	// Batch accumulates inference-batcher work counters across every
+	// engine run the context records; Sweep jobs fold into their
+	// parent's accumulator. Deliberately kept outside Metrics so
+	// batched and unbatched runs snapshot identical registries.
+	Batch *BatchCounters
 
 	// parent links a Sweep job back to the context that spawned it.
 	parent *RunContext
@@ -100,6 +111,9 @@ func (rc *RunContext) WithDefaults() *RunContext {
 	}
 	if rc.Metrics == nil {
 		rc.Metrics = telemetry.NewRegistry()
+	}
+	if rc.Batch == nil {
+		rc.Batch = &BatchCounters{}
 	}
 	if rc.cache == nil {
 		rc.cache = &agentCache{bySeed: map[int64]*AgentSet{}}
@@ -178,6 +192,8 @@ func (rc *RunContext) child(i int) *RunContext {
 		Topo:      rc.Topo,
 		Live:      rc.Live,
 		Health:    rc.Health,
+		NoBatch:   rc.NoBatch,
+		Batch:     rc.Batch,
 		parent:    rc,
 		cache:     rc.cache,
 		train:     rc.train,

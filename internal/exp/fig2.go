@@ -132,10 +132,12 @@ func runFig2c(rc *RunContext) *Report {
 	type res struct {
 		cpu float64
 		mem float64
+		own float64
 	}
 	rs := Sweep(rc, len(ccas), func(jc *RunContext, i int) res {
 		m := jc.RunFlow(s, mustMaker(ccas[i], jc.agents(), nil), 0)
-		return res{cpu: m.CPUFrac, mem: float64(controllerMemBytes(m.Ctrl))}
+		return res{cpu: m.CPUFrac, mem: float64(controllerMemBytes(m.Ctrl)),
+			own: float64(ControllerOwnMemBytes(m.Ctrl))}
 	})
 	var maxCPU, maxMem float64
 	for _, r := range rs {
@@ -147,12 +149,16 @@ func runFig2c(rc *RunContext) *Report {
 		}
 	}
 	tbl := Table{Name: "normalized overhead (max = 1.0)",
-		Cols: []string{"cca", "cpu(norm)", "mem(norm)", "cpu(frac of sim time)"}}
+		Cols: []string{"cca", "cpu(norm)", "mem(norm)", "mem-own(B)", "cpu(frac of sim time)"}}
 	for i, name := range ccas {
-		tbl.AddRow(name, fmtF(rs[i].cpu/maxCPU, 3), fmtF(rs[i].mem/maxMem, 3), fmtF(rs[i].cpu, 6))
+		tbl.AddRow(name, fmtF(rs[i].cpu/maxCPU, 3), fmtF(rs[i].mem/maxMem, 3),
+			fmtF(rs[i].own, 0), fmtF(rs[i].cpu, 6))
 	}
 	return &Report{
 		ID: "fig2c", Title: "Overhead comparison", Tables: []Table{tbl},
-		Notes: []string{"cpu = controller compute time / simulated time; mem = controller-resident model+buffer bytes (substitution for process-level CPU/RSS, see DESIGN.md)"},
+		Notes: []string{
+			"cpu = controller compute time / simulated time; mem = controller-resident model+buffer bytes assuming the agent is owned outright (substitution for process-level CPU/RSS, see DESIGN.md)",
+			"mem-own = per-flow residual beyond a shared agent: in shared deployments model bytes count once (AgentSet.MemBytes) plus mem-own per flow",
+		},
 	}
 }

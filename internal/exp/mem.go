@@ -8,6 +8,14 @@ type memSizer interface {
 	MemBytes() int
 }
 
+// ownSizer is implemented by learning controllers that can separate
+// their per-flow residual (state history, feature scratch, private
+// normaliser) from an agent that may be shared with other flows.
+type ownSizer interface {
+	OwnMemBytes() int
+	SharesAgent() bool
+}
+
 // controllerMemBytes estimates a controller's resident memory for the
 // Fig. 2(c) overhead comparison. Learning-based controllers report
 // their model sizes; classic algorithms are a few hundred bytes of
@@ -27,4 +35,18 @@ func controllerMemBytes(c cc.Controller) int {
 	default:
 		return 512 // classic scalar state
 	}
+}
+
+// ControllerOwnMemBytes is controllerMemBytes minus any agent supplied
+// from outside the controller. Per-controller MemBytes assumes the
+// agent is owned outright, so a sum over N flows sharing one agent
+// counts the weights N times; deployments that account a shared set
+// once (AgentSet.MemBytes) add this residual per flow instead.
+// Controllers that own their agent — or cannot tell — report their
+// full estimate.
+func ControllerOwnMemBytes(c cc.Controller) int {
+	if o, ok := c.(ownSizer); ok && o.SharesAgent() {
+		return o.OwnMemBytes()
+	}
+	return controllerMemBytes(c)
 }

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"testing"
+
+	"libra/internal/cc"
+	"libra/internal/cc/cubic"
+	"libra/internal/rl"
+	"libra/internal/rlcc"
+)
+
+// AgentSet.MemBytes counts each distinct agent and normaliser exactly
+// once, however many slots alias it; nil sets and slots cost nothing.
+func TestAgentSetMemBytesDedup(t *testing.T) {
+	p := rl.NewPPO(1, 20, 1, rl.Config{})
+	q := rl.NewPPO(2, 20, 1, rl.Config{})
+	n := rl.NewRunningNorm(4)
+	a := &AgentSet{LibraRL: p, Orca: p, Aurora: q, LibraNorm: n, OrcaNorm: n}
+	want := p.MemBytes() + q.MemBytes() + n.MemBytes()
+	if got := a.MemBytes(); got != want {
+		t.Fatalf("MemBytes = %d, want %d (shared slots double-counted?)", got, want)
+	}
+	var nilSet *AgentSet
+	if nilSet.MemBytes() != 0 {
+		t.Fatal("nil set must report 0 bytes")
+	}
+	if (&AgentSet{}).MemBytes() != 0 {
+		t.Fatal("empty set must report 0 bytes")
+	}
+}
+
+// Two controllers on one shared agent: summing their MemBytes counts
+// the model twice, while the AgentSet-level total plus per-flow
+// residuals counts it once. The difference must be exactly one agent.
+func TestSharedAgentMemAccounting(t *testing.T) {
+	base := rlcc.AuroraConfig(cc.Config{Seed: 1}).WithDefaults()
+	shared := rl.NewPPO(9, base.ObsDim(), 1, base.PPO)
+	mk := func(seed int64) *rlcc.Controller {
+		cfg := base
+		cfg.Seed = seed
+		cfg.Agent = shared
+		return rlcc.New("aurora", cfg)
+	}
+	c1, c2 := mk(1), mk(2)
+	naive := controllerMemBytes(c1) + controllerMemBytes(c2)
+	honest := shared.MemBytes() + ControllerOwnMemBytes(c1) + ControllerOwnMemBytes(c2)
+	if naive != honest+shared.MemBytes() {
+		t.Fatalf("naive sum %d, honest %d: difference should be exactly one agent (%d)",
+			naive, honest, shared.MemBytes())
+	}
+	if ControllerOwnMemBytes(c1) >= controllerMemBytes(c1) {
+		t.Fatal("residual should be smaller than the full estimate")
+	}
+
+	// A controller that owns its agent outright reports its full
+	// estimate either way, and classic CCAs fall back to the name table.
+	solo := rlcc.New("aurora", rlcc.AuroraConfig(cc.Config{Seed: 3}).WithDefaults())
+	if ControllerOwnMemBytes(solo) != controllerMemBytes(solo) {
+		t.Fatal("owned agent must not be stripped from the estimate")
+	}
+	cu := cubic.New(cc.Config{Seed: 4})
+	if ControllerOwnMemBytes(cu) != controllerMemBytes(cu) {
+		t.Fatal("classic CCA accounting changed")
+	}
+}

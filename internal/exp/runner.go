@@ -328,15 +328,18 @@ func (rc *RunContext) RunFlow(s Scenario, mk Maker, bucket time.Duration) (m Met
 		Tracer:       rc.Tracer,
 		Health:       rc.Health,
 	})
+	batcher := rc.newBatcher()
 	ctrl := mk(rc.Seed)
 	rc.EmitSpan(0, -1, "scenario:"+s.Name, true)
 	rc.EmitSpan(0, 0, "flow:"+ctrl.Name(), true)
 	rc.AttachTracer(ctrl, 0)
+	rc.attachBatcher(batcher, ctrl, 0)
 	if len(s.Profiles) > 0 {
 		rc.EmitProfile(0, 0, s.Profiles[0])
 	}
 	f := n.AddFlow(ctrl, 0, 0)
 	n.Run(s.Duration)
+	rc.recordBatch(batcher)
 	rc.EmitSpan(s.Duration.Nanoseconds(), 0, "flow:"+ctrl.Name(), false)
 	rc.EmitSpan(s.Duration.Nanoseconds(), -1, "scenario:"+s.Name, false)
 	rc.recordLink(n, s.Duration)
@@ -397,6 +400,7 @@ func (rc *RunContext) RunFlows(s Scenario, mks []Maker, starts []time.Duration, 
 		Health:       rc.Health,
 	})
 	rc.EmitSpan(0, -1, "scenario:"+s.Name, true)
+	batcher := rc.newBatcher()
 	names := make([]string, len(mks))
 	for i, mk := range mks {
 		var start time.Duration
@@ -407,12 +411,14 @@ func (rc *RunContext) RunFlows(s Scenario, mks []Maker, starts []time.Duration, 
 		names[i] = ctrl.Name()
 		rc.EmitSpan(0, i, "flow:"+names[i], true)
 		rc.AttachTracer(ctrl, i)
+		rc.attachBatcher(batcher, ctrl, i)
 		if i < len(s.Profiles) {
 			rc.EmitProfile(0, i, s.Profiles[i])
 		}
 		flows = append(flows, n.AddFlow(ctrl, start, 0))
 	}
 	n.Run(s.Duration)
+	rc.recordBatch(batcher)
 	for i := range flows {
 		rc.EmitSpan(s.Duration.Nanoseconds(), i, "flow:"+names[i], false)
 	}

@@ -74,6 +74,7 @@ func (rc *RunContext) runTopoFlows(s Scenario, ts *TopoSpec, mks []Maker, starts
 	main := routes[ts.Main]
 
 	rc.EmitSpan(0, -1, "scenario:"+s.Name, true)
+	batcher := rc.newBatcher()
 	names := make([]string, len(mks))
 	flows := make([]*netem.Flow, 0, len(mks))
 	for i, mk := range mks {
@@ -89,6 +90,7 @@ func (rc *RunContext) runTopoFlows(s Scenario, ts *TopoSpec, mks []Maker, starts
 		names[i] = ctrl.Name()
 		rc.EmitSpan(0, i, "flow:"+names[i], true)
 		rc.AttachTracer(ctrl, i)
+		rc.attachBatcher(batcher, ctrl, i)
 		if i < len(s.Profiles) {
 			rc.EmitProfile(0, i, s.Profiles[i])
 		}
@@ -115,6 +117,7 @@ func (rc *RunContext) runTopoFlows(s Scenario, ts *TopoSpec, mks []Maker, starts
 		for k := 0; k < count; k++ {
 			ctrl := mk(sweep.SubSeed(rc.Seed, idx))
 			rc.AttachTracer(ctrl, idx)
+			rc.attachBatcher(batcher, ctrl, idx)
 			f := tp.AddFlowOn(routes[cf.Route], ctrl, start, 0)
 			if cf.RateMbps > 0 {
 				f.SetAppRate(trace.Mbps(cf.RateMbps))
@@ -124,6 +127,7 @@ func (rc *RunContext) runTopoFlows(s Scenario, ts *TopoSpec, mks []Maker, starts
 	}
 
 	tp.Run(s.Duration)
+	rc.recordBatch(batcher)
 	for i := range flows {
 		rc.EmitSpan(s.Duration.Nanoseconds(), i, "flow:"+names[i], false)
 	}

@@ -1,0 +1,165 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randMatrix fills an r x c matrix with values in [-2, 2).
+func randMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = 4*rng.Float64() - 2
+	}
+	return m
+}
+
+// MulBatch must reproduce MulVec bit-for-bit on every row, across batch
+// sizes that exercise the 4-row tile, the 2-neuron tile, and both tails.
+func TestMulBatchMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, b := range []int{1, 2, 3, 4, 5, 7, 8, 16, 33} {
+		for _, n := range []int{1, 2, 3, 5, 32} {
+			for _, k := range []int{1, 3, 20, 32} {
+				w := randMatrix(rng, n, k)
+				x := randMatrix(rng, b, k)
+				got := w.MulBatch(x, nil)
+				if got.Rows != b || got.Cols != n {
+					t.Fatalf("B=%d N=%d K=%d: shape %dx%d", b, n, k, got.Rows, got.Cols)
+				}
+				for r := 0; r < b; r++ {
+					want := w.MulVec(x.Data[r*k:(r+1)*k], nil)
+					for c := 0; c < n; c++ {
+						if got.At(r, c) != want[c] {
+							t.Fatalf("B=%d N=%d K=%d row %d col %d: %v != %v",
+								b, n, k, r, c, got.At(r, c), want[c])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMulBatchReusesDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := randMatrix(rng, 8, 6)
+	x := randMatrix(rng, 12, 6)
+	dst := NewMatrix(12, 8)
+	if got := w.MulBatch(x, dst); got != dst {
+		t.Fatal("correctly-shaped dst was not reused")
+	}
+	allocs := testing.AllocsPerRun(100, func() { w.MulBatch(x, dst) })
+	if allocs != 0 {
+		t.Fatalf("MulBatch with reused dst allocates %v/op", allocs)
+	}
+}
+
+// ForwardBatch rows must be bit-identical to sequential Forward calls
+// for every activation and for batch sizes covering all tile tails.
+func TestForwardBatchMatchesForward(t *testing.T) {
+	for _, act := range []Activation{Tanh, ReLU, TanhApprox} {
+		for _, sizes := range [][]int{{20, 32, 32, 1}, {5, 7, 3}, {2, 4, 4, 4, 2}} {
+			rng := rand.New(rand.NewSource(3))
+			m := NewMLP(rng, act, sizes...)
+			for _, b := range []int{1, 3, 4, 6, 16, 257} {
+				x := randMatrix(rng, b, sizes[0])
+				out := m.ForwardBatch(x)
+				if out.Rows != b || out.Cols != sizes[len(sizes)-1] {
+					t.Fatalf("act=%v sizes=%v B=%d: shape %dx%d", act, sizes, b, out.Rows, out.Cols)
+				}
+				for r := 0; r < b; r++ {
+					want := m.Forward(x.Data[r*sizes[0] : (r+1)*sizes[0]])
+					for c := range want {
+						if out.At(r, c) != want[c] {
+							t.Fatalf("act=%v sizes=%v B=%d row %d out %d: %v != %v",
+								act, sizes, b, r, c, out.At(r, c), want[c])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// ForwardBatch must leave Forward's backprop caches untouched, so
+// interleaving batched inference with training is safe.
+func TestForwardBatchPreservesForwardState(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewMLP(rng, Tanh, 3, 5, 2)
+	x := []float64{0.3, -0.2, 0.9}
+	m.ZeroGrad()
+	m.Forward(x)
+	m.Backward([]float64{1, -1})
+	want := append([]float64(nil), m.Grads()[0].Data...)
+
+	m2 := NewMLP(rand.New(rand.NewSource(4)), Tanh, 3, 5, 2)
+	m2.ZeroGrad()
+	m2.Forward(x)
+	m2.ForwardBatch(randMatrix(rng, 8, 3)) // interleaved batch work
+	m2.Backward([]float64{1, -1})
+	for i, g := range m2.Grads()[0].Data {
+		if g != want[i] {
+			t.Fatalf("grad %d perturbed by ForwardBatch: %v != %v", i, g, want[i])
+		}
+	}
+}
+
+// Once the arena is grown, ForwardBatch is alloc-free at any batch size
+// up to the high-water mark.
+func TestForwardBatchNoAllocsSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMLP(rng, TanhApprox, 20, 32, 32, 1)
+	m.EnsureBatch(256)
+	for _, b := range []int{256, 16, 1} {
+		x := randMatrix(rng, b, 20)
+		allocs := testing.AllocsPerRun(50, func() { m.ForwardBatch(x) })
+		if allocs != 0 {
+			t.Fatalf("ForwardBatch(B=%d) allocates %v/op in steady state", b, allocs)
+		}
+	}
+}
+
+// Regression test for the per-call delta/MulVecT allocations Backward
+// used to make: a Forward/Backward training step is now alloc-free.
+func TestBackwardNoAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMLP(rng, Tanh, 20, 32, 32, 1)
+	x := make([]float64, 20)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	gradOut := []float64{1}
+	m.Forward(x)
+	m.Backward(gradOut) // warm up
+	allocs := testing.AllocsPerRun(100, func() {
+		m.Forward(x)
+		m.Backward(gradOut)
+	})
+	if allocs != 0 {
+		t.Fatalf("Forward+Backward allocates %v/op", allocs)
+	}
+}
+
+// TanhApprox must stay within its documented error bound of math.Tanh,
+// remain bounded to [-1, 1], and be monotone.
+func TestTanhApproxAccuracy(t *testing.T) {
+	maxErr, prev := 0.0, -1.1
+	for x := -8.0; x <= 8.0; x += 1e-3 {
+		y := tanhApprox(x)
+		if y < -1 || y > 1 {
+			t.Fatalf("tanhApprox(%v) = %v out of [-1, 1]", x, y)
+		}
+		if y < prev {
+			t.Fatalf("tanhApprox not monotone at %v", x)
+		}
+		prev = y
+		if e := math.Abs(y - math.Tanh(x)); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1e-4 {
+		t.Fatalf("max |tanhApprox - tanh| = %v, want <= 1e-4", maxErr)
+	}
+}

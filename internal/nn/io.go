@@ -65,7 +65,7 @@ func (s *snapshot) validate() error {
 			return fmt.Errorf("architecture %v exceeds the size bound", s.Sizes)
 		}
 	}
-	if s.Act != Tanh && s.Act != ReLU {
+	if s.Act != Tanh && s.Act != ReLU && s.Act != TanhApprox {
 		return fmt.Errorf("unknown activation %d", s.Act)
 	}
 	// Params order is W1,b1,W2,b2,...: layer i carries a

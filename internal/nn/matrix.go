@@ -70,6 +70,80 @@ func (m *Matrix) MulVec(x, dst []float64) []float64 {
 	return dst
 }
 
+// MulBatch computes dst = X M^T for a batch X of row vectors: X is
+// B x Cols (one observation per row) and dst becomes B x Rows (one
+// output per row). dst is reused when it has the right shape, so the
+// steady state allocates nothing. Row i of the result is bit-identical
+// to MulVec(X row i): every output element is accumulated into a single
+// scalar in increasing-k order, the exact rounding chain MulVec uses —
+// the batched path may replace the sequential one anywhere without
+// perturbing a simulation.
+//
+// The kernel is register-tiled 4x2 (four batch rows by two output
+// neurons, eight live accumulators — sized to stay within the sixteen
+// SSE registers; 4x4 spills and measures no faster than the naive
+// loop). Each tile streams both weight rows and all four input rows
+// once, quartering weight-row traffic versus row-at-a-time MulVec; at
+// the 2x32 policy-net sizes used here every operand fits in L1, which
+// is all the cache blocking the shapes need.
+func (m *Matrix) MulBatch(x, dst *Matrix) *Matrix {
+	if x.Cols != m.Cols {
+		panic(fmt.Sprintf("nn: MulBatch dimension mismatch: %d cols vs %d input", m.Cols, x.Cols))
+	}
+	if dst == nil || dst.Rows != x.Rows || dst.Cols != m.Rows || len(dst.Data) != x.Rows*m.Rows {
+		dst = NewMatrix(x.Rows, m.Rows)
+	}
+	b, k, n := x.Rows, m.Cols, m.Rows
+	var r int
+	for r = 0; r+4 <= b; r += 4 {
+		x0 := x.Data[(r+0)*k : (r+0)*k+k]
+		x1 := x.Data[(r+1)*k : (r+1)*k+k]
+		x2 := x.Data[(r+2)*k : (r+2)*k+k]
+		x3 := x.Data[(r+3)*k : (r+3)*k+k]
+		var c int
+		for c = 0; c+2 <= n; c += 2 {
+			w0 := m.Data[(c+0)*k : (c+0)*k+k]
+			w1 := m.Data[(c+1)*k : (c+1)*k+k]
+			var s00, s01, s10, s11, s20, s21, s30, s31 float64
+			for j := 0; j < k; j++ {
+				a0, a1 := w0[j], w1[j]
+				v0, v1, v2, v3 := x0[j], x1[j], x2[j], x3[j]
+				s00 += a0 * v0
+				s01 += a1 * v0
+				s10 += a0 * v1
+				s11 += a1 * v1
+				s20 += a0 * v2
+				s21 += a1 * v2
+				s30 += a0 * v3
+				s31 += a1 * v3
+			}
+			dst.Data[(r+0)*n+c], dst.Data[(r+0)*n+c+1] = s00, s01
+			dst.Data[(r+1)*n+c], dst.Data[(r+1)*n+c+1] = s10, s11
+			dst.Data[(r+2)*n+c], dst.Data[(r+2)*n+c+1] = s20, s21
+			dst.Data[(r+3)*n+c], dst.Data[(r+3)*n+c+1] = s30, s31
+		}
+		for ; c < n; c++ { // odd trailing neuron
+			w0 := m.Data[c*k : c*k+k]
+			var s0, s1, s2, s3 float64
+			for j := 0; j < k; j++ {
+				a0 := w0[j]
+				s0 += a0 * x0[j]
+				s1 += a0 * x1[j]
+				s2 += a0 * x2[j]
+				s3 += a0 * x3[j]
+			}
+			dst.Data[(r+0)*n+c] = s0
+			dst.Data[(r+1)*n+c] = s1
+			dst.Data[(r+2)*n+c] = s2
+			dst.Data[(r+3)*n+c] = s3
+		}
+	}
+	for ; r < b; r++ { // trailing batch rows: the sequential loop
+		m.MulVec(x.Data[r*k:(r+1)*k], dst.Data[r*n:(r+1)*n])
+	}
+	return dst
+}
+
 // MulVecT computes y = M^T x for a vector x of length Rows; y has length
 // Cols.
 func (m *Matrix) MulVecT(x, dst []float64) []float64 {

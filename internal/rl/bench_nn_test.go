@@ -1,0 +1,133 @@
+package rl
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"libra/internal/nn"
+)
+
+// nnBenchLine is one batch-size measurement in BENCH_nn.json.
+type nnBenchLine struct {
+	Batch     int     `json:"batch"`
+	NsPerInf  float64 `json:"ns_per_inference"`
+	InfPerSec float64 `json:"inferences_per_sec"`
+}
+
+// seedPPO reconstructs the pre-batching per-flow inference semantics on
+// the stock 2x32 nets: exact math.Tanh activations and the full Act
+// pass — actor forward, RNG sampling, log-prob, critic forward — every
+// decision, allocations included.
+func seedPPO() *PPO {
+	p := NewPPO(1, 20, 1, Config{})
+	rng := rand.New(rand.NewSource(1))
+	p.Policy.Actor = nn.NewMLP(rng, nn.Tanh, 20, 32, 32, 1)
+	p.Critic = nn.NewMLP(rng, nn.Tanh, 20, 32, 32, 1)
+	return p
+}
+
+// measureNs times f and returns mean wall-clock nanoseconds per call.
+func measureNs(iters int, f func()) float64 {
+	f() // warm-up: size arenas, page in code
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// TestBenchNN records the agent-inference perf trajectory into
+// BENCH_nn.json: the per-flow baseline (what every evaluation decision
+// cost before batching) against the batched evaluation path (one
+// actor GEMM per cohort plus seeded noise) at batch 1/16/256. Only
+// arms under NN_BENCH / NN_BENCH_GUARD (make bench-nn): timing inside
+// a parallel `go test ./...` sweep measures contention, not the
+// kernels. The steady-state zero-alloc assertion on the batched path
+// always arms when the test runs.
+func TestBenchNN(t *testing.T) {
+	if os.Getenv("NN_BENCH") == "" && os.Getenv("NN_BENCH_GUARD") == "" {
+		t.Skip("set NN_BENCH=1 (make bench-nn) to measure and record inference perf")
+	}
+	const obsDim = 20
+	rng := rand.New(rand.NewSource(3))
+	obs := make([]float64, obsDim)
+	for i := range obs {
+		obs[i] = rng.NormFloat64()
+	}
+
+	base := seedPPO()
+	perFlowNs := measureNs(200_000, func() { base.Act(obs) })
+
+	cur := NewPPO(2, obsDim, 1, Config{})
+	dst := make([]float64, 1)
+	var lines []nnBenchLine
+	for _, bsz := range []int{1, 16, 256} {
+		X := nn.NewMatrix(bsz, obsDim)
+		for i := range X.Data {
+			X.Data[i] = rng.NormFloat64()
+		}
+		batchedOnce := func() {
+			means := cur.MeanBatch(X)
+			for r := 0; r < bsz; r++ {
+				cur.Policy.SampleFrom(means.Data[r:r+1], Mix(uint64(r)), dst)
+			}
+		}
+		iters := 500_000 / bsz
+		if iters < 2000 {
+			iters = 2000
+		}
+		ns := measureNs(iters, batchedOnce) / float64(bsz)
+		lines = append(lines, nnBenchLine{Batch: bsz, NsPerInf: ns, InfPerSec: 1e9 / ns})
+
+		// The steady-state arenas are sized by the warm-up call; after
+		// that the whole batched decision path must be allocation-free.
+		if allocs := testing.AllocsPerRun(20, batchedOnce); allocs != 0 {
+			t.Errorf("batched path allocates %.1f/op at batch %d, want 0", allocs, bsz)
+		}
+	}
+
+	speedup := perFlowNs / lines[len(lines)-1].NsPerInf
+	t.Logf("per-flow: %.0f ns/inference (%.0f inferences/sec)", perFlowNs, 1e9/perFlowNs)
+	for _, l := range lines {
+		t.Logf("batch %3d: %.0f ns/inference (%.0f inferences/sec)", l.Batch, l.NsPerInf, l.InfPerSec)
+	}
+	t.Logf("speedup at batch 256: %.2fx", speedup)
+
+	if os.Getenv("NN_BENCH") != "" {
+		path := os.Getenv("NN_BENCH_OUT")
+		if path == "" {
+			path = "../../BENCH_nn.json"
+		}
+		out := struct {
+			PerFlow struct {
+				NsPerInf  float64 `json:"ns_per_inference"`
+				InfPerSec float64 `json:"inferences_per_sec"`
+			} `json:"per_flow"`
+			Batch      []nnBenchLine `json:"batch"`
+			Speedup256 float64       `json:"speedup_batch256"`
+			Note       string        `json:"note"`
+		}{Batch: lines, Speedup256: speedup,
+			Note: "per_flow = full PPO.Act per decision on exact-tanh 2x32 nets (pre-batching semantics); batch = actor MeanBatch GEMM + seeded noise per row (evaluation path)"}
+		out.PerFlow.NsPerInf = perFlowNs
+		out.PerFlow.InfPerSec = 1e9 / perFlowNs
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatalf("create %s: %v", path, err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("recorded -> %s", path)
+	}
+	if os.Getenv("NN_BENCH_GUARD") != "" && speedup < 4.0 {
+		t.Errorf("batch-256 speedup %.2fx, floor 4.0x", speedup)
+	}
+}

@@ -1,0 +1,43 @@
+package rl
+
+import "math"
+
+// Seeded Gaussian noise for inference-time action sampling. The shared
+// math/rand stream a policy clone carries makes each sample depend on
+// every draw before it — fine for one flow, but it couples flows that
+// share an agent: the noise a flow sees then depends on which other
+// flows acted first. Deriving each decision's noise from a per-decision
+// seed instead makes every action a pure function of (flow seed,
+// decision index, action dim), so batched and sequential evaluation —
+// and any batch composition — produce identical actions.
+
+// splitmix64 is the SplitMix64 mixer (Steele et al., 2014): a bijective
+// avalanche over 64 bits, the standard way to expand one seed into an
+// uncorrelated stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// unitFrom maps a 64-bit word onto (0, 1], never returning 0 so the
+// Box-Muller log stays finite.
+func unitFrom(x uint64) float64 {
+	return float64(x>>11+1) * (1.0 / (1 << 53))
+}
+
+// Mix avalanches x through splitmix64. Callers derive per-decision
+// noise seeds with it — Mix(flowBase + decisionIndex) — so the seeds
+// handed to SampleFrom are scattered across the 64-bit space and the
+// +2i offsets seededNormal applies per action dimension cannot overlap
+// between adjacent decisions.
+func Mix(x uint64) uint64 { return splitmix64(x) }
+
+// seededNormal returns the i-th unit normal of the stream identified by
+// seed, via the Box-Muller transform over two splitmix64 uniforms.
+func seededNormal(seed uint64, i int) float64 {
+	u1 := unitFrom(splitmix64(seed + uint64(2*i)))
+	u2 := unitFrom(splitmix64(seed + uint64(2*i+1)))
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

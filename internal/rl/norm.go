@@ -71,6 +71,12 @@ func (r *RunningNorm) Clone() *RunningNorm {
 	}
 }
 
+// MemBytes estimates the resident bytes of the statistics (the count
+// plus two float64 vectors), for shared-deployment memory accounting.
+func (r *RunningNorm) MemBytes() int {
+	return 8 * (1 + len(r.mean) + len(r.m2))
+}
+
 // normState is the gob wire format for RunningNorm.
 type normState struct {
 	N    float64

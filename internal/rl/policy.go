@@ -19,6 +19,7 @@ type GaussianPolicy struct {
 	Actor   *nn.MLP
 	LogStd  []float64
 	gLogStd []float64
+	gMean   []float64 // BackwardLogProb scratch
 	rng     *rand.Rand
 }
 
@@ -28,9 +29,13 @@ func NewGaussianPolicy(rng *rand.Rand, obsDim, actDim int, hidden []int, initLog
 	sizes := append([]int{obsDim}, hidden...)
 	sizes = append(sizes, actDim)
 	p := &GaussianPolicy{
-		Actor:   nn.NewMLP(rng, nn.Tanh, sizes...),
+		// TanhApprox (max error < 1e-4 vs exact tanh) is used for both
+		// training and inference, so there is no train/serve skew; it
+		// keeps the activation pass from dominating batched inference.
+		Actor:   nn.NewMLP(rng, nn.TanhApprox, sizes...),
 		LogStd:  make([]float64, actDim),
 		gLogStd: make([]float64, actDim),
+		gMean:   make([]float64, actDim),
 		rng:     rng,
 	}
 	for i := range p.LogStd {
@@ -46,6 +51,7 @@ func (p *GaussianPolicy) clone(rng *rand.Rand) *GaussianPolicy {
 		Actor:   p.Actor.Clone(),
 		LogStd:  append([]float64(nil), p.LogStd...),
 		gLogStd: make([]float64, len(p.gLogStd)),
+		gMean:   make([]float64, len(p.gLogStd)),
 		rng:     rng,
 	}
 }
@@ -65,6 +71,36 @@ func (p *GaussianPolicy) Sample(obs []float64) (act []float64, logp float64) {
 // owned by the actor network.
 func (p *GaussianPolicy) Mean(obs []float64) []float64 {
 	return p.Actor.Forward(obs)
+}
+
+// MeanBatch evaluates the greedy action for a batch of observations
+// (one per row) through a single forward pass per layer. Row i is
+// bit-identical to Mean(row i); the returned matrix is owned by the
+// actor network.
+func (p *GaussianPolicy) MeanBatch(X *nn.Matrix) *nn.Matrix {
+	return p.Actor.ForwardBatch(X)
+}
+
+// SampleFrom perturbs an already-computed action mean with seeded
+// exploration noise: dst[i] = mean[i] + exp(LogStd[i]) * N(seed, i),
+// where the normal draw is a pure function of (seed, i) — see gauss.go.
+// dst is reused when correctly sized. Unlike Sample, the result is
+// independent of any RNG stream position, so flows sharing this policy
+// cannot perturb each other's actions.
+func (p *GaussianPolicy) SampleFrom(mean []float64, seed uint64, dst []float64) []float64 {
+	if len(dst) != len(mean) {
+		dst = make([]float64, len(mean))
+	}
+	for i := range mean {
+		std := math.Exp(p.LogStd[i])
+		dst[i] = mean[i] + std*seededNormal(seed, i)
+	}
+	return dst
+}
+
+// SampleSeeded draws a seeded-noise action for obs: Forward + SampleFrom.
+func (p *GaussianPolicy) SampleSeeded(obs []float64, seed uint64, dst []float64) []float64 {
+	return p.SampleFrom(p.Actor.Forward(obs), seed, dst)
 }
 
 // LogProb evaluates log pi(act|obs), running a fresh forward pass (so a
@@ -98,7 +134,7 @@ func (p *GaussianPolicy) Entropy() float64 {
 // for the same (obs, act).
 func (p *GaussianPolicy) BackwardLogProb(obs, act []float64, scale float64) {
 	mean := p.Actor.Forward(obs)
-	gradMean := make([]float64, len(mean))
+	gradMean := p.gMean
 	for i := range mean {
 		std := math.Exp(p.LogStd[i])
 		z := (act[i] - mean[i]) / std

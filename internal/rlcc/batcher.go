@@ -1,0 +1,189 @@
+package rlcc
+
+import (
+	"sort"
+	"time"
+
+	"libra/internal/nn"
+	"libra/internal/rl"
+)
+
+// Batcher is the inference batching engine: it coalesces the MI-tick
+// inferences of evaluation-mode controllers that share a PPO agent
+// into one batched forward pass (a GEMM) per agent per simulated
+// instant, instead of one vector forward pass per flow.
+//
+// It is a lazy gatherer, not a scheduler. Controllers report the
+// instant of their next tick (Controller.nextDue); when the first
+// controller due at instant T actually ticks, the batcher preps EVERY
+// registered controller due at T — closing their MIs in flow-ID order,
+// packing their state vectors per shared agent, dispatching one
+// MeanBatch per agent, and scattering actions back into each
+// controller's staged decision. Each remaining controller's own engine
+// callback then merely consumes its staged action, so every externally
+// visible side effect (rate change, telemetry event, packet pacing)
+// still happens in that flow's own callback: the engine's event order,
+// the trace stream, and all reports are byte-identical to the
+// unbatched run. Determinism does not depend on arrival order — the
+// cohort is sorted by flow ID, and exploration noise is a pure
+// function of (flow seed, decision index), never of batch composition.
+//
+// Only evaluation controllers whose ticks are driven directly by the
+// engine may register: their next tick instant is exactly the duration
+// OnTick returns. Controllers ticked at a parent's discretion (the RL
+// component inside core.Libra) must stay on the sequential path, which
+// is bit-identical anyway.
+//
+// A Batcher belongs to one engine run and is not goroutine-safe;
+// parallel sweep jobs each own a private one.
+type Batcher struct {
+	ctrls   []*Controller // registered cohort, sorted by flowID
+	scratch []*Controller // per-instant due list, reused
+	groups  map[*rl.PPO]*batchGroup
+
+	stats BatchStats
+}
+
+// BatchStats counts the batcher's work for benchmarks and tests.
+type BatchStats struct {
+	// Instants is the number of simulated instants the batcher gathered.
+	Instants int64
+	// Batches counts multi-row GEMM dispatches (cohorts of >= 2 flows
+	// sharing one agent at one instant).
+	Batches int64
+	// Rows is the total number of flow-decisions served by those
+	// batched dispatches.
+	Rows int64
+	// MaxBatch is the largest batch dispatched.
+	MaxBatch int64
+}
+
+// batchGroup accumulates the co-instant controllers of one shared
+// agent and owns the reused observation matrix packed for its GEMM.
+type batchGroup struct {
+	ctrls []*Controller
+	x     nn.Matrix
+}
+
+func (g *batchGroup) ensure(rows, cols int) *nn.Matrix {
+	if cap(g.x.Data) < rows*cols {
+		g.x.Data = make([]float64, rows*cols)
+	}
+	g.x.Rows, g.x.Cols, g.x.Data = rows, cols, g.x.Data[:rows*cols]
+	return &g.x
+}
+
+// NewBatcher returns an empty batcher for one engine run.
+func NewBatcher() *Batcher {
+	return &Batcher{groups: make(map[*rl.PPO]*batchGroup)}
+}
+
+// Stats returns the work counters so far.
+func (b *Batcher) Stats() BatchStats { return b.stats }
+
+// add inserts c keeping the cohort sorted by flow ID, so per-instant
+// due lists come out in deterministic order with no per-tick sort.
+func (b *Batcher) add(c *Controller) {
+	i := sort.Search(len(b.ctrls), func(i int) bool { return b.ctrls[i].flowID >= c.flowID })
+	b.ctrls = append(b.ctrls, nil)
+	copy(b.ctrls[i+1:], b.ctrls[i:])
+	b.ctrls[i] = c
+}
+
+// remove drops c from the cohort (flow stop).
+func (b *Batcher) remove(c *Controller) {
+	for i, v := range b.ctrls {
+		if v == c {
+			b.ctrls = append(b.ctrls[:i], b.ctrls[i+1:]...)
+			return
+		}
+	}
+}
+
+// runInstant preps every registered controller due at now: MI close in
+// flow-ID order, then one batched inference per shared agent. Staged
+// decisions are consumed by each controller's own OnTick. Idempotent
+// within an instant: prepped controllers carry pendingOK and are
+// skipped, and consuming moves nextDue past now.
+func (b *Batcher) runInstant(now time.Duration) {
+	due := b.scratch[:0]
+	for _, c := range b.ctrls {
+		if c.nextDue == now && !c.pendingOK {
+			due = append(due, c)
+		}
+	}
+	b.scratch = due
+	if len(due) == 0 {
+		return
+	}
+	b.stats.Instants++
+
+	// Stage 1: close MIs in flow-ID order. All mutated state is private
+	// to each controller (monitor, extractor, cloned normaliser), so
+	// hoisting this ahead of the flows' own callbacks cannot change any
+	// other flow's observations.
+	for _, c := range due {
+		c.pendingNeedAct = c.prepTick(now)
+		c.pendingOK = true
+		c.pendingAt = now
+	}
+
+	// Stage 2: group the act-needing controllers by shared agent.
+	for _, c := range due {
+		if !c.pendingNeedAct {
+			continue
+		}
+		g := b.groups[c.agent]
+		if g == nil {
+			g = &batchGroup{}
+			b.groups[c.agent] = g
+		}
+		g.ctrls = append(g.ctrls, c)
+	}
+
+	// Stage 3: one inference per agent. Group iteration order is
+	// irrelevant: groups touch disjoint controllers and read frozen
+	// weights. Rows within a group follow the flow-ID order stage 1
+	// established.
+	for _, g := range b.groups {
+		n := len(g.ctrls)
+		if n == 0 {
+			continue
+		}
+		if n == 1 {
+			c := g.ctrls[0]
+			c.applyMean(c.agent.Policy.Mean(c.stateBuf))
+		} else {
+			obsDim := len(g.ctrls[0].stateBuf)
+			x := g.ensure(n, obsDim)
+			for i, c := range g.ctrls {
+				copy(x.Data[i*obsDim:(i+1)*obsDim], c.stateBuf)
+			}
+			means := g.ctrls[0].agent.MeanBatch(x)
+			ad := means.Cols
+			for i, c := range g.ctrls {
+				c.applyMean(means.Data[i*ad : (i+1)*ad])
+			}
+			b.stats.Batches++
+			b.stats.Rows += int64(n)
+			if int64(n) > b.stats.MaxBatch {
+				b.stats.MaxBatch = int64(n)
+			}
+		}
+		g.ctrls = g.ctrls[:0]
+	}
+}
+
+// AttachBatcher registers the controller with a batcher under the
+// given flow ID. Training controllers and nil batchers are ignored:
+// batching is an evaluation-only optimisation. Must be called before
+// the flow starts.
+func (r *Controller) AttachBatcher(b *Batcher, flowID int) {
+	if b == nil || r.cfg.Train {
+		return
+	}
+	r.flowID = flowID
+	r.batcher = b
+	r.nextDue = -1
+	b.add(r)
+}

@@ -1,0 +1,120 @@
+package rlcc
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"libra/internal/cc"
+	"libra/internal/rl"
+)
+
+// driveCohort runs three evaluation controllers sharing one agent over
+// lockstep 100 ms MIs (identical SRTT keeps every flow's decision
+// instants aligned, so cohorts of 3 form), with or without a batcher,
+// and returns each flow's rate-decision sequence.
+func driveCohort(attach bool) ([][]float64, BatchStats) {
+	base := AuroraConfig(cc.Config{}).WithDefaults()
+	shared := rl.NewPPO(9, base.ObsDim(), 1, base.PPO)
+	norm := rl.NewRunningNorm(StateWidth(base.Features))
+	var b *Batcher
+	if attach {
+		b = NewBatcher()
+	}
+	ctrls := make([]*Controller, 3)
+	for i := range ctrls {
+		cfg := base
+		cfg.Seed = int64(i + 1)
+		cfg.Agent = shared
+		cfg.Norm = norm
+		ctrls[i] = New("aurora", cfg)
+		if attach {
+			ctrls[i].AttachBatcher(b, i)
+		}
+	}
+	now := time.Duration(0)
+	for _, c := range ctrls {
+		c.OnTick(now) // start tick: opens the first MI
+	}
+	rates := make([][]float64, len(ctrls))
+	for step := 0; step < 6; step++ {
+		now += 100 * time.Millisecond
+		for i, c := range ctrls {
+			// Distinct throughput per flow keeps the observation rows
+			// different, so the batch is not degenerate.
+			c.OnAck(&cc.Ack{Now: now, RTT: 100 * time.Millisecond,
+				SRTT: 100 * time.Millisecond, MinRTT: 100 * time.Millisecond,
+				Acked: 20000 * (i + 1)})
+		}
+		for i, c := range ctrls {
+			c.OnTick(now)
+			rates[i] = append(rates[i], c.Rate())
+		}
+	}
+	var st BatchStats
+	if attach {
+		st = b.Stats()
+	}
+	return rates, st
+}
+
+// The batched path must reproduce the sequential path bit for bit, and
+// it must actually batch: every decision instant serves the full
+// 3-flow cohort with one GEMM.
+func TestBatcherMatchesSolo(t *testing.T) {
+	solo, _ := driveCohort(false)
+	batched, st := driveCohort(true)
+	if !reflect.DeepEqual(solo, batched) {
+		t.Fatalf("batched decisions diverge from solo:\nsolo    %v\nbatched %v", solo, batched)
+	}
+	if st.Batches == 0 || st.MaxBatch != 3 {
+		t.Fatalf("batcher did no multi-row work: %+v", st)
+	}
+	if st.Rows != st.Batches*3 {
+		t.Fatalf("rows %d for %d full-cohort batches", st.Rows, st.Batches)
+	}
+}
+
+// Stop must unregister from the cohort, and training controllers (and
+// nil batchers) must never register.
+func TestBatcherMembership(t *testing.T) {
+	b := NewBatcher()
+	base := AuroraConfig(cc.Config{Seed: 1}).WithDefaults()
+	c := New("aurora", base)
+	c.AttachBatcher(b, 0)
+	if len(b.ctrls) != 1 {
+		t.Fatalf("cohort size %d after attach", len(b.ctrls))
+	}
+	c.Stop(0)
+	if len(b.ctrls) != 0 || c.batcher != nil {
+		t.Fatal("Stop must leave the cohort")
+	}
+
+	tcfg := base
+	tcfg.Train = true
+	tc := New("aurora", tcfg)
+	tc.AttachBatcher(b, 1)
+	if len(b.ctrls) != 0 {
+		t.Fatal("training controllers must not register")
+	}
+	c2 := New("aurora", base)
+	c2.AttachBatcher(nil, 2)
+	if c2.batcher != nil {
+		t.Fatal("nil batcher must be ignored")
+	}
+
+	// Insertion keeps the cohort sorted by flow ID regardless of attach
+	// order, so per-instant due lists are deterministic.
+	var ids []int
+	for _, id := range []int{5, 1, 3} {
+		cc := New("aurora", base)
+		cc.AttachBatcher(b, id)
+		_ = cc
+	}
+	for _, cc := range b.ctrls {
+		ids = append(ids, cc.flowID)
+	}
+	if !reflect.DeepEqual(ids, []int{1, 3, 5}) {
+		t.Fatalf("cohort order %v, want sorted by flow ID", ids)
+	}
+}

@@ -126,8 +126,32 @@ type Controller struct {
 
 	stateBuf []float64 // h stacked normalised feature vectors
 	featBuf  []float64
-	actBuf   []float64 // reused deterministic-inference action buffer
+	actBuf   []float64 // reused inference action buffer
 	width    int
+
+	// Solo-inference results staged between infer and finishTick
+	// (training path only; eval writes actBuf directly).
+	inferLogp float64
+	inferVal  float64
+
+	// Batched-inference plumbing (see batcher.go). noiseBase seeds the
+	// per-decision exploration noise; flowID is the deterministic batch
+	// ordering key; nextDue is the predicted next OnTick instant the
+	// batcher gathers on (-1 until the first tick returns).
+	flowID    int
+	batcher   *Batcher
+	noiseBase uint64
+	nextDue   time.Duration
+
+	// One prepped-but-unconsumed tick: the batcher closes the MI and
+	// computes the action when the first co-instant flow ticks; this
+	// controller's own OnTick then consumes it, so every side effect
+	// (rate change, telemetry, pacing) still happens in the flow's own
+	// engine callback and event order matches the unbatched run.
+	pendingOK      bool
+	pendingAt      time.Duration
+	pendingNeedAct bool
+	pendingRew     float64
 
 	// Pending transition (action taken, awaiting reward).
 	haveAction bool
@@ -166,16 +190,27 @@ func New(name string, cfg Config) *Controller {
 	norm := cfg.Norm
 	if norm == nil {
 		norm = rl.NewRunningNorm(width)
+	} else if !cfg.Train {
+		// Evaluation flows observe into the normaliser but must not
+		// leak those updates to other flows sharing the trained
+		// statistics: with a shared mutating normaliser, a flow's
+		// inputs would depend on which other flows happened to tick
+		// first, making results order- and batch-composition-dependent.
+		// Each eval controller works on a private copy; training keeps
+		// the shared object because the trainer harvests it afterwards.
+		norm = norm.Clone()
 	}
 	return &Controller{
-		cfg:      cfg,
-		name:     name,
-		agent:    agent,
-		ext:      NewExtractor(cfg.Features),
-		norm:     norm,
-		rate:     cfg.CC.InitialRate,
-		stateBuf: make([]float64, width*cfg.History),
-		width:    width,
+		cfg:       cfg,
+		name:      name,
+		agent:     agent,
+		ext:       NewExtractor(cfg.Features),
+		norm:      norm,
+		rate:      cfg.CC.InitialRate,
+		stateBuf:  make([]float64, width*cfg.History),
+		width:     width,
+		noiseBase: rl.Mix(uint64(cfg.Seed)),
+		nextDue:   -1,
 	}
 }
 
@@ -254,17 +289,64 @@ func (r *Controller) reward(iv *cc.IntervalStats) float64 {
 }
 
 // OnTick implements cc.Ticker: close the MI, credit the previous action
-// with its reward, and emit the next rate decision.
+// with its reward, and emit the next rate decision. With a batcher
+// attached (evaluation only), the MI close and the inference may have
+// been prepped by the batcher when the first co-instant flow ticked;
+// this call then just consumes the staged decision.
 func (r *Controller) OnTick(now time.Duration) time.Duration {
+	if r.batcher == nil || r.cfg.Train {
+		return r.soloTick(now)
+	}
+	d := r.batchedTick(now)
+	r.nextDue = now + d
+	return d
+}
+
+// soloTick is the sequential path: prep, infer, finish in one call.
+func (r *Controller) soloTick(now time.Duration) time.Duration {
+	if r.prepTick(now) {
+		r.infer()
+		r.finishTick(now)
+	}
+	return r.miLen()
+}
+
+// batchedTick consumes the decision the batcher staged for this
+// instant, running the gather itself if this flow is the first of its
+// cohort to tick. A tick at an instant the batcher did not predict
+// (defensive; engine-driven ticks are exactly predictable) falls back
+// to the sequential path, which is bit-identical.
+func (r *Controller) batchedTick(now time.Duration) time.Duration {
+	if !r.pendingOK && r.nextDue == now {
+		r.batcher.runInstant(now)
+	}
+	if r.pendingOK && r.pendingAt == now {
+		r.pendingOK = false
+		if r.pendingNeedAct {
+			r.finishTick(now)
+		}
+		return r.miLen()
+	}
+	r.pendingOK = false
+	return r.soloTick(now)
+}
+
+// prepTick closes the MI at now: reward bookkeeping, crediting the
+// previous transition, and building the next normalised state. It
+// returns true when an inference (and then finishTick) must follow,
+// false when the tick holds the current rate (first tick, or an MI
+// without feedback). The shaped reward is staged in pendingRew for
+// finishTick's telemetry.
+func (r *Controller) prepTick(now time.Duration) bool {
 	iv := r.mon.Roll(now)
 	if !r.started {
 		r.started = true
-		return r.miLen()
+		return false
 	}
 	// Paper (Sec. 3): with no ACKs during the interval, keep the same
 	// rate decision.
 	if !iv.HasFeedback() {
-		return r.miLen()
+		return false
 	}
 
 	raw := r.reward(iv)
@@ -281,6 +363,7 @@ func (r *Controller) OnTick(now time.Duration) time.Duration {
 	r.lastReward = rew
 	r.episodeReward += rew
 	r.episodeRaw += raw
+	r.pendingRew = rew
 
 	// Credit the pending transition.
 	if r.haveAction && r.cfg.Train {
@@ -298,38 +381,71 @@ func (r *Controller) OnTick(now time.Duration) time.Duration {
 	tail := r.stateBuf[len(r.stateBuf)-r.width:]
 	r.norm.Normalize(r.featBuf, tail)
 	r.sanitized += int64(sanitize(tail))
+	return true
+}
 
-	// Act.
-	var act []float64
-	var logp, val float64
-	if r.cfg.Deterministic {
-		r.actBuf = append(r.actBuf[:0], r.agent.Policy.Mean(r.stateBuf)...)
-		act = r.actBuf
-	} else {
-		act, logp, val = r.agent.Act(r.stateBuf)
+// infer runs the policy on the prepped state, leaving the action in
+// actBuf (and logp/value staged for training). Training keeps the
+// shared-RNG Act path the trainer's rollouts were built on; evaluation
+// runs the actor only — the critic's value and the log-probability are
+// consumed exclusively by Store, so skipping them is behaviour-neutral
+// — with per-decision seeded noise via applyMean.
+func (r *Controller) infer() {
+	if r.cfg.Train {
+		if r.cfg.Deterministic {
+			r.actBuf = append(r.actBuf[:0], r.agent.Policy.Mean(r.stateBuf)...)
+			r.inferLogp, r.inferVal = 0, 0
+		} else {
+			act, logp, val := r.agent.Act(r.stateBuf)
+			r.actBuf = append(r.actBuf[:0], act...)
+			r.inferLogp, r.inferVal = logp, val
+		}
+		return
 	}
+	r.applyMean(r.agent.Policy.Mean(r.stateBuf))
+}
+
+// applyMean turns a policy mean into this controller's action:
+// verbatim when deterministic, otherwise perturbed with exploration
+// noise that is a pure function of (flow seed, decision index) — so
+// the same decision gets the same noise whether it was evaluated solo
+// or in any batch. The batcher scatters batched GEMM rows back
+// through this.
+func (r *Controller) applyMean(mean []float64) {
+	if r.cfg.Deterministic {
+		r.actBuf = append(r.actBuf[:0], mean...)
+		return
+	}
+	seed := rl.Mix(r.noiseBase + uint64(r.decisions))
+	r.actBuf = r.agent.Policy.SampleFrom(mean, seed, r.actBuf)
+}
+
+// finishTick applies the inferred action (actBuf) at now: rate update,
+// decision accounting, telemetry, and the training snapshot. It runs
+// in the flow's own engine callback even when the inference was
+// batched, so event ordering is identical to the sequential path.
+func (r *Controller) finishTick(now time.Duration) {
 	// A non-finite action holds the current rate instead of corrupting
 	// it through applyAction's multiplicative update.
 	a := 0.0
-	if len(act) > 0 && !math.IsNaN(act[0]) && !math.IsInf(act[0], 0) {
-		a = clamp(act[0], -1, 1) * r.cfg.Scale
+	if len(r.actBuf) > 0 && !math.IsNaN(r.actBuf[0]) && !math.IsInf(r.actBuf[0], 0) {
+		a = clamp(r.actBuf[0], -1, 1) * r.cfg.Scale
 	} else {
 		r.sanitized++
 	}
 	r.applyAction(a)
 	r.decisions++
 	if r.traceOn {
-		r.emitAction(now, a, rew)
+		r.emitAction(now, a, r.pendingRew)
 	}
 
 	if r.cfg.Train {
 		r.prevObs = append(r.prevObs[:0], r.stateBuf...)
-		r.prevAct = append(r.prevAct[:0], act...)
-		r.prevLogp = logp
-		r.prevVal = val
+		r.prevAct = append(r.prevAct[:0], r.actBuf...)
+		r.prevLogp = r.inferLogp
+		r.prevVal = r.inferVal
 		r.haveAction = true
 	}
-	return r.miLen()
 }
 
 // emitAction records one MI decision: the bounded action, the applied
@@ -409,11 +525,16 @@ func (r *Controller) SetRate(rate float64) {
 // Window implements cc.Controller: rate-based.
 func (r *Controller) Window() float64 { return math.Max(2*r.rate, 4*float64(r.cfg.CC.MSS)) }
 
-// Stop implements cc.Stopper: finalize the last pending transition.
+// Stop implements cc.Stopper: finalize the last pending transition and
+// leave the batcher's cohort.
 func (r *Controller) Stop(now time.Duration) {
 	if r.haveAction && r.cfg.Train {
 		r.agent.Store(r.prevObs, r.prevAct, r.prevLogp, 0, r.prevVal, true)
 		r.haveAction = false
+	}
+	if r.batcher != nil {
+		r.batcher.remove(r)
+		r.batcher = nil
 	}
 }
 
@@ -432,8 +553,23 @@ func (r *Controller) LastReward() float64 { return r.lastReward }
 // Decisions returns the number of rate decisions taken.
 func (r *Controller) Decisions() int { return r.decisions }
 
-// MemBytes estimates controller-resident memory: the agent's models
-// plus state/normalisation buffers.
+// MemBytes estimates controller-resident memory assuming the
+// controller owns its agent outright: the agent's models plus the
+// per-flow buffers. When the agent is shared across flows this
+// overstates the real footprint — summing MemBytes over N flows counts
+// the shared weights N times. Shared deployments should account the
+// agent once (exp.AgentSet.MemBytes) and add OwnMemBytes per flow.
 func (r *Controller) MemBytes() int {
-	return r.agent.MemBytes() + 8*(len(r.stateBuf)+len(r.featBuf)+4*r.width)
+	return r.agent.MemBytes() + r.OwnMemBytes()
 }
+
+// OwnMemBytes estimates the memory this flow contributes beyond the
+// (possibly shared) agent: state history, feature scratch, and its
+// private normaliser statistics.
+func (r *Controller) OwnMemBytes() int {
+	return 8 * (len(r.stateBuf) + len(r.featBuf) + 4*r.width)
+}
+
+// SharesAgent reports whether the controller runs on an agent supplied
+// from outside (and therefore possibly shared with other flows).
+func (r *Controller) SharesAgent() bool { return r.cfg.Agent != nil }

@@ -37,6 +37,11 @@ FLIGHT_BENCH_GUARD=1 go test ./internal/telemetry/ -run TestFlightEmitBudget -co
 # stay 0 allocs in steady state and <= 50 ns/event; the measurement is
 # recorded as the "timeseries" block of BENCH_core.json.
 TIMESERIES_BENCH_GUARD=1 go test ./internal/telemetry/ -run TestTimeSeriesBudget -count=1 -v
+# Agent-inference hot path: per-flow PPO.Act baseline vs the batched
+# evaluation path (one actor GEMM per cohort + seeded noise) at batch
+# 1/16/256, recorded into BENCH_nn.json with the >=4x inferences/sec
+# floor at batch 256 and the zero-alloc invariant armed.
+NN_BENCH=1 NN_BENCH_GUARD=1 go test ./internal/rl/ -run TestBenchNN -count=1 -v
 # Multi-hop hot path: hop traversals/sec and allocs/packet over a
 # 3-hop chain, recorded as the "topo" block of BENCH_core.json with
 # the <1 alloc/packet bound and throughput floor armed.
